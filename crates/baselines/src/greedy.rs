@@ -1,0 +1,208 @@
+//! Greedy peak-aware placement — a stronger comparator than the paper's
+//! baselines.
+//!
+//! First-fit-decreasing by peak: instances are placed one at a time
+//! (largest peak first) onto the rack whose whole root path absorbs the
+//! instance with the smallest total *peak increase*. This is the natural
+//! "direct optimization" alternative to SmoothOperator's
+//! cluster-and-deal; the `ext_greedy` bench compares their quality and
+//! cost.
+
+use so_powertrace::PowerTrace;
+use so_powertree::{Assignment, NodeId, PowerTopology, TreeError};
+
+/// Places `traces` (one per instance) onto the topology greedily.
+///
+/// For each instance, every rack with a free slot is scored by the sum of
+/// aggregate-peak increases along the rack's path to the root; the
+/// smallest-cost rack wins. Instances are processed in descending order of
+/// their own trace peak (first-fit decreasing).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use so_baselines::greedy_peak_placement;
+/// use so_powertree::PowerTopology;
+/// use so_workloads::DcScenario;
+///
+/// let fleet = DcScenario::dc1().generate_fleet(40)?;
+/// let topo = PowerTopology::builder().build()?;
+/// let assignment = greedy_peak_placement(&topo, fleet.averaged_traces())?;
+/// assert_eq!(assignment.len(), 40);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`TreeError::RackOverCapacity`] when the instances exceed the
+/// topology's capacity, and propagates trace mismatches.
+pub fn greedy_peak_placement(
+    topology: &PowerTopology,
+    traces: &[PowerTrace],
+) -> Result<Assignment, TreeError> {
+    let n = traces.len();
+    if n > topology.server_capacity() {
+        return Err(TreeError::RackOverCapacity {
+            rack: topology.racks()[0],
+            assigned: n,
+            capacity: topology.server_capacity(),
+        });
+    }
+    if n == 0 {
+        return Assignment::new(Vec::new(), topology);
+    }
+    let len = traces[0].len();
+    for t in traces {
+        if t.len() != len {
+            return Err(TreeError::Trace(so_powertrace::TraceError::LengthMismatch {
+                left: len,
+                right: t.len(),
+            }));
+        }
+    }
+
+    // Running aggregate samples and current peak per node.
+    let mut aggregate = vec![vec![0.0f64; len]; topology.len()];
+    let mut peak = vec![0.0f64; topology.len()];
+
+    // Pre-computed root paths per rack (rack itself included).
+    let racks = topology.racks();
+    let mut paths: Vec<Vec<NodeId>> = Vec::with_capacity(racks.len());
+    for &rack in racks {
+        let mut path = vec![rack];
+        path.extend(topology.ancestors(rack)?);
+        paths.push(path);
+    }
+    let mut free_slots = vec![topology.rack_capacity(); racks.len()];
+
+    // First-fit decreasing by instance peak.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        traces[b]
+            .peak()
+            .partial_cmp(&traces[a].peak())
+            .expect("peaks are finite")
+    });
+
+    let mut rack_of = vec![racks[0]; n];
+    for &i in &order {
+        let samples = traces[i].samples();
+        let mut best: Option<(usize, f64)> = None;
+        for (r, path) in paths.iter().enumerate() {
+            if free_slots[r] == 0 {
+                continue;
+            }
+            let mut cost = 0.0;
+            for node in path {
+                let idx = node.index();
+                let agg = &aggregate[idx];
+                let mut new_peak = 0.0f64;
+                for (a, s) in agg.iter().zip(samples) {
+                    let v = a + s;
+                    if v > new_peak {
+                        new_peak = v;
+                    }
+                }
+                cost += new_peak - peak[idx];
+            }
+            if best.is_none_or(|(_, bc)| cost < bc) {
+                best = Some((r, cost));
+            }
+        }
+        let (r, _) = best.expect("capacity was checked up front");
+        free_slots[r] -= 1;
+        rack_of[i] = racks[r];
+        for node in &paths[r] {
+            let idx = node.index();
+            let mut new_peak = 0.0f64;
+            for (a, s) in aggregate[idx].iter_mut().zip(samples) {
+                *a += s;
+                if *a > new_peak {
+                    new_peak = *a;
+                }
+            }
+            peak[idx] = new_peak;
+        }
+    }
+    Assignment::new(rack_of, topology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oblivious::random_placement;
+    use so_powertree::{Level, NodeAggregates};
+    use so_workloads::DcScenario;
+
+    fn topo() -> PowerTopology {
+        PowerTopology::builder()
+            .suites(1)
+            .msbs_per_suite(1)
+            .sbs_per_msb(2)
+            .rpps_per_sb(2)
+            .racks_per_rpp(2)
+            .rack_capacity(6)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn complementary_pairs_are_separated() {
+        let t = PowerTopology::builder()
+            .suites(1)
+            .msbs_per_suite(1)
+            .sbs_per_msb(1)
+            .rpps_per_sb(1)
+            .racks_per_rpp(2)
+            .rack_capacity(1)
+            .build()
+            .unwrap();
+        let traces = vec![
+            PowerTrace::new(vec![10.0, 0.0], 10).unwrap(),
+            PowerTrace::new(vec![10.0, 0.0], 10).unwrap(),
+        ];
+        let assignment = greedy_peak_placement(&t, &traces).unwrap();
+        // With one slot per rack, the two synchronous instances must split.
+        assert_ne!(assignment.rack_of(0).unwrap(), assignment.rack_of(1).unwrap());
+    }
+
+    #[test]
+    fn beats_random_on_heterogeneous_fleets() {
+        let fleet = DcScenario::dc3().generate_fleet(48).unwrap();
+        let t = topo();
+        let greedy = greedy_peak_placement(&t, fleet.averaged_traces()).unwrap();
+        let random = random_placement(48, &t, 3).unwrap();
+
+        let test = fleet.test_traces();
+        let g = NodeAggregates::compute(&t, &greedy, test)
+            .unwrap()
+            .sum_of_peaks(&t, Level::Rack);
+        let r = NodeAggregates::compute(&t, &random, test)
+            .unwrap()
+            .sum_of_peaks(&t, Level::Rack);
+        assert!(g < r, "greedy {g} should beat random {r}");
+    }
+
+    #[test]
+    fn respects_capacity_and_covers_everyone() {
+        let fleet = DcScenario::dc1().generate_fleet(48).unwrap();
+        let t = topo(); // capacity 48
+        let assignment = greedy_peak_placement(&t, fleet.averaged_traces()).unwrap();
+        assert_eq!(assignment.len(), 48);
+        for (_, members) in assignment.by_rack() {
+            assert!(members.len() <= t.rack_capacity());
+        }
+        // Over capacity is rejected.
+        let fleet = DcScenario::dc1().generate_fleet(49).unwrap();
+        assert!(greedy_peak_placement(&t, fleet.averaged_traces()).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_assignment() {
+        let t = topo();
+        let assignment = greedy_peak_placement(&t, &[]).unwrap();
+        assert!(assignment.is_empty());
+    }
+}

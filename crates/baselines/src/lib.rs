@@ -1,0 +1,27 @@
+//! Baseline placement and provisioning schemes the paper compares against.
+//!
+//! * [`oblivious_placement`] — the traditional service-grouped layout
+//!   (instances of one service land together), with a `mixing` knob to
+//!   model historically interleaved datacenters;
+//! * [`random_placement`] — a fully random balanced layout;
+//! * [`statprof_required_budget`] / [`aggregate_required_budget`] — the
+//!   StatProf(u, δ) statistical-multiplexing provisioning baseline and the
+//!   SmoOp(u, δ) aggregate-trace counterpart of Figure 11;
+//! * [`shave_with_battery`] — DistributedUPS-style battery peak shaving,
+//!   reproducing the paper's critique that batteries cannot span
+//!   hours-long diurnal peaks.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod esd;
+mod greedy;
+mod oblivious;
+mod statprof;
+
+pub use esd::{shave_with_battery, BatteryModel, ShaveOutcome};
+pub use greedy::greedy_peak_placement;
+pub use oblivious::{oblivious_placement, random_placement};
+pub use statprof::{
+    aggregate_required_budget, statprof_required_budget, ProvisioningDegrees, ProvisioningReport,
+};

@@ -1,0 +1,178 @@
+//! The oblivious (service-grouped) baseline placement.
+//!
+//! Production datacenters traditionally place instances of the same service
+//! together — "instances of the same services are typically placed
+//! together" (§1) — which groups synchronous power patterns under the same
+//! sub-trees and fragments the power budget. A `mixing` knob reproduces the
+//! paper's observation that some datacenters' historical placements were
+//! accidentally more balanced than others (DC1 vs DC3, §5.2.1).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use so_powertree::{Assignment, NodeId, PowerTopology, TreeError};
+use so_workloads::Fleet;
+
+/// Places the fleet service-grouped: instances in fleet order (grouped by
+/// service) fill racks in contiguous blocks, racks used evenly.
+///
+/// `mixing` in `[0, 1]` pre-shuffles that fraction of instances, modeling
+/// historically accumulated interleaving (0 = strictly grouped, 1 = fully
+/// random).
+///
+/// # Errors
+///
+/// Returns [`TreeError::RackOverCapacity`] when the fleet exceeds the
+/// topology's capacity.
+///
+/// # Panics
+///
+/// Panics if `mixing` is outside `[0, 1]` or not finite.
+pub fn oblivious_placement(
+    fleet: &Fleet,
+    topology: &PowerTopology,
+    mixing: f64,
+    seed: u64,
+) -> Result<Assignment, TreeError> {
+    assert!(
+        mixing.is_finite() && (0.0..=1.0).contains(&mixing),
+        "mixing must be in [0, 1]"
+    );
+    let n = fleet.len();
+    let mut order: Vec<usize> = (0..n).collect();
+
+    if mixing > 0.0 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shuffled_count = ((n as f64) * mixing).round() as usize;
+        // Pick the positions to scramble, then permute only those.
+        let mut positions: Vec<usize> = (0..n).collect();
+        positions.shuffle(&mut rng);
+        let mut chosen: Vec<usize> = positions.into_iter().take(shuffled_count).collect();
+        chosen.sort_unstable();
+        let mut values: Vec<usize> = chosen.iter().map(|&p| order[p]).collect();
+        values.shuffle(&mut rng);
+        for (&p, &v) in chosen.iter().zip(&values) {
+            order[p] = v;
+        }
+    }
+
+    block_fill(&order, topology)
+}
+
+/// Fully random balanced placement.
+///
+/// # Errors
+///
+/// Returns [`TreeError::RackOverCapacity`] when the fleet exceeds the
+/// topology's capacity.
+pub fn random_placement(
+    n: usize,
+    topology: &PowerTopology,
+    seed: u64,
+) -> Result<Assignment, TreeError> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    block_fill(&order, topology)
+}
+
+/// Fills racks evenly with contiguous blocks of `order`.
+fn block_fill(order: &[usize], topology: &PowerTopology) -> Result<Assignment, TreeError> {
+    let racks = topology.racks();
+    let n = order.len();
+    let base = n / racks.len();
+    let rem = n % racks.len();
+
+    let mut rack_of: Vec<NodeId> = vec![racks[0]; n];
+    let mut cursor = 0usize;
+    for (r, &rack) in racks.iter().enumerate() {
+        let take = base + usize::from(r < rem);
+        for &i in &order[cursor..(cursor + take).min(n)] {
+            rack_of[i] = rack;
+        }
+        cursor += take;
+    }
+    Assignment::new(rack_of, topology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_workloads::DcScenario;
+
+    fn topo() -> PowerTopology {
+        PowerTopology::builder()
+            .suites(1)
+            .msbs_per_suite(1)
+            .sbs_per_msb(2)
+            .rpps_per_sb(2)
+            .racks_per_rpp(2)
+            .rack_capacity(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grouped_placement_keeps_services_contiguous() {
+        let fleet = DcScenario::dc3().generate_fleet(32).unwrap();
+        let topo = topo();
+        let a = oblivious_placement(&fleet, &topo, 0.0, 1).unwrap();
+        // Each rack hosts 4 instances with contiguous fleet indices.
+        for (_, instances) in a.by_rack() {
+            assert_eq!(instances.len(), 4);
+            let min = *instances.iter().min().unwrap();
+            let max = *instances.iter().max().unwrap();
+            assert_eq!(max - min, 3, "rack block {instances:?} not contiguous");
+        }
+    }
+
+    #[test]
+    fn racks_are_used_evenly_with_remainder() {
+        let fleet = DcScenario::dc1().generate_fleet(30).unwrap();
+        let topo = topo();
+        let a = oblivious_placement(&fleet, &topo, 0.0, 1).unwrap();
+        let sizes: Vec<usize> = a.by_rack().values().map(|v| v.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4), "sizes {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn full_mixing_breaks_contiguity() {
+        let fleet = DcScenario::dc3().generate_fleet(64).unwrap();
+        let topo = topo();
+        let a = oblivious_placement(&fleet, &topo, 1.0, 7).unwrap();
+        let contiguous_racks = a
+            .by_rack()
+            .values()
+            .filter(|instances| {
+                let min = *instances.iter().min().unwrap();
+                let max = *instances.iter().max().unwrap();
+                max - min == instances.len() - 1
+            })
+            .count();
+        assert!(contiguous_racks < 3, "{contiguous_racks} racks remained contiguous");
+    }
+
+    #[test]
+    fn random_placement_is_balanced_and_seed_deterministic() {
+        let topo = topo();
+        let a = random_placement(40, &topo, 9).unwrap();
+        let b = random_placement(40, &topo, 9).unwrap();
+        assert_eq!(a, b);
+        assert!(a.by_rack().values().all(|v| v.len() == 5));
+    }
+
+    #[test]
+    fn over_capacity_is_rejected() {
+        let fleet = DcScenario::dc1().generate_fleet(65).unwrap();
+        let topo = topo(); // capacity 64
+        assert!(oblivious_placement(&fleet, &topo, 0.0, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing")]
+    fn invalid_mixing_panics() {
+        let fleet = DcScenario::dc1().generate_fleet(8).unwrap();
+        let topo = topo();
+        let _ = oblivious_placement(&fleet, &topo, 1.5, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the baseline schemes.
+
+use proptest::prelude::*;
+use so_baselines::{
+    aggregate_required_budget, oblivious_placement, random_placement, shave_with_battery,
+    statprof_required_budget, BatteryModel, ProvisioningDegrees,
+};
+use so_powertrace::{PowerTrace, TimeGrid};
+use so_powertree::{Level, PowerTopology};
+use so_workloads::{DcScenario, Fleet, InstanceSpec, ServiceClass};
+
+fn topo() -> PowerTopology {
+    PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(1)
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .rack_capacity(6)
+        .build()
+        .expect("valid shape")
+}
+
+fn small_fleet(n: usize) -> Fleet {
+    let grid = TimeGrid::one_week(240);
+    let specs: Vec<InstanceSpec> = (0..n)
+        .map(|i| {
+            InstanceSpec::nominal(
+                ServiceClass::ALL[i % ServiceClass::ALL.len()],
+                i as u64,
+            )
+        })
+        .collect();
+    Fleet::generate(specs, grid, 1).expect("fleet generates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Placements are balanced: rack loads differ by at most one.
+    #[test]
+    fn placements_balance_racks(n in 1usize..=48, mixing in 0.0f64..=1.0, seed in 0u64..100) {
+        let topo = topo();
+        let fleet = small_fleet(n);
+        for assignment in [
+            oblivious_placement(&fleet, &topo, mixing, seed).unwrap(),
+            random_placement(n, &topo, seed).unwrap(),
+        ] {
+            let sizes: Vec<usize> = assignment.by_rack().values().map(|v| v.len()).collect();
+            let max = sizes.iter().copied().max().unwrap_or(0);
+            let min_used = sizes.iter().copied().min().unwrap_or(0);
+            prop_assert!(max - min_used <= 1 || sizes.len() < topo.racks().len());
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        }
+    }
+
+    /// StatProf requirements dominate the aggregate-aware requirements at
+    /// equal degrees, on the same placement, for arbitrary traces.
+    #[test]
+    fn statprof_dominates_aggregate_on_same_placement(
+        seed in 0u64..50,
+        u in 0.0f64..20.0,
+        d in 0.0f64..0.2,
+    ) {
+        let topo = topo();
+        let fleet = DcScenario::dc1().generate_fleet(24).unwrap();
+        let assignment = random_placement(24, &topo, seed).unwrap();
+        let degrees = ProvisioningDegrees { underprovision_pct: u, overbooking: d };
+        let statprof =
+            statprof_required_budget(&topo, &assignment, fleet.test_traces(), degrees).unwrap();
+        let aggregate =
+            aggregate_required_budget(&topo, &assignment, fleet.test_traces(), degrees).unwrap();
+        for level in Level::ALL {
+            prop_assert!(
+                aggregate.at_level(level) <= statprof.at_level(level) + 1e-6,
+                "{level}: {} > {}",
+                aggregate.at_level(level),
+                statprof.at_level(level)
+            );
+        }
+    }
+
+    /// Battery shaving conserves energy: shaved + uncovered equals the
+    /// total over-budget energy.
+    #[test]
+    fn battery_energy_conservation(
+        samples in prop::collection::vec(0.0f64..1000.0, 16..64),
+        budget in 100.0f64..900.0,
+        capacity_min in 1.0f64..200.0,
+    ) {
+        let trace = PowerTrace::new(samples, 10).unwrap();
+        let overdraw: f64 = trace
+            .samples()
+            .iter()
+            .map(|&p| (p - budget).max(0.0))
+            .sum::<f64>()
+            * 10.0;
+        let battery = BatteryModel::sized_for(200.0, capacity_min);
+        let outcome = shave_with_battery(&trace, budget, battery);
+        prop_assert!(
+            (outcome.shaved_watt_minutes + outcome.uncovered_watt_minutes - overdraw).abs()
+                < 1e-6,
+            "shaved {} + uncovered {} != overdraw {}",
+            outcome.shaved_watt_minutes,
+            outcome.uncovered_watt_minutes,
+            overdraw
+        );
+        prop_assert!(outcome.min_state_of_charge >= -1e-9);
+    }
+
+    /// A bigger battery never covers less.
+    #[test]
+    fn bigger_battery_is_monotone(
+        samples in prop::collection::vec(0.0f64..1000.0, 16..48),
+        budget in 100.0f64..900.0,
+    ) {
+        let trace = PowerTrace::new(samples, 10).unwrap();
+        let small = shave_with_battery(&trace, budget, BatteryModel::sized_for(150.0, 20.0));
+        let large = shave_with_battery(&trace, budget, BatteryModel::sized_for(150.0, 200.0));
+        prop_assert!(large.uncovered_watt_minutes <= small.uncovered_watt_minutes + 1e-6);
+    }
+}

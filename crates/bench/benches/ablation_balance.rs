@@ -1,0 +1,52 @@
+//! Ablation: why §3.5 insists on *equal-size* clusters.
+//!
+//! The round-robin deal assumes every cluster splits evenly across the
+//! `q` children. With plain (unbalanced) k-means, dominant clusters
+//! swamp some children while starving others; this bench measures the
+//! cost on both the children-size spread and the leaf peak reduction.
+
+use so_bench::{banner, pct_abs, setup_with};
+use so_core::{PlacementConfig, SmoothPlacer};
+use so_powertree::{Level, NodeAggregates};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Ablation — balanced vs plain k-means in the placement deal",
+        "DC3, 320 instances; rack-size spread and sum-of-peaks reduction vs the\nhistorical placement.",
+    );
+    let setup = setup_with(DcScenario::dc3(), 320, 12);
+    let test = setup.fleet.test_traces();
+    let before = NodeAggregates::compute(&setup.topology, &setup.grouped, test)
+        .expect("aggregation succeeds");
+    let base_rack = before.sum_of_peaks(&setup.topology, Level::Rack);
+    let base_rpp = before.sum_of_peaks(&setup.topology, Level::Rpp);
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>16}",
+        "clusters", "rack red.", "RPP red.", "rack sizes"
+    );
+    for balanced in [true, false] {
+        let placer = SmoothPlacer::new(PlacementConfig {
+            balanced_clusters: balanced,
+            ..PlacementConfig::default()
+        });
+        let assignment = placer
+            .place(&setup.fleet, &setup.topology)
+            .expect("placement succeeds");
+        let agg = NodeAggregates::compute(&setup.topology, &assignment, test)
+            .expect("aggregation succeeds");
+        let sizes: Vec<usize> = assignment.by_rack().values().map(|v| v.len()).collect();
+        let min = sizes.iter().copied().min().unwrap_or(0);
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        println!(
+            "{:<12} {:>12} {:>12} {:>11}..{:<4}",
+            if balanced { "balanced" } else { "plain" },
+            pct_abs(1.0 - agg.sum_of_peaks(&setup.topology, Level::Rack) / base_rack),
+            pct_abs(1.0 - agg.sum_of_peaks(&setup.topology, Level::Rpp) / base_rpp),
+            min,
+            max,
+        );
+    }
+    println!("\n(finding: with the round-robin deal *inside* each cluster, plain k-means\n only mildly skews rack sizes and matches the balanced variant's quality —\n the equal-size requirement is mainly a hard guarantee that every child\n receives exactly |c_j|/q instances, which matters when racks run full.)");
+}

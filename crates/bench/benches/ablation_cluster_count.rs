@@ -1,0 +1,42 @@
+//! Ablation: how the per-child cluster count `h = q × clusters_per_child`
+//! affects leaf-level peak reduction.
+//!
+//! §3.5 only requires `h` to be a multiple of the fan-out `q`; this sweep
+//! shows the sensitivity of the placement quality to that choice.
+
+use so_bench::{banner, pct_abs, setup_with};
+use so_core::{PlacementConfig, SmoothPlacer};
+use so_powertree::{Level, NodeAggregates};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Ablation — clusters per child (h = q × c)",
+        "RPP/rack sum-of-peaks reduction vs the historical placement, DC3 test week.",
+    );
+    let setup = setup_with(DcScenario::dc3(), 320, 12);
+    let test = setup.fleet.test_traces();
+    let before = NodeAggregates::compute(&setup.topology, &setup.grouped, test)
+        .expect("aggregation succeeds");
+    let before_rpp = before.sum_of_peaks(&setup.topology, Level::Rpp);
+    let before_rack = before.sum_of_peaks(&setup.topology, Level::Rack);
+
+    println!("{:>14} {:>12} {:>12}", "clusters/child", "RPP red.", "rack red.");
+    for c in [1usize, 2, 4, 8] {
+        let placer = SmoothPlacer::new(PlacementConfig {
+            clusters_per_child: c,
+            ..PlacementConfig::default()
+        });
+        let assignment = placer
+            .place(&setup.fleet, &setup.topology)
+            .expect("placement succeeds");
+        let after = NodeAggregates::compute(&setup.topology, &assignment, test)
+            .expect("aggregation succeeds");
+        println!(
+            "{:>14} {:>12} {:>12}",
+            c,
+            pct_abs(1.0 - after.sum_of_peaks(&setup.topology, Level::Rpp) / before_rpp),
+            pct_abs(1.0 - after.sum_of_peaks(&setup.topology, Level::Rack) / before_rack),
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Ablation: I-to-S embedding vs pairwise I-to-I embedding vs raw traces.
+//!
+//! §3.5 argues for I-to-S scores because pairwise I-to-I scoring is
+//! quadratic and spans a sparse high-dimensional space that clusters
+//! poorly. This bench measures both the quality (leaf peak reduction when
+//! clustering in each space) and the embedding construction time.
+
+use std::time::Instant;
+
+use so_bench::{banner, pct_abs, setup_with};
+use so_cluster::{balanced_kmeans, KMeansConfig};
+use so_core::{pairwise_score_vectors, score_vectors, ServiceTraces};
+use so_powertree::{Assignment, Level, NodeAggregates, NodeId};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Ablation — embedding space for clustering",
+        "Cluster instances in each space, deal clusters round-robin onto racks,\nand compare rack-level sum-of-peaks reduction (DC3, 128 instances).",
+    );
+    let setup = setup_with(DcScenario::dc3(), 128, 8);
+    let fleet = &setup.fleet;
+    let members: Vec<usize> = (0..fleet.len()).collect();
+    let racks: Vec<NodeId> = setup.topology.racks().to_vec();
+    let q = racks.len();
+    let test = fleet.test_traces();
+
+    let before = NodeAggregates::compute(&setup.topology, &setup.grouped, test)
+        .expect("aggregation succeeds");
+    let before_racks = before.sum_of_peaks(&setup.topology, Level::Rack);
+
+    let report = |name: &str, points: Vec<Vec<f64>>, build_time: std::time::Duration| {
+        let clustering =
+            balanced_kmeans(&points, KMeansConfig::new(q)).expect("clustering succeeds");
+        // Deal each balanced cluster round-robin across the racks.
+        let mut rack_of = vec![racks[0]; fleet.len()];
+        for c in 0..clustering.k() {
+            for (rank, &i) in clustering.members(c).iter().enumerate() {
+                rack_of[members[i]] = racks[(c + rank * 7) % q];
+            }
+        }
+        let assignment =
+            Assignment::new(rack_of, &setup.topology).expect("assignment is valid");
+        let after = NodeAggregates::compute(&setup.topology, &assignment, test)
+            .expect("aggregation succeeds");
+        let reduction = 1.0 - after.sum_of_peaks(&setup.topology, Level::Rack) / before_racks;
+        println!(
+            "{:<18} dim {:>4}  build {:>8.1?}  rack peak red. {:>7}",
+            name,
+            points[0].len(),
+            build_time,
+            pct_abs(reduction)
+        );
+    };
+
+    // I-to-S (the paper's choice).
+    let t0 = Instant::now();
+    let straces = ServiceTraces::extract(fleet, &members, 8).expect("services exist");
+    let itos = score_vectors(fleet, &members, &straces).expect("embedding succeeds");
+    report("I-to-S scores", itos, t0.elapsed());
+
+    // Pairwise I-to-I.
+    let t0 = Instant::now();
+    let itoi = pairwise_score_vectors(fleet, &members).expect("embedding succeeds");
+    report("pairwise I-to-I", itoi, t0.elapsed());
+
+    // Raw (downsampled) traces.
+    let t0 = Instant::now();
+    let raw: Vec<Vec<f64>> = members
+        .iter()
+        .map(|&i| {
+            fleet.averaged_traces()[i]
+                .downsample(24)
+                .expect("grid divides evenly")
+                .into_samples()
+        })
+        .collect();
+    report("raw traces", raw, t0.elapsed());
+}

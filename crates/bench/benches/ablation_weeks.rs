@@ -1,0 +1,55 @@
+//! Ablation: number of training weeks averaged into I-traces.
+//!
+//! §3.3 averages 2–3 weeks "to prevent SmoothOperator from overfitting
+//! its decisions to any specific week". This sweep varies the training
+//! window and evaluates the placement on the held-out test week.
+
+use so_bench::{banner, pct_abs};
+use so_baselines::oblivious_placement;
+use so_core::SmoothPlacer;
+use so_powertree::{Level, NodeAggregates, PowerTopology};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Ablation — training weeks averaged into I-traces",
+        "Placement derived from w-week averages, evaluated on the held-out week (DC3).",
+    );
+    let topo = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(2)
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(4)
+        .rack_capacity(10)
+        .build()
+        .expect("shape is valid");
+
+    println!("{:>6} {:>12} {:>12}", "weeks", "RPP red.", "rack red.");
+    for weeks in [1u32, 2, 3] {
+        let mut scenario = DcScenario::dc3();
+        scenario.train_weeks = weeks;
+        let fleet = scenario.generate_fleet(300).expect("fleet generates");
+        let grouped = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E)
+            .expect("fleet fits");
+        let smooth = SmoothPlacer::default()
+            .place(&fleet, &topo)
+            .expect("placement succeeds");
+
+        let test = fleet.test_traces();
+        let before = NodeAggregates::compute(&topo, &grouped, test).expect("aggregation");
+        let after = NodeAggregates::compute(&topo, &smooth, test).expect("aggregation");
+        println!(
+            "{:>6} {:>12} {:>12}",
+            weeks,
+            pct_abs(
+                1.0 - after.sum_of_peaks(&topo, Level::Rpp)
+                    / before.sum_of_peaks(&topo, Level::Rpp)
+            ),
+            pct_abs(
+                1.0 - after.sum_of_peaks(&topo, Level::Rack)
+                    / before.sum_of_peaks(&topo, Level::Rack)
+            ),
+        );
+    }
+}

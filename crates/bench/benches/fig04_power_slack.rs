@@ -1,0 +1,52 @@
+//! Figure 4: power slack — the unused budget between the power trace and
+//! the budget line — before and after optimization.
+//!
+//! The paper's Figure 4 shows the pre-optimization trace leaving large
+//! slack under the budget and the post-optimization trace (more servers,
+//! kept busy by reshaping) filling it. This bench reproduces the picture
+//! at the datacenter level for DC2.
+
+use so_bench::{banner, pct_abs, sparkline, thin};
+use so_reshape::{fitting_topology, run_scenario, PipelineConfig};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Figure 4 — power slack, pre- vs post-optimization (DC2)",
+        "Total power draw against the fixed budget over the test week.",
+    );
+    let topo = fitting_topology(240, 12).expect("topology fits");
+    let outcome = run_scenario(&DcScenario::dc2(), 240, &topo, &PipelineConfig::default())
+        .expect("pipeline succeeds");
+
+    let budget = outcome.budget_watts;
+    println!("power budget: {budget:.0} W\n");
+    println!(
+        "pre-opt. draw   {}  (peak {:.0} W)",
+        sparkline(&thin(&outcome.pre.total_power, 72)),
+        outcome.pre.peak_power()
+    );
+    println!(
+        "post-opt. draw  {}  (peak {:.0} W)",
+        sparkline(&thin(&outcome.throttle_boost.total_power, 72)),
+        outcome.throttle_boost.peak_power()
+    );
+
+    let pre_slack = outcome.pre.slack(budget).expect("slack computes");
+    let post_slack = outcome.throttle_boost.slack(budget).expect("slack computes");
+    println!(
+        "\nmean power slack: {:.0} W -> {:.0} W",
+        pre_slack.mean_slack(),
+        post_slack.mean_slack()
+    );
+    println!(
+        "energy slack: {:.0} -> {:.0} W·min ({} reduction — the Figure 14 metric)",
+        pre_slack.energy_slack_watt_minutes(),
+        post_slack.energy_slack_watt_minutes(),
+        pct_abs(
+            outcome
+                .avg_slack_reduction(&outcome.throttle_boost)
+                .expect("slack computes")
+        ),
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 5: breakdown of average power consumption of the top-10 power
+//! consumer workloads in the three datacenters under study.
+//!
+//! Paper shape: each DC has a distinct mix; DC2 is db/batch-heavy, DC3 is
+//! frontend/LC-heavy. Here the shares come from the synthetic fleets'
+//! mean power per service (the generator was parameterized from the
+//! paper's pies, so matching shapes validate the substrate).
+
+use so_bench::{banner, pct_abs, standard_setup};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Figure 5 — power-consumption breakdown (top 10 services per DC)",
+        "30-day-average power share per service, largest first.",
+    );
+    for scenario in DcScenario::all() {
+        let setup = standard_setup(scenario);
+        println!("\n{}:", setup.scenario.name);
+        let shares = setup.fleet.power_share_by_service();
+        for (rank, (service, share)) in shares.iter().take(10).enumerate() {
+            println!("  {:>2}. {:<14} {:>6}", rank + 1, service.to_string(), pct_abs(*share));
+        }
+        let covered: f64 = shares.iter().take(10).map(|(_, s)| s).sum();
+        println!("  (top 10 cover {} of fleet power)", pct_abs(covered));
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 6: diurnal power bands (p5–p95 … p45–p55) of web, db, and
+//! hadoop server populations over one week.
+//!
+//! Paper shape: web follows user activity (day peaks), db peaks at night
+//! (backup compression), hadoop is constantly high.
+
+use so_bench::{banner, sparkline, thin};
+use so_powertrace::{PercentileBands, PowerTrace, SeasonalDecomposition, TimeGrid};
+use so_workloads::rng::stream_rng;
+use so_workloads::{heterogeneous_instance, ServiceClass};
+
+fn main() {
+    banner(
+        "Figure 6 — diurnal percentile bands per service",
+        "One-week traces of 200 instances each; bands are cross-instance percentiles.",
+    );
+    let grid = TimeGrid::one_week(15);
+    let quantiles = [0.05, 0.25, 0.50, 0.75, 0.95];
+
+    for (label, service) in [
+        ("web", ServiceClass::Frontend),
+        ("db", ServiceClass::Db),
+        ("hadoop", ServiceClass::Hadoop),
+    ] {
+        let mut rng = stream_rng(0x00F1_0606, service as u64);
+        let population: Vec<PowerTrace> = (0..200)
+            .map(|i| {
+                heterogeneous_instance(service, 45.0, 0.15, 1000 + i, &mut rng)
+                    .weekly_trace(grid, 0)
+            })
+            .collect();
+        let bands = PercentileBands::compute(&population, &quantiles)
+            .expect("population is on one grid");
+
+        println!("\n{label}:");
+        for &q in &quantiles {
+            let series = bands.series(q).expect("series was requested");
+            let day = thin(&series[..grid.samples_per_day() * 2], 48);
+            println!(
+                "  p{:<4} {}  (min {:>5.1} W, max {:>5.1} W)",
+                (q * 100.0) as u32,
+                sparkline(&day),
+                series.iter().copied().fold(f64::MAX, f64::min),
+                series.iter().copied().fold(f64::MIN, f64::max),
+            );
+        }
+        // Shape check: where does the median band peak, and how seasonal
+        // (template-variance fraction) is a typical instance?
+        let median = bands.series(0.5).expect("median was requested");
+        let peak_idx = median
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let minute = grid.minute_of_day(peak_idx);
+        let seasonality = SeasonalDecomposition::of(&population[0])
+            .expect("whole days")
+            .seasonality();
+        println!(
+            "  median band peaks at {:02}:{:02}; instance seasonality {:.0}%",
+            minute / 60,
+            minute % 60,
+            100.0 * seasonality
+        );
+    }
+}

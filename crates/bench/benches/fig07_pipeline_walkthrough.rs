@@ -1,0 +1,84 @@
+//! Figure 7: the four steps of the workload-aware placement framework,
+//! walked through on real (synthetic) data with the sizes at every stage.
+//!
+//! The paper's Figure 7 is an architecture diagram: (1) collect traces and
+//! extract representative S-traces, (2) calculate asynchrony-score
+//! vectors, (3) k-means-cluster the vectors, (4) place instances
+//! round-robin. This bench executes each stage and prints what flows
+//! between them.
+
+use so_bench::{banner, setup_with};
+use so_cluster::{balanced_kmeans, KMeansConfig};
+use so_core::{score_vectors, ServiceTraces};
+use so_powertree::{Level, NodeAggregates};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Figure 7 — placement framework walkthrough",
+        "Each stage of the §3 pipeline on a 256-instance DC2 fleet.",
+    );
+    let setup = setup_with(DcScenario::dc2(), 256, 16);
+    let fleet = &setup.fleet;
+    let members: Vec<usize> = (0..fleet.len()).collect();
+
+    // Step 1 — traces & S-trace extraction.
+    let grid = fleet.grid();
+    println!(
+        "step 1  traces: {} instance power traces ({} samples each, {}-minute step,\n        averaged over {} training weeks); S-traces for the top consumers:",
+        fleet.len(),
+        grid.len(),
+        grid.step_minutes(),
+        2,
+    );
+    let straces = ServiceTraces::extract(fleet, &members, 8).expect("services exist");
+    for (service, trace) in straces.services().iter().zip(straces.traces()) {
+        println!(
+            "          {:<12} peak {:>6.1} W  mean {:>6.1} W  peak/mean {:.2}",
+            service.to_string(),
+            trace.peak(),
+            trace.mean(),
+            trace.peak() / trace.mean()
+        );
+    }
+
+    // Step 2 — asynchrony-score vectors.
+    let vectors = score_vectors(fleet, &members, &straces).expect("embedding succeeds");
+    let dim = vectors[0].len();
+    let flat: Vec<f64> = vectors.iter().flatten().copied().collect();
+    let min = flat.iter().copied().fold(f64::MAX, f64::min);
+    let max = flat.iter().copied().fold(f64::MIN, f64::max);
+    println!(
+        "\nstep 2  embedding: {} score vectors of dimension |B| = {dim}; scores span\n        [{min:.3}, {max:.3}] (1.0 = synchronous with that service, 2.0 = fully\n        complementary)",
+        vectors.len(),
+    );
+
+    // Step 3 — balanced k-means.
+    let q = 4; // children per node at the deepest deal
+    let h = 2 * q;
+    let clustering = balanced_kmeans(&vectors, KMeansConfig::new(h)).expect("clustering succeeds");
+    println!(
+        "\nstep 3  clustering: h = {h} balanced clusters (fan-out q = {q} × 2), sizes {:?},\n        inertia {:.3}",
+        clustering.clustering.sizes(),
+        clustering.clustering.inertia,
+    );
+
+    // Step 4 — the full hierarchical placement, and its effect.
+    let test = fleet.test_traces();
+    let before = NodeAggregates::compute(&setup.topology, &setup.grouped, test)
+        .expect("aggregation succeeds");
+    let after = NodeAggregates::compute(&setup.topology, &setup.smooth, test)
+        .expect("aggregation succeeds");
+    println!("\nstep 4  placement: deal clusters round-robin down the tree ->");
+    for level in [Level::Sb, Level::Rpp, Level::Rack] {
+        let b = before.sum_of_peaks(&setup.topology, level);
+        let a = after.sum_of_peaks(&setup.topology, level);
+        println!(
+            "          {:<5} sum-of-peaks {:>9.0} W -> {:>9.0} W ({:+.1}%)",
+            level.to_string(),
+            b,
+            a,
+            100.0 * (a - b) / b
+        );
+    }
+}

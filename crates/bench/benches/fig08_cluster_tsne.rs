@@ -1,0 +1,118 @@
+//! Figure 8: production service instances embedded into the
+//! |B|-dimensional asynchrony-score space, k-means clustered, and
+//! projected to 2-D via t-SNE.
+//!
+//! Paper shape: instances form well-separated clusters that largely track
+//! services/behaviour groups.
+
+use so_bench::{banner, setup_with};
+use so_cluster::{kmeans, silhouette_score, tsne, KMeansConfig, TsneConfig};
+use so_core::{score_vectors, ServiceTraces};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Figure 8 — k-means clusters in asynchrony-score space (t-SNE projection)",
+        "One suite of DC1: embed instances by I-to-S scores, cluster, project.",
+    );
+    let setup = setup_with(DcScenario::dc1(), 256, 16);
+    let fleet = &setup.fleet;
+    let members: Vec<usize> = (0..fleet.len()).collect();
+
+    let straces = ServiceTraces::extract(fleet, &members, 8).expect("fleet has services");
+    println!(
+        "embedding dimensionality |B| = {} (services: {})",
+        straces.len(),
+        straces
+            .services()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let vectors = score_vectors(fleet, &members, &straces).expect("embedding succeeds");
+    let clustering = kmeans(&vectors, KMeansConfig::new(8)).expect("k-means succeeds");
+    let silhouette =
+        silhouette_score(&vectors, &clustering.labels).expect("at least two clusters");
+    println!(
+        "k-means: k = 8, inertia = {:.4}, silhouette = {:.3}, sizes = {:?}",
+        clustering.inertia, silhouette, clustering.sizes()
+    );
+
+    // Cluster purity vs service labels (how well clusters track services).
+    let mut pure = 0usize;
+    for c in 0..clustering.k() {
+        let members_c = clustering.members(c);
+        if members_c.is_empty() {
+            continue;
+        }
+        let mut counts = std::collections::BTreeMap::new();
+        for &i in &members_c {
+            *counts.entry(fleet.service_of(i)).or_insert(0usize) += 1;
+        }
+        let dominant = counts.values().max().copied().unwrap_or(0);
+        pure += dominant;
+    }
+    println!(
+        "cluster/service agreement: {:.1}% of instances in their cluster's dominant service",
+        100.0 * pure as f64 / fleet.len() as f64
+    );
+
+    // Standardize each score dimension before projecting: asynchrony
+    // scores live on slightly different scales per service.
+    let dim = vectors[0].len();
+    let mut standardized = vectors.clone();
+    for d in 0..dim {
+        let mean = vectors.iter().map(|v| v[d]).sum::<f64>() / vectors.len() as f64;
+        let var = vectors.iter().map(|v| (v[d] - mean).powi(2)).sum::<f64>()
+            / vectors.len() as f64;
+        let sd = var.sqrt().max(1e-9);
+        for (row, v) in standardized.iter_mut().zip(&vectors) {
+            row[d] = (v[d] - mean) / sd;
+        }
+    }
+    let coords = tsne(
+        &standardized,
+        TsneConfig {
+            perplexity: 25.0,
+            iters: 350,
+            learning_rate: 25.0,
+            ..TsneConfig::default()
+        },
+    )
+    .expect("t-SNE succeeds");
+
+    // ASCII scatter of the projection, colored by cluster id.
+    const W: usize = 72;
+    const H: usize = 24;
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &[x, y] in &coords {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let mut canvas = vec![vec![' '; W]; H];
+    for (i, &[x, y]) in coords.iter().enumerate() {
+        let cx = ((x - min_x) / (max_x - min_x + 1e-12) * (W - 1) as f64) as usize;
+        let cy = ((y - min_y) / (max_y - min_y + 1e-12) * (H - 1) as f64) as usize;
+        canvas[cy][cx] = char::from_digit(clustering.labels[i] as u32, 10).unwrap_or('#');
+    }
+    println!("\nt-SNE projection (digit = cluster id):");
+    for row in canvas {
+        println!("  {}", row.into_iter().collect::<String>());
+    }
+
+    // First few coordinates for external plotting.
+    println!("\nfirst 10 points (x, y, cluster, service):");
+    for (i, point) in coords.iter().take(10).enumerate() {
+        println!(
+            "  {:>8.2} {:>8.2}  c{}  {}",
+            point[0],
+            point[1],
+            clustering.labels[i],
+            fleet.service_of(i)
+        );
+    }
+}

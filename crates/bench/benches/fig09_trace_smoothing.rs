@@ -1,0 +1,100 @@
+//! Figure 9: power traces of a middle-level node N's children before and
+//! after applying the workload-aware placement to N's subtree.
+//!
+//! Paper shape: the parent trace is unchanged (no instance crosses the
+//! subtree boundary), the children traces become smoother and more
+//! balanced, and the sum of children peaks drops.
+
+use so_baselines::oblivious_placement;
+use so_bench::{banner, pct_abs, sparkline, thin};
+use so_core::SmoothPlacer;
+use so_powertree::{Level, NodeAggregates, PowerTopology};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Figure 9 — children power traces before/after subtree placement",
+        "A middle-level (SB) node of a DC2-like suite with three RPP children.\nThe original placement is strictly service-grouped, as in the paper.",
+    );
+    // One suite / one MSB / one SB with three RPPs — the paper's
+    // three-child example.
+    let topo = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(1)
+        .sbs_per_msb(1)
+        .rpps_per_sb(3)
+        .racks_per_rpp(4)
+        .rack_capacity(10)
+        .name("dc2-suite")
+        .build()
+        .expect("shape is valid");
+    let fleet = DcScenario::dc2()
+        .generate_fleet(120)
+        .expect("fleet generates");
+    let grouped =
+        oblivious_placement(&fleet, &topo, 0.0, 0xB4_5E).expect("fleet fits the topology");
+
+    let sb = topo.nodes_at_level(Level::Sb)[0];
+    let children = topo.node(sb).expect("node exists").children().to_vec();
+
+    let optimized = SmoothPlacer::default()
+        .place_within(&fleet, &topo, sb, &grouped)
+        .expect("subtree placement succeeds");
+
+    let test = fleet.test_traces();
+    let before = NodeAggregates::compute(&topo, &grouped, test).expect("aggregation");
+    let after = NodeAggregates::compute(&topo, &optimized, test).expect("aggregation");
+
+    let parent_before = before.trace(sb).expect("trace exists");
+    let parent_after = after.trace(sb).expect("trace exists");
+    let parent_delta = parent_before
+        .samples()
+        .iter()
+        .zip(parent_after.samples())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "parent node {} trace: {}",
+        topo.node(sb).expect("node exists").name(),
+        sparkline(&thin(parent_before.samples(), 64))
+    );
+    println!("parent unchanged by subtree placement: max |Δ| = {parent_delta:.3} W\n");
+
+    println!("children (original placement):");
+    for (i, &child) in children.iter().enumerate() {
+        let t = before.trace(child).expect("trace exists");
+        println!(
+            "  orig. child{} {}  peak {:>8.1} W",
+            i + 1,
+            sparkline(&thin(t.samples(), 64)),
+            t.peak()
+        );
+    }
+    println!("children (SmoothOperator placement):");
+    for (i, &child) in children.iter().enumerate() {
+        let t = after.trace(child).expect("trace exists");
+        let old_peak = before.trace(child).expect("trace exists").peak();
+        println!(
+            "  opt. child{}  {}  peak {:>8.1} W ({} vs orig.)",
+            i + 1,
+            sparkline(&thin(t.samples(), 64)),
+            t.peak(),
+            pct_abs((old_peak - t.peak()) / old_peak)
+        );
+    }
+
+    let sum_before: f64 = children
+        .iter()
+        .map(|&c| before.trace(c).expect("trace exists").peak())
+        .sum();
+    let sum_after: f64 = children
+        .iter()
+        .map(|&c| after.trace(c).expect("trace exists").peak())
+        .sum();
+    println!(
+        "\nsum of children peaks: {:.1} W -> {:.1} W ({} reduction)",
+        sum_before,
+        sum_after,
+        pct_abs((sum_before - sum_after) / sum_before)
+    );
+}

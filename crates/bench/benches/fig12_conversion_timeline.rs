@@ -1,0 +1,74 @@
+//! Figure 12: server conversion's impact on per-LC-server load, Batch
+//! throughput, and LC throughput over the test week.
+//!
+//! Paper shape: pre-SmoothOperator the LC fleet saturates at peak; with
+//! conversion the per-server load stays under the guarded level, Batch
+//! throughput rises during Batch-heavy phases (conversion servers help
+//! Batch) and dips during LC-heavy phases (they convert to LC), and LC
+//! throughput grows throughout.
+
+use so_bench::{banner, pct, sparkline, thin};
+use so_reshape::{fitting_topology, run_scenario, PipelineConfig};
+use so_workloads::DcScenario;
+
+fn main() {
+    banner(
+        "Figure 12 — conversion timeline (DC2 test week)",
+        "Per-LC-server load, Batch throughput, and LC throughput,\npre-SmoothOperator vs with server conversion.",
+    );
+    let scenario = DcScenario::dc2();
+    let topo = fitting_topology(240, 12).expect("topology fits");
+    let outcome = run_scenario(&scenario, 240, &topo, &PipelineConfig::default())
+        .expect("pipeline succeeds");
+
+    println!(
+        "fleet: {} LC + {} Batch servers; headroom hosts {} conversion servers; L_conv = {:.2}\n",
+        outcome.base_lc, outcome.base_batch, outcome.extra_conversion, outcome.l_conv
+    );
+
+    let width = 96;
+    println!("per-LC-server load (guarded level L_conv = {:.2}):", outcome.l_conv);
+    println!("  pre  {}", sparkline(&thin(&outcome.pre.per_lc_server_load, width)));
+    println!("  conv {}", sparkline(&thin(&outcome.conversion.per_lc_server_load, width)));
+    let pre_peak_load = outcome
+        .pre
+        .per_lc_server_load
+        .iter()
+        .copied()
+        .fold(f64::MIN, f64::max);
+    let conv_peak_load = outcome
+        .conversion
+        .per_lc_server_load
+        .iter()
+        .copied()
+        .fold(f64::MIN, f64::max);
+    println!("  peak load: pre {pre_peak_load:.3} -> conv {conv_peak_load:.3}\n");
+
+    println!("Batch throughput (normalized server·steps):");
+    println!("  pre  {}", sparkline(&thin(&outcome.pre.batch_throughput, width)));
+    println!("  conv {}", sparkline(&thin(&outcome.conversion.batch_throughput, width)));
+
+    println!("\nLC throughput (served QPS):");
+    println!("  pre  {}", sparkline(&thin(&outcome.pre.lc_served_qps, width)));
+    println!("  conv {}", sparkline(&thin(&outcome.conversion.lc_served_qps, width)));
+
+    let conv_lc_steps = outcome
+        .conversion
+        .conversion_as_lc
+        .iter()
+        .filter(|&&c| c > 0)
+        .count();
+    let events = outcome.conversion.conversion_events();
+    println!(
+        "\nconversion servers ran as LC on {} of {} steps ({}); {} role flips\nover the week (instantaneous on storage-disaggregated hardware)",
+        conv_lc_steps,
+        outcome.conversion.len(),
+        so_bench::pct_abs(conv_lc_steps as f64 / outcome.conversion.len() as f64),
+        events.len(),
+    );
+    println!(
+        "totals: LC {} | Batch {} (conversion vs pre)",
+        pct(outcome.lc_improvement(&outcome.conversion)),
+        pct(outcome.batch_improvement(&outcome.conversion)),
+    );
+}

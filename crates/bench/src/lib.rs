@@ -1,0 +1,148 @@
+//! Shared harness code for the experiment benches.
+//!
+//! Every table and figure of the paper's evaluation has a bench target in
+//! `benches/` (see `DESIGN.md` for the full index); this crate holds the
+//! setup and formatting they share.
+
+#![warn(missing_docs)]
+
+use so_baselines::oblivious_placement;
+use so_core::SmoothPlacer;
+use so_powertree::{Assignment, PowerTopology};
+use so_workloads::{DcScenario, Fleet};
+
+/// A fully prepared experiment: scenario, fleet, topology, and both the
+/// historical (oblivious) and SmoothOperator placements.
+#[derive(Debug)]
+pub struct DcSetup {
+    /// The scenario preset.
+    pub scenario: DcScenario,
+    /// The generated fleet.
+    pub fleet: Fleet,
+    /// The power topology hosting it.
+    pub topology: PowerTopology,
+    /// Historical service-grouped placement.
+    pub grouped: Assignment,
+    /// SmoothOperator workload-aware placement.
+    pub smooth: Assignment,
+}
+
+/// Standard per-DC experiment size: instances per datacenter.
+pub const STANDARD_FLEET: usize = 320;
+
+/// Standard rack size used by the benches.
+pub const STANDARD_RACK_CAPACITY: usize = 12;
+
+/// Builds the standard experiment for one scenario: a 320-instance fleet
+/// on a 1×2×2×2×4 topology (32 racks × 12 slots).
+///
+/// # Panics
+///
+/// Panics on generation/placement failure (bench-harness context: any
+/// failure should abort the run loudly).
+pub fn standard_setup(scenario: DcScenario) -> DcSetup {
+    setup_with(scenario, STANDARD_FLEET, STANDARD_RACK_CAPACITY)
+}
+
+/// Builds an experiment of a custom size.
+///
+/// # Panics
+///
+/// Panics on generation/placement failure.
+pub fn setup_with(scenario: DcScenario, instances: usize, rack_capacity: usize) -> DcSetup {
+    let fleet = scenario
+        .generate_fleet(instances)
+        .expect("scenario presets generate cleanly");
+    let racks_needed = instances.div_ceil(rack_capacity);
+    let rpps = racks_needed.div_ceil(2 * 2 * 4).max(1);
+    let topology = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(2)
+        .sbs_per_msb(2)
+        .rpps_per_sb(rpps)
+        .racks_per_rpp(4)
+        .rack_capacity(rack_capacity)
+        .name(scenario.name.to_lowercase())
+        .build()
+        .expect("bench topology shape is valid");
+    let grouped = oblivious_placement(&fleet, &topology, scenario.baseline_mixing, 0xB4_5E)
+        .expect("fleet fits the bench topology");
+    let smooth = SmoothPlacer::default()
+        .place(&fleet, &topology)
+        .expect("placement succeeds on bench fleets");
+    DcSetup { scenario, fleet, topology, grouped, smooth }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str, caption: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("{caption}");
+    println!("{}", "-".repeat(72));
+}
+
+/// Formats a fraction as a signed percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", 100.0 * x)
+}
+
+/// Formats a fraction as an unsigned percentage with one decimal.
+pub fn pct_abs(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Downsamples a series to at most `n` points for terminal-friendly
+/// printing (mean per bucket).
+pub fn thin(series: &[f64], n: usize) -> Vec<f64> {
+    if series.len() <= n || n == 0 {
+        return series.to_vec();
+    }
+    let bucket = series.len().div_ceil(n);
+    series
+        .chunks(bucket)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Renders a series as a compact ASCII sparkline.
+pub fn sparkline(series: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = series.iter().copied().fold(f64::MAX, f64::min);
+    let hi = series.iter().copied().fold(f64::MIN, f64::max);
+    if hi <= lo || !hi.is_finite() || !lo.is_finite() {
+        return LEVELS[0].to_string().repeat(series.len());
+    }
+    series
+        .iter()
+        .map(|&v| {
+            let idx = ((v - lo) / (hi - lo) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thin_preserves_short_series() {
+        assert_eq!(thin(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+        let thinned = thin(&(0..100).map(|i| i as f64).collect::<Vec<_>>(), 10);
+        assert!(thinned.len() <= 10);
+    }
+
+    #[test]
+    fn sparkline_handles_flat_series() {
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▁▁▁");
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.125), "+12.5%");
+        assert_eq!(pct(-0.125), "-12.5%");
+        assert_eq!(pct_abs(0.125), "12.5%");
+    }
+}

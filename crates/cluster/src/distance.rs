@@ -1,0 +1,30 @@
+//! Distance helpers shared by the clustering algorithms.
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Debug-asserts equal lengths; callers validate dimensions up front.
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length vectors.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(euclidean_sq(&a, &b), 25.0);
+        assert_eq!(euclidean(&a, &b), 5.0);
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for clustering and embedding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by clustering, PCA, or t-SNE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// No points were supplied.
+    EmptyInput,
+    /// Zero clusters (or components) were requested.
+    ZeroClusters,
+    /// Fewer points than clusters.
+    TooFewPoints {
+        /// Number of points supplied.
+        points: usize,
+        /// Number of clusters requested.
+        clusters: usize,
+    },
+    /// Points do not all share one dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the first point.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        found: usize,
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// t-SNE perplexity must be positive and below the point count.
+    InvalidPerplexity(f64),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyInput => write!(f, "no points were supplied"),
+            ClusterError::ZeroClusters => write!(f, "at least one cluster is required"),
+            ClusterError::TooFewPoints { points, clusters } => {
+                write!(f, "{points} points cannot fill {clusters} clusters")
+            }
+            ClusterError::DimensionMismatch { expected, found, index } => write!(
+                f,
+                "point {index} has {found} dimensions, expected {expected}"
+            ),
+            ClusterError::NonFiniteCoordinate { index } => {
+                write!(f, "point {index} has a non-finite coordinate")
+            }
+            ClusterError::InvalidPerplexity(p) => {
+                write!(f, "perplexity {p} must be positive and below the point count")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// Validates a point set: non-empty, rectangular, finite.
+pub(crate) fn validate_points(points: &[Vec<f64>]) -> Result<usize, ClusterError> {
+    let first = points.first().ok_or(ClusterError::EmptyInput)?;
+    let dim = first.len();
+    for (index, p) in points.iter().enumerate() {
+        if p.len() != dim {
+            return Err(ClusterError::DimensionMismatch {
+                expected: dim,
+                found: p.len(),
+                index,
+            });
+        }
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(ClusterError::NonFiniteCoordinate { index });
+        }
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_malformed_input() {
+        assert_eq!(validate_points(&[]), Err(ClusterError::EmptyInput));
+        assert_eq!(validate_points(&[vec![1.0, 2.0]]), Ok(2));
+        assert!(matches!(
+            validate_points(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(ClusterError::DimensionMismatch { index: 1, .. })
+        ));
+        assert!(matches!(
+            validate_points(&[vec![f64::NAN]]),
+            Err(ClusterError::NonFiniteCoordinate { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ClusterError::TooFewPoints { points: 3, clusters: 8 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('8'));
+    }
+}

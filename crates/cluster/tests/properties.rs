@@ -1,0 +1,81 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+use so_cluster::{balanced_kmeans, kmeans, tsne, KMeansConfig, Pca, TsneConfig};
+
+fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, dim..=dim),
+        n..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// k-means labels are a partition: every point labeled, labels < k,
+    /// no cluster empty.
+    #[test]
+    fn kmeans_labels_partition((pts, k) in (8usize..40, 2usize..6)
+        .prop_flat_map(|(n, k)| (points(n, 3), Just(k.min(n))))) {
+        let result = kmeans(&pts, KMeansConfig::new(k)).unwrap();
+        prop_assert_eq!(result.labels.len(), pts.len());
+        prop_assert!(result.labels.iter().all(|&l| l < k));
+        prop_assert!(result.sizes().iter().all(|&s| s > 0));
+        prop_assert!(result.inertia >= 0.0);
+    }
+
+    /// Balanced k-means sizes differ by at most one and sum to n.
+    #[test]
+    fn balanced_sizes_invariant((pts, k) in (8usize..40, 2usize..6)
+        .prop_flat_map(|(n, k)| (points(n, 2), Just(k.min(n))))) {
+        let result = balanced_kmeans(&pts, KMeansConfig::new(k)).unwrap();
+        let sizes = result.clustering.sizes();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "sizes {sizes:?}");
+        prop_assert_eq!(sizes.iter().sum::<usize>(), pts.len());
+    }
+
+    /// Balanced k-means never has lower-or-equal inertia than plain
+    /// k-means is NOT guaranteed — but it must stay finite and
+    /// non-negative, and its members() must partition the points.
+    #[test]
+    fn balanced_members_partition(pts in points(20, 2)) {
+        let result = balanced_kmeans(&pts, KMeansConfig::new(4)).unwrap();
+        let mut all: Vec<usize> =
+            (0..result.k()).flat_map(|c| result.members(c)).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..pts.len()).collect::<Vec<_>>());
+        prop_assert!(result.clustering.inertia.is_finite());
+        prop_assert!(result.clustering.inertia >= 0.0);
+    }
+
+    /// PCA transform output has the requested dimensionality and finite
+    /// coordinates.
+    #[test]
+    fn pca_output_shape(pts in points(12, 4)) {
+        let pca = Pca::fit(&pts, 2).unwrap();
+        let projected = pca.transform(&pts).unwrap();
+        prop_assert_eq!(projected.len(), pts.len());
+        for row in &projected {
+            prop_assert_eq!(row.len(), 2);
+            prop_assert!(row.iter().all(|v| v.is_finite()));
+        }
+        // Explained variances are non-negative and sorted descending.
+        let ev = pca.explained_variance();
+        prop_assert!(ev.windows(2).all(|w| w[0] + 1e-9 >= w[1]));
+        prop_assert!(ev.iter().all(|&v| v >= 0.0));
+    }
+
+    /// t-SNE output is finite for arbitrary small inputs.
+    #[test]
+    fn tsne_output_is_finite(pts in points(12, 3)) {
+        let config = TsneConfig { perplexity: 4.0, iters: 60, ..TsneConfig::default() };
+        let y = tsne(&pts, config).unwrap();
+        prop_assert_eq!(y.len(), pts.len());
+        for p in &y {
+            prop_assert!(p[0].is_finite() && p[1].is_finite());
+        }
+    }
+}

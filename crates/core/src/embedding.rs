@@ -1,0 +1,122 @@
+//! Embedding of service instances into asynchrony-score space (§3.5).
+//!
+//! Each instance becomes a `|B|`-dimensional point whose coordinates are
+//! its I-to-S asynchrony scores against the top-`|B|` services' S-traces.
+//! The paper prefers I-to-S over pairwise I-to-I scores because the latter
+//! is quadratic in the fleet size and spans a sparse high-dimensional space
+//! that clusters poorly.
+
+use so_workloads::Fleet;
+
+use crate::error::CoreError;
+use crate::score::instance_to_service_score;
+use crate::straces::ServiceTraces;
+
+/// Computes the asynchrony-score vector of every member instance against
+/// the given S-traces. Row `r` corresponds to `members[r]`.
+///
+/// # Errors
+///
+/// Propagates trace errors (grid mismatches).
+pub fn score_vectors(
+    fleet: &Fleet,
+    members: &[usize],
+    straces: &ServiceTraces,
+) -> Result<Vec<Vec<f64>>, CoreError> {
+    let traces = fleet.averaged_traces();
+    members
+        .iter()
+        .map(|&i| {
+            straces
+                .traces()
+                .iter()
+                .map(|s| instance_to_service_score(&traces[i], s))
+                .collect()
+        })
+        .collect()
+}
+
+/// Computes pairwise I-to-I score vectors (each instance against every
+/// member instance). Quadratic; retained for the embedding ablation that
+/// justifies the paper's I-to-S choice.
+///
+/// # Errors
+///
+/// Propagates trace errors (grid mismatches).
+pub fn pairwise_score_vectors(
+    fleet: &Fleet,
+    members: &[usize],
+) -> Result<Vec<Vec<f64>>, CoreError> {
+    let traces = fleet.averaged_traces();
+    members
+        .iter()
+        .map(|&i| {
+            members
+                .iter()
+                .map(|&j| crate::score::pairwise_score(&traces[i], &traces[j]))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_powertrace::TimeGrid;
+    use so_workloads::{InstanceSpec, ServiceClass};
+
+    fn fleet() -> Fleet {
+        let grid = TimeGrid::one_week(120);
+        let specs = vec![
+            InstanceSpec::nominal(ServiceClass::Frontend, 1),
+            InstanceSpec::nominal(ServiceClass::Frontend, 2),
+            InstanceSpec::nominal(ServiceClass::Db, 3),
+            InstanceSpec::nominal(ServiceClass::Hadoop, 4),
+        ];
+        Fleet::generate(specs, grid, 1).unwrap()
+    }
+
+    #[test]
+    fn vectors_have_strace_dimensionality() {
+        let f = fleet();
+        let members: Vec<usize> = (0..f.len()).collect();
+        let st = ServiceTraces::extract(&f, &members, 3).unwrap();
+        let vs = score_vectors(&f, &members, &st).unwrap();
+        assert_eq!(vs.len(), 4);
+        assert!(vs.iter().all(|v| v.len() == 3));
+        // Scores live in (1, 2] for pairs.
+        for v in &vs {
+            for &s in v {
+                assert!((1.0..=2.0).contains(&s), "score {s} out of pair range");
+            }
+        }
+    }
+
+    #[test]
+    fn same_service_instances_embed_close() {
+        let f = fleet();
+        let members: Vec<usize> = (0..f.len()).collect();
+        let st = ServiceTraces::extract(&f, &members, 3).unwrap();
+        let vs = score_vectors(&f, &members, &st).unwrap();
+        let d = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+        };
+        // The two frontend instances are nearer each other than either is
+        // to the db instance.
+        assert!(d(&vs[0], &vs[1]) < d(&vs[0], &vs[2]));
+        assert!(d(&vs[0], &vs[1]) < d(&vs[1], &vs[3]));
+    }
+
+    #[test]
+    fn pairwise_vectors_are_symmetric_with_unit_diagonal() {
+        let f = fleet();
+        let members: Vec<usize> = (0..f.len()).collect();
+        let vs = pairwise_score_vectors(&f, &members).unwrap();
+        for (r, row) in vs.iter().enumerate() {
+            assert!((row[r] - 1.0).abs() < 1e-9, "diagonal should be 1.0");
+            for (c, &v) in row.iter().enumerate() {
+                assert!((v - vs[c][r]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the SmoothOperator core.
+
+use proptest::prelude::*;
+use so_core::{asynchrony_score, pairwise_score, SmoothPlacer};
+use so_powertrace::PowerTrace;
+use so_powertree::PowerTopology;
+use so_workloads::{Fleet, InstanceSpec, ServiceClass};
+
+fn traces(n: usize, len: usize) -> impl Strategy<Value = Vec<PowerTrace>> {
+    prop::collection::vec(
+        prop::collection::vec(0.0f64..500.0, len..=len),
+        n..=n,
+    )
+    .prop_map(|vs| {
+        vs.into_iter()
+            .map(|v| PowerTrace::new(v, 10).expect("valid samples"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The asynchrony score lies in [1, |M|] for any trace set whose
+    /// aggregate is non-zero.
+    #[test]
+    fn asynchrony_score_bounds(ts in traces(5, 24)) {
+        let score = asynchrony_score(ts.iter()).unwrap();
+        prop_assert!(score >= 1.0 - 1e-9, "score {score} below 1");
+        prop_assert!(score <= ts.len() as f64 + 1e-9, "score {score} above |M|");
+    }
+
+    /// Pairwise scores are symmetric.
+    #[test]
+    fn pairwise_score_symmetry(ts in traces(2, 24)) {
+        let ab = pairwise_score(&ts[0], &ts[1]).unwrap();
+        let ba = pairwise_score(&ts[1], &ts[0]).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    /// Scaling both traces by the same factor leaves the pairwise score
+    /// unchanged (the score is scale-invariant).
+    #[test]
+    fn pairwise_score_scale_invariance(ts in traces(2, 16), factor in 0.1f64..10.0) {
+        let base = pairwise_score(&ts[0], &ts[1]).unwrap();
+        let scaled = pairwise_score(&ts[0].scale(factor), &ts[1].scale(factor)).unwrap();
+        prop_assert!((base - scaled).abs() < 1e-9);
+    }
+
+    /// A trace is perfectly synchronous with itself.
+    #[test]
+    fn self_score_is_one(ts in traces(1, 24)) {
+        // Skip the degenerate all-zero trace (score defined as |M| there).
+        prop_assume!(ts[0].peak() > 0.0);
+        let score = pairwise_score(&ts[0], &ts[0]).unwrap();
+        prop_assert!((score - 1.0).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Placement is a bijection instance → slot: every instance assigned
+    /// exactly once, never above rack capacity, for arbitrary fleet sizes.
+    #[test]
+    // The test topology holds 64 servers (16 racks × 4), so n stays ≤ 64.
+    fn placement_preserves_instance_multiset(n in 4usize..=64, seed in 0u64..50) {
+        let grid = so_powertrace::TimeGrid::one_week(240);
+        let services = [
+            ServiceClass::Frontend,
+            ServiceClass::Db,
+            ServiceClass::Hadoop,
+            ServiceClass::Cache,
+        ];
+        let specs: Vec<InstanceSpec> = (0..n)
+            .map(|i| InstanceSpec::nominal(services[i % services.len()], seed + i as u64))
+            .collect();
+        let fleet = Fleet::generate(specs, grid, 1).unwrap();
+        let topo = PowerTopology::builder()
+            .suites(1)
+            .msbs_per_suite(2)
+            .sbs_per_msb(2)
+            .rpps_per_sb(2)
+            .racks_per_rpp(2)
+            .rack_capacity(4)
+            .build()
+            .unwrap();
+        let assignment = SmoothPlacer::default().place(&fleet, &topo).unwrap();
+        prop_assert_eq!(assignment.len(), n);
+        for (_, members) in assignment.by_rack() {
+            prop_assert!(members.len() <= topo.rack_capacity());
+        }
+        let mut all: Vec<usize> = assignment
+            .by_rack()
+            .values()
+            .flatten()
+            .copied()
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

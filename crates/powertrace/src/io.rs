@@ -1,0 +1,164 @@
+//! Reading and writing power traces as CSV.
+//!
+//! The reproduction runs on synthetic traces, but downstream users will
+//! have real power-sensor logs; this module gets them into a
+//! [`PowerTrace`] without extra dependencies. The accepted format is one
+//! sample per line — either a bare wattage or `timestamp,wattage` (the
+//! last comma-separated field is parsed; a non-numeric first line is
+//! treated as a header and skipped).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::error::TraceError;
+use crate::trace::PowerTrace;
+
+/// Error produced when reading a trace from CSV.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// A line could not be parsed as a power sample.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content (truncated).
+        content: String,
+    },
+    /// The parsed samples did not form a valid trace.
+    Trace(TraceError),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o failure: {e}"),
+            TraceIoError::Parse { line, content } => {
+                write!(f, "line {line} is not a power sample: {content:?}")
+            }
+            TraceIoError::Trace(e) => write!(f, "parsed samples are not a valid trace: {e}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Trace(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<TraceError> for TraceIoError {
+    fn from(e: TraceError) -> Self {
+        TraceIoError::Trace(e)
+    }
+}
+
+/// Reads a power trace from CSV.
+///
+/// Accepts bare-wattage lines or `timestamp,wattage` rows (the last field
+/// is the wattage). Blank lines are skipped; a non-numeric first line is
+/// treated as a header. Note a `&mut` reference also implements [`Read`],
+/// so an open file can be passed by `&mut file`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] on the first malformed line,
+/// [`TraceIoError::Io`] on reader failure, and [`TraceIoError::Trace`]
+/// when the samples violate trace invariants (empty, negative, …).
+pub fn read_csv<R: Read>(reader: R, step_minutes: u32) -> Result<PowerTrace, TraceIoError> {
+    let reader = BufReader::new(reader);
+    let mut samples = Vec::new();
+    for (index, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let field = trimmed.rsplit(',').next().expect("rsplit yields at least one field").trim();
+        match field.parse::<f64>() {
+            Ok(v) => samples.push(v),
+            Err(_) if index == 0 => continue, // header row
+            Err(_) => {
+                let mut content = trimmed.to_string();
+                content.truncate(60);
+                return Err(TraceIoError::Parse { line: index + 1, content });
+            }
+        }
+    }
+    Ok(PowerTrace::new(samples, step_minutes)?)
+}
+
+/// Writes a trace as `minute,wattage` CSV rows with a header.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_csv<W: Write>(trace: &PowerTrace, mut writer: W) -> Result<(), TraceIoError> {
+    writeln!(writer, "minute,watts")?;
+    let grid = trace.grid();
+    for (i, &v) in trace.samples().iter().enumerate() {
+        writeln!(writer, "{},{}", grid.minute_of(i), v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_values_roundtrip() {
+        let input = "1.5\n2.5\n\n3.5\n";
+        let trace = read_csv(input.as_bytes(), 10).unwrap();
+        assert_eq!(trace.samples(), &[1.5, 2.5, 3.5]);
+        assert_eq!(trace.step_minutes(), 10);
+    }
+
+    #[test]
+    fn header_and_timestamps_are_handled() {
+        let input = "minute,watts\n0,100.0\n10,150.0\n20,125.0\n";
+        let trace = read_csv(input.as_bytes(), 10).unwrap();
+        assert_eq!(trace.samples(), &[100.0, 150.0, 125.0]);
+    }
+
+    #[test]
+    fn write_then_read_is_identity() {
+        let trace = PowerTrace::new(vec![10.0, 20.0, 30.0], 15).unwrap();
+        let mut buffer = Vec::new();
+        write_csv(&trace, &mut buffer).unwrap();
+        let back = read_csv(buffer.as_slice(), 15).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_its_number() {
+        let input = "1.0\n2.0\noops\n";
+        let err = read_csv(input.as_bytes(), 10).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, content } => {
+                assert_eq!(line, 3);
+                assert_eq!(content, "oops");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_samples_surface_trace_errors() {
+        let err = read_csv("-5.0\n".as_bytes(), 10).unwrap_err();
+        assert!(matches!(err, TraceIoError::Trace(TraceError::InvalidSample { .. })));
+        let err = read_csv("".as_bytes(), 10).unwrap_err();
+        assert!(matches!(err, TraceIoError::Trace(TraceError::Empty)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Power time-series substrate for the SmoothOperator reproduction.
+//!
+//! This crate provides the data types every other crate in the workspace
+//! builds on:
+//!
+//! * [`PowerTrace`] — a validated fixed-step power time series with vector
+//!   arithmetic, peaks, and quantiles (the paper's I-traces and S-traces,
+//!   §3.3);
+//! * [`TimeGrid`] — the sampling layout (step, length, minute-of-day /
+//!   day-of-week helpers);
+//! * [`SlackProfile`] — power slack and energy slack against a fixed budget
+//!   (Eq. 1 and Eq. 2, §2.2);
+//! * [`Ecdf`] — empirical power CDFs for the StatProf baseline;
+//! * [`PercentileBands`] — cross-instance percentile bands (Figure 6);
+//! * [`sum_of_peaks`] / [`peak_of_sum`] — the fragmentation indicators of
+//!   §2.2.
+//!
+//! # Examples
+//!
+//! Two perfectly out-of-phase traces fully cancel at their shared parent:
+//!
+//! ```
+//! # fn main() -> Result<(), so_powertrace::TraceError> {
+//! use so_powertrace::{peak_of_sum, sum_of_peaks, PowerTrace};
+//!
+//! let a = PowerTrace::new(vec![4.0, 0.0, 4.0, 0.0], 15)?;
+//! let b = PowerTrace::new(vec![0.0, 4.0, 0.0, 4.0], 15)?;
+//! assert_eq!(sum_of_peaks([&a, &b])?, 8.0);
+//! assert_eq!(peak_of_sum([&a, &b])?, 4.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bands;
+mod decompose;
+mod error;
+mod grid;
+pub mod io;
+mod metrics;
+mod slack;
+mod stats;
+mod trace;
+
+pub use bands::PercentileBands;
+pub use decompose::SeasonalDecomposition;
+pub use error::TraceError;
+pub use grid::{TimeGrid, MINUTES_PER_DAY, MINUTES_PER_WEEK};
+pub use metrics::{peak_of_sum, peak_reduction, sum_of_peaks};
+pub use slack::{off_peak_mask, slack_reduction, SlackProfile};
+pub use stats::{Ecdf, TraceSummary};
+pub use trace::PowerTrace;

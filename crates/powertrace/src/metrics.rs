@@ -1,0 +1,93 @@
+//! Fragmentation indicators over sets of traces (§2.2): the *sum of peaks*
+//! across power nodes and the *peak of the sum* a shared parent observes.
+//!
+//! The gap between the two is exactly what SmoothOperator exploits: a set of
+//! traces whose peaks do not coincide has `peak_of_sum` well below
+//! `sum_of_peaks`.
+
+use crate::error::TraceError;
+use crate::trace::PowerTrace;
+
+/// Sum of the individual peak powers of a set of traces.
+///
+/// For traces of sibling power nodes this is the paper's *sum of peaks*
+/// fragmentation indicator: with a fixed set of service instances, a poor
+/// placement inflates it, an asynchrony-aware placement deflates it.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Empty`] when the set is empty.
+pub fn sum_of_peaks<'a>(traces: impl IntoIterator<Item = &'a PowerTrace>) -> Result<f64, TraceError> {
+    let mut sum = 0.0;
+    let mut any = false;
+    for t in traces {
+        sum += t.peak();
+        any = true;
+    }
+    if any {
+        Ok(sum)
+    } else {
+        Err(TraceError::Empty)
+    }
+}
+
+/// Peak of the aggregate (element-wise sum) of a set of traces — what the
+/// supplying power node actually has to accommodate.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Empty`] when the set is empty and a mismatch error
+/// when the traces are not on a common grid.
+pub fn peak_of_sum<'a>(traces: impl IntoIterator<Item = &'a PowerTrace>) -> Result<f64, TraceError> {
+    PowerTrace::sum_of(traces).map(|t| t.peak())
+}
+
+/// Relative peak reduction `(before − after) / before`.
+///
+/// Returns 0 when `before` is zero.
+pub fn peak_reduction(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        0.0
+    } else {
+        (before - after) / before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(samples: &[f64]) -> PowerTrace {
+        PowerTrace::new(samples.to_vec(), 10).unwrap()
+    }
+
+    #[test]
+    fn synchronous_traces_leave_no_gap() {
+        let a = trace(&[1.0, 2.0]);
+        let b = trace(&[2.0, 4.0]);
+        let sp = sum_of_peaks([&a, &b]).unwrap();
+        let ps = peak_of_sum([&a, &b]).unwrap();
+        assert_eq!(sp, 6.0);
+        assert_eq!(ps, 6.0);
+    }
+
+    #[test]
+    fn asynchronous_traces_open_a_gap() {
+        let a = trace(&[4.0, 0.0]);
+        let b = trace(&[0.0, 4.0]);
+        assert_eq!(sum_of_peaks([&a, &b]).unwrap(), 8.0);
+        assert_eq!(peak_of_sum([&a, &b]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn empty_sets_are_errors() {
+        assert!(sum_of_peaks(std::iter::empty()).is_err());
+        assert!(peak_of_sum(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn peak_reduction_handles_zero() {
+        assert_eq!(peak_reduction(0.0, 1.0), 0.0);
+        assert!((peak_reduction(10.0, 9.0) - 0.1).abs() < 1e-12);
+    }
+}

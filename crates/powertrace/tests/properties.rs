@@ -1,0 +1,128 @@
+//! Property-based tests for the power-trace substrate.
+
+use proptest::prelude::*;
+use so_powertrace::{
+    off_peak_mask, peak_of_sum, sum_of_peaks, Ecdf, PercentileBands, PowerTrace, SlackProfile,
+};
+
+fn sample_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1000.0, len..=len)
+}
+
+fn trace_pair(len: usize) -> impl Strategy<Value = (PowerTrace, PowerTrace)> {
+    (sample_vec(len), sample_vec(len)).prop_map(|(a, b)| {
+        (
+            PowerTrace::new(a, 10).expect("valid samples"),
+            PowerTrace::new(b, 10).expect("valid samples"),
+        )
+    })
+}
+
+proptest! {
+    /// peak(a + b) <= peak(a) + peak(b): aggregation can only cancel peaks.
+    #[test]
+    fn peak_is_subadditive((a, b) in trace_pair(64)) {
+        let sum = a.try_add(&b).unwrap();
+        prop_assert!(sum.peak() <= a.peak() + b.peak() + 1e-9);
+    }
+
+    /// peak(a + b) >= max(peak(a), peak(b)) for non-negative traces.
+    #[test]
+    fn aggregate_peak_dominates_components((a, b) in trace_pair(64)) {
+        let sum = a.try_add(&b).unwrap();
+        prop_assert!(sum.peak() + 1e-9 >= a.peak().max(b.peak()));
+    }
+
+    /// sum_of_peaks >= peak_of_sum for any population.
+    #[test]
+    fn sum_of_peaks_dominates_peak_of_sum(vs in prop::collection::vec(sample_vec(32), 1..8)) {
+        let traces: Vec<PowerTrace> =
+            vs.into_iter().map(|v| PowerTrace::new(v, 10).unwrap()).collect();
+        let sp = sum_of_peaks(traces.iter()).unwrap();
+        let ps = peak_of_sum(traces.iter()).unwrap();
+        prop_assert!(sp + 1e-9 >= ps);
+    }
+
+    /// Quantiles are monotone in q and bounded by [min, peak].
+    #[test]
+    fn quantiles_are_monotone(v in sample_vec(50), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let t = PowerTrace::new(v, 10).unwrap();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = t.quantile(lo).unwrap();
+        let b = t.quantile(hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        prop_assert!(t.min() - 1e-9 <= a && b <= t.peak() + 1e-9);
+    }
+
+    /// Ecdf quantiles agree with trace quantiles.
+    #[test]
+    fn ecdf_matches_trace(v in sample_vec(40), q in 0.0f64..=1.0) {
+        let t = PowerTrace::new(v, 10).unwrap();
+        let e = Ecdf::from_trace(&t);
+        prop_assert!((e.quantile(q).unwrap() - t.quantile(q).unwrap()).abs() < 1e-9);
+    }
+
+    /// Slack is non-negative and bounded by the budget; energy slack
+    /// equals budget*duration minus bounded energy.
+    #[test]
+    fn slack_bounds(v in sample_vec(40), budget in 0.0f64..2000.0) {
+        let t = PowerTrace::new(v, 10).unwrap();
+        let s = SlackProfile::new(&t, budget).unwrap();
+        for &x in s.slack_samples() {
+            prop_assert!(x >= 0.0 && x <= budget + 1e-9);
+        }
+        let full_mask = vec![true; t.len()];
+        let masked = s.masked_energy_slack(&full_mask).unwrap();
+        prop_assert!((masked - s.energy_slack_watt_minutes()).abs() < 1e-6);
+    }
+
+    /// The off-peak mask marks at least the minimum sample and never the
+    /// strict maximum when threshold < 1.
+    #[test]
+    fn off_peak_mask_is_sane(v in sample_vec(40)) {
+        let t = PowerTrace::new(v, 10).unwrap();
+        let mask = off_peak_mask(&t, 0.5).unwrap();
+        prop_assert_eq!(mask.len(), t.len());
+        // The min sample is always <= the median threshold.
+        let min_idx = t
+            .samples()
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert!(mask[min_idx]);
+    }
+
+    /// mean_of is bounded by component extremes, per timestep.
+    #[test]
+    fn mean_of_is_bounded((a, b) in trace_pair(32)) {
+        let m = PowerTrace::mean_of([&a, &b]).unwrap();
+        for i in 0..m.len() {
+            let lo = a.samples()[i].min(b.samples()[i]);
+            let hi = a.samples()[i].max(b.samples()[i]);
+            prop_assert!(lo - 1e-9 <= m.samples()[i] && m.samples()[i] <= hi + 1e-9);
+        }
+    }
+
+    /// Percentile bands are ordered: series(q1) <= series(q2) when q1 <= q2.
+    #[test]
+    fn bands_are_ordered(vs in prop::collection::vec(sample_vec(16), 2..6)) {
+        let traces: Vec<PowerTrace> =
+            vs.into_iter().map(|v| PowerTrace::new(v, 10).unwrap()).collect();
+        let bands = PercentileBands::compute(&traces, &[0.25, 0.75]).unwrap();
+        let lo = bands.series(0.25).unwrap();
+        let hi = bands.series(0.75).unwrap();
+        for i in 0..lo.len() {
+            prop_assert!(lo[i] <= hi[i] + 1e-9);
+        }
+    }
+
+    /// Downsampling preserves total energy.
+    #[test]
+    fn downsample_preserves_energy(v in sample_vec(64)) {
+        let t = PowerTrace::new(v, 10).unwrap();
+        let d = t.downsample(4).unwrap();
+        prop_assert!((t.energy_watt_minutes() - d.energy_watt_minutes()).abs() < 1e-6);
+    }
+}

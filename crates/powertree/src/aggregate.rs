@@ -1,0 +1,209 @@
+//! Bottom-up aggregation of instance power traces through the tree.
+
+use so_powertrace::{PowerTrace, SlackProfile, TimeGrid};
+
+use crate::assignment::Assignment;
+use crate::error::TreeError;
+use crate::level::Level;
+use crate::node::NodeId;
+use crate::topology::PowerTopology;
+
+/// Per-node aggregate power traces for one (assignment, trace-set) pair.
+///
+/// The aggregate at a node is the element-wise sum of the traces of every
+/// instance hosted in its subtree — exactly what the node's power sensor
+/// would read.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use so_powertrace::PowerTrace;
+/// use so_powertree::{Assignment, NodeAggregates, PowerTopology};
+///
+/// let topo = PowerTopology::builder().build()?;
+/// let traces = vec![PowerTrace::new(vec![100.0, 200.0], 10)?; 10];
+/// let assignment = Assignment::round_robin(&topo, 10)?;
+/// let agg = NodeAggregates::compute(&topo, &assignment, &traces)?;
+/// assert_eq!(agg.trace(topo.root())?.peak(), 2000.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeAggregates {
+    traces: Vec<PowerTrace>,
+}
+
+impl NodeAggregates {
+    /// Aggregates instance traces through the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::InstanceCountMismatch`] when the assignment and
+    /// trace set disagree, and propagates grid mismatches as
+    /// [`TreeError::Trace`].
+    pub fn compute(
+        topology: &PowerTopology,
+        assignment: &Assignment,
+        instance_traces: &[PowerTrace],
+    ) -> Result<Self, TreeError> {
+        if assignment.len() != instance_traces.len() {
+            return Err(TreeError::InstanceCountMismatch {
+                assignment: assignment.len(),
+                traces: instance_traces.len(),
+            });
+        }
+        let grid = match instance_traces.first() {
+            Some(t) => t.grid(),
+            None => TimeGrid::new(1, 1),
+        };
+        let mut traces: Vec<PowerTrace> = (0..topology.len())
+            .map(|_| PowerTrace::zeros(grid))
+            .collect();
+
+        for (i, trace) in instance_traces.iter().enumerate() {
+            let rack = assignment.rack_of(i)?;
+            traces[rack.index()].try_add_assign(trace)?;
+        }
+
+        // Parents have smaller ids than children (BFS construction), so one
+        // reverse pass pushes every aggregate up to its parent.
+        for idx in (1..topology.len()).rev() {
+            let node = topology.node(NodeId::new(idx))?;
+            if let Some(parent) = node.parent() {
+                let child = traces[idx].clone();
+                traces[parent.index()].try_add_assign(&child)?;
+            }
+        }
+
+        Ok(Self { traces })
+    }
+
+    /// The aggregate trace at `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] for ids outside the topology.
+    pub fn trace(&self, node: NodeId) -> Result<&PowerTrace, TreeError> {
+        self.traces.get(node.index()).ok_or(TreeError::UnknownNode(node))
+    }
+
+    /// Peak aggregate power at `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] for ids outside the topology.
+    pub fn peak(&self, node: NodeId) -> Result<f64, TreeError> {
+        Ok(self.trace(node)?.peak())
+    }
+
+    /// The paper's *sum of peaks* fragmentation indicator at one level: the
+    /// sum over all nodes of that level of each node's aggregate peak.
+    pub fn sum_of_peaks(&self, topology: &PowerTopology, level: Level) -> f64 {
+        topology
+            .nodes_at_level(level)
+            .iter()
+            .map(|&id| self.traces[id.index()].peak())
+            .sum()
+    }
+
+    /// Headroom at `node`: budget minus aggregate peak (negative when the
+    /// node is over-committed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] for ids outside the topology.
+    pub fn headroom(&self, topology: &PowerTopology, node: NodeId) -> Result<f64, TreeError> {
+        let budget = topology.node(node)?.budget_watts();
+        Ok(budget - self.trace(node)?.peak())
+    }
+
+    /// Slack profile of `node` against its configured budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] for ids outside the topology.
+    pub fn slack(&self, topology: &PowerTopology, node: NodeId) -> Result<SlackProfile, TreeError> {
+        let budget = topology.node(node)?.budget_watts();
+        Ok(SlackProfile::new(self.trace(node)?, budget)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> PowerTopology {
+        PowerTopology::builder()
+            .suites(1)
+            .msbs_per_suite(1)
+            .sbs_per_msb(1)
+            .rpps_per_sb(2)
+            .racks_per_rpp(2)
+            .rack_capacity(2)
+            .rack_budget_watts(500.0)
+            .build()
+            .unwrap()
+    }
+
+    fn traces() -> Vec<PowerTrace> {
+        vec![
+            PowerTrace::new(vec![100.0, 0.0], 10).unwrap(),
+            PowerTrace::new(vec![0.0, 100.0], 10).unwrap(),
+            PowerTrace::new(vec![50.0, 50.0], 10).unwrap(),
+            PowerTrace::new(vec![25.0, 75.0], 10).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn root_aggregate_is_total() {
+        let t = topo();
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let agg = NodeAggregates::compute(&t, &a, &traces()).unwrap();
+        let root = agg.trace(t.root()).unwrap();
+        assert_eq!(root.samples(), &[175.0, 225.0]);
+    }
+
+    #[test]
+    fn rack_aggregates_match_assignment() {
+        let t = topo();
+        // Instances 0..3 round-robin across 4 racks: one per rack.
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let agg = NodeAggregates::compute(&t, &a, &traces()).unwrap();
+        let racks = t.racks();
+        assert_eq!(agg.trace(racks[0]).unwrap().samples(), &[100.0, 0.0]);
+        assert_eq!(agg.trace(racks[3]).unwrap().samples(), &[25.0, 75.0]);
+    }
+
+    #[test]
+    fn sum_of_peaks_counts_each_node() {
+        let t = topo();
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let agg = NodeAggregates::compute(&t, &a, &traces()).unwrap();
+        // Rack peaks: 100, 100, 50, 75.
+        assert_eq!(agg.sum_of_peaks(&t, Level::Rack), 325.0);
+        // Two RPPs: racks (0,1) -> [100, 100] peak 100; racks (2,3) -> [75, 125] peak 125.
+        assert_eq!(agg.sum_of_peaks(&t, Level::Rpp), 225.0);
+        // Root peak: 225.
+        assert_eq!(agg.sum_of_peaks(&t, Level::Datacenter), 225.0);
+    }
+
+    #[test]
+    fn headroom_and_slack() {
+        let t = topo();
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let agg = NodeAggregates::compute(&t, &a, &traces()).unwrap();
+        let rack = t.racks()[0];
+        assert_eq!(agg.headroom(&t, rack).unwrap(), 400.0);
+        let slack = agg.slack(&t, rack).unwrap();
+        assert_eq!(slack.min_slack(), 400.0);
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let t = topo();
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let err = NodeAggregates::compute(&t, &a, &traces()[..3]).unwrap_err();
+        assert!(matches!(err, TreeError::InstanceCountMismatch { .. }));
+    }
+}

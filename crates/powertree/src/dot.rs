@@ -1,0 +1,112 @@
+//! Graphviz export of power topologies.
+//!
+//! `dot -Tsvg topology.dot -o topology.svg` renders the tree with budgets
+//! (and, when supplied, per-node peak annotations) — handy for inspecting
+//! fragmentation visually.
+
+use std::fmt::Write as _;
+
+use crate::error::TreeError;
+use crate::topology::PowerTopology;
+
+/// Renders the topology in Graphviz `dot` format.
+///
+/// When `peaks` is provided (indexed by node id, e.g. from
+/// [`NodeAggregates`]), each node is annotated with its peak and
+/// utilization, and nodes above 90% budget are highlighted.
+///
+/// [`NodeAggregates`]: crate::NodeAggregates
+///
+/// # Errors
+///
+/// Returns [`TreeError::InstanceCountMismatch`] when `peaks` does not
+/// cover every node.
+pub fn to_dot(topology: &PowerTopology, peaks: Option<&[f64]>) -> Result<String, TreeError> {
+    if let Some(peaks) = peaks {
+        if peaks.len() != topology.len() {
+            return Err(TreeError::InstanceCountMismatch {
+                assignment: topology.len(),
+                traces: peaks.len(),
+            });
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph power_topology {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for node in topology.nodes() {
+        let mut label = format!("{}\\n{:.0} W budget", node.name(), node.budget_watts());
+        let mut attrs = String::new();
+        if let Some(peaks) = peaks {
+            let peak = peaks[node.id().index()];
+            let utilization = if node.budget_watts() > 0.0 {
+                peak / node.budget_watts()
+            } else {
+                0.0
+            };
+            let _ = write!(label, "\\npeak {:.0} W ({:.0}%)", peak, 100.0 * utilization);
+            if utilization > 0.9 {
+                attrs.push_str(", style=filled, fillcolor=\"#ffcccc\"");
+            }
+        }
+        let _ = writeln!(out, "  n{} [label=\"{label}\"{attrs}];", node.id().index());
+    }
+    for node in topology.nodes() {
+        for &child in node.children() {
+            let _ = writeln!(out, "  n{} -> n{};", node.id().index(), child.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> PowerTopology {
+        PowerTopology::builder()
+            .suites(1)
+            .msbs_per_suite(1)
+            .sbs_per_msb(1)
+            .rpps_per_sb(1)
+            .racks_per_rpp(2)
+            .rack_capacity(2)
+            .rack_budget_watts(100.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let t = topo();
+        let dot = to_dot(&t, None).unwrap();
+        assert!(dot.starts_with("digraph power_topology {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for node in t.nodes() {
+            assert!(dot.contains(&format!("n{} [", node.id().index())));
+            assert!(dot.contains(node.name()));
+        }
+        // Edges: every non-root node appears as a target.
+        let edges = dot.matches(" -> ").count();
+        assert_eq!(edges, t.len() - 1);
+    }
+
+    #[test]
+    fn peak_annotations_and_highlighting() {
+        let t = topo();
+        // Rack budgets are 100 W; one rack at 95 W is highlighted.
+        let mut peaks = vec![0.0; t.len()];
+        let hot = t.racks()[0];
+        peaks[hot.index()] = 95.0;
+        let dot = to_dot(&t, Some(&peaks)).unwrap();
+        assert!(dot.contains("peak 95 W (95%)"));
+        assert!(dot.contains("fillcolor"));
+    }
+
+    #[test]
+    fn mismatched_peaks_rejected() {
+        let t = topo();
+        assert!(to_dot(&t, Some(&[1.0])).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for power-tree construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::level::Level;
+use crate::node::NodeId;
+
+/// Error produced by topology construction or trace aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// A fan-out of zero was requested at some level.
+    ZeroFanOut(Level),
+    /// A rack capacity of zero servers was requested.
+    ZeroRackCapacity,
+    /// A node id does not exist in this topology.
+    UnknownNode(NodeId),
+    /// An instance index in an assignment is out of range.
+    UnknownInstance(usize),
+    /// An assignment maps an instance to a node that is not a rack.
+    NotARack(NodeId),
+    /// An assignment and a trace set disagree on the number of instances.
+    InstanceCountMismatch {
+        /// Instances in the assignment.
+        assignment: usize,
+        /// Instance traces supplied.
+        traces: usize,
+    },
+    /// A rack was assigned more instances than its capacity.
+    RackOverCapacity {
+        /// The overfull rack.
+        rack: NodeId,
+        /// Number of instances assigned.
+        assigned: usize,
+        /// The rack's capacity.
+        capacity: usize,
+    },
+    /// Trace aggregation failed (grid mismatch between instance traces).
+    Trace(so_powertrace::TraceError),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::ZeroFanOut(level) => {
+                write!(f, "fan-out at level {level} must be at least one")
+            }
+            TreeError::ZeroRackCapacity => write!(f, "rack capacity must be at least one server"),
+            TreeError::UnknownNode(id) => write!(f, "node {id} does not exist in this topology"),
+            TreeError::UnknownInstance(i) => write!(f, "instance index {i} is out of range"),
+            TreeError::NotARack(id) => write!(f, "node {id} is not a rack"),
+            TreeError::InstanceCountMismatch { assignment, traces } => write!(
+                f,
+                "assignment covers {assignment} instances but {traces} traces were supplied"
+            ),
+            TreeError::RackOverCapacity { rack, assigned, capacity } => write!(
+                f,
+                "rack {rack} assigned {assigned} instances, above its capacity of {capacity}"
+            ),
+            TreeError::Trace(e) => write!(f, "trace aggregation failed: {e}"),
+        }
+    }
+}
+
+impl Error for TreeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TreeError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<so_powertrace::TraceError> for TreeError {
+    fn from(e: so_powertrace::TraceError) -> Self {
+        TreeError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TreeError::RackOverCapacity {
+            rack: NodeId::new(7),
+            assigned: 40,
+            capacity: 30,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("40"));
+        assert!(msg.contains("30"));
+    }
+
+    #[test]
+    fn trace_error_has_source() {
+        use std::error::Error as _;
+        let err = TreeError::from(so_powertrace::TraceError::Empty);
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,40 @@
+//! Multi-level datacenter power-delivery-tree substrate.
+//!
+//! Models the four-level Facebook/OCP power infrastructure of the paper's
+//! Figure 2: datacenter → suites → main switching boards (MSBs) → switching
+//! boards (SBs) → reactive power panels (RPPs) → racks. Servers attach only
+//! to racks, so fragmentation at the RPP level directly limits how many
+//! servers a datacenter can host.
+//!
+//! The crate provides:
+//!
+//! * [`PowerTopology`] / [`TopologyShape`] — tree construction with budgets
+//!   that sum bottom-up;
+//! * [`Assignment`] — the instance → rack mapping placements produce;
+//! * [`NodeAggregates`] — per-node aggregate power traces (what each power
+//!   node's sensor reads) plus the sum-of-peaks fragmentation indicator;
+//! * [`BreakerModel`] — sustained-overdraw circuit-breaker trips;
+//! * [`HeadroomReport`] — budget/peak/headroom accounting per node.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aggregate;
+mod assignment;
+mod breaker;
+mod dot;
+mod error;
+mod headroom;
+mod level;
+mod node;
+mod topology;
+
+pub use aggregate::NodeAggregates;
+pub use assignment::Assignment;
+pub use breaker::{BreakerModel, TripEvent};
+pub use dot::to_dot;
+pub use error::TreeError;
+pub use headroom::{HeadroomReport, NodeHeadroom};
+pub use level::Level;
+pub use node::{NodeId, PowerNode};
+pub use topology::{PowerTopology, TopologyBuilder, TopologyShape};

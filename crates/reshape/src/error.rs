@@ -1,0 +1,96 @@
+//! Error type for the reshaping layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by capacity planning, threshold learning, or the
+/// end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReshapeError {
+    /// A core (placement/scoring) operation failed.
+    Core(so_core::CoreError),
+    /// A power-tree operation failed.
+    Tree(so_powertree::TreeError),
+    /// A trace operation failed.
+    Trace(so_powertrace::TraceError),
+    /// A simulation failed.
+    Sim(so_sim::SimError),
+    /// Workload generation failed.
+    Workload(so_workloads::WorkloadError),
+    /// The fleet contains no latency-critical instances.
+    NoLcInstances,
+    /// A parameter violated its documented range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for ReshapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReshapeError::Core(e) => write!(f, "core operation failed: {e}"),
+            ReshapeError::Tree(e) => write!(f, "power-tree operation failed: {e}"),
+            ReshapeError::Trace(e) => write!(f, "trace operation failed: {e}"),
+            ReshapeError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ReshapeError::Workload(e) => write!(f, "workload generation failed: {e}"),
+            ReshapeError::NoLcInstances => {
+                write!(f, "fleet contains no latency-critical instances")
+            }
+            ReshapeError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for ReshapeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReshapeError::Core(e) => Some(e),
+            ReshapeError::Tree(e) => Some(e),
+            ReshapeError::Trace(e) => Some(e),
+            ReshapeError::Sim(e) => Some(e),
+            ReshapeError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<so_core::CoreError> for ReshapeError {
+    fn from(e: so_core::CoreError) -> Self {
+        ReshapeError::Core(e)
+    }
+}
+
+impl From<so_powertree::TreeError> for ReshapeError {
+    fn from(e: so_powertree::TreeError) -> Self {
+        ReshapeError::Tree(e)
+    }
+}
+
+impl From<so_powertrace::TraceError> for ReshapeError {
+    fn from(e: so_powertrace::TraceError) -> Self {
+        ReshapeError::Trace(e)
+    }
+}
+
+impl From<so_sim::SimError> for ReshapeError {
+    fn from(e: so_sim::SimError) -> Self {
+        ReshapeError::Sim(e)
+    }
+}
+
+impl From<so_workloads::WorkloadError> for ReshapeError {
+    fn from(e: so_workloads::WorkloadError) -> Self {
+        ReshapeError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        use std::error::Error as _;
+        let e = ReshapeError::from(so_sim::SimError::EmptyLoad);
+        assert!(e.source().is_some());
+        assert!(ReshapeError::NoLcInstances.source().is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Learning the conversion threshold `L_conv` from history (§4.2).
+//!
+//! "First, we learn the guarded per-LC-server load level from the
+//! historical data (training data), namely the load level of each server
+//! when LC achieves satisfactory QoS, and define this load level as the
+//! conversion threshold."
+
+use so_workloads::OfferedLoad;
+
+use crate::error::ReshapeError;
+
+/// Learns `L_conv` from a training offered-load series served by
+/// `base_lc` servers of `qps_per_server` capacity.
+///
+/// The learned threshold is the high quantile (`quantile`, e.g. 0.995) of
+/// the observed per-server load — the level the fleet demonstrably
+/// sustained with satisfactory QoS — clamped into `[0.3, 0.95]` so the
+/// policy never aims at pathological operating points.
+///
+/// # Errors
+///
+/// Returns [`ReshapeError::InvalidParameter`] for a zero fleet, a
+/// non-positive per-server capacity, or a quantile outside `[0, 1]`.
+pub fn learn_conversion_threshold(
+    train_load: &OfferedLoad,
+    base_lc: usize,
+    qps_per_server: f64,
+    quantile: f64,
+) -> Result<f64, ReshapeError> {
+    if base_lc == 0 {
+        return Err(ReshapeError::InvalidParameter("base_lc must be positive"));
+    }
+    if !(qps_per_server.is_finite() && qps_per_server > 0.0) {
+        return Err(ReshapeError::InvalidParameter("qps_per_server must be positive"));
+    }
+    if !(0.0..=1.0).contains(&quantile) || quantile.is_nan() {
+        return Err(ReshapeError::InvalidParameter("quantile must lie in [0, 1]"));
+    }
+
+    let capacity = base_lc as f64 * qps_per_server;
+    let mut loads: Vec<f64> = train_load
+        .series()
+        .iter()
+        .map(|q| (q / capacity).min(1.0))
+        .collect();
+    loads.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
+    let pos = quantile * (loads.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let value = if lo == hi {
+        loads[lo]
+    } else {
+        loads[lo] * (hi as f64 - pos) + loads[hi] * (pos - lo as f64)
+    };
+    Ok(value.clamp(0.3, 0.95))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use so_powertrace::TimeGrid;
+
+    fn load(peak: f64) -> OfferedLoad {
+        OfferedLoad::diurnal(TimeGrid::one_week(60), peak, 0.0, 1)
+    }
+
+    #[test]
+    fn threshold_tracks_observed_peak_load() {
+        // Fleet sized so peak per-server load is 0.8.
+        let l = load(800.0);
+        let l_conv = learn_conversion_threshold(&l, 10, 100.0, 0.999).unwrap();
+        assert!((0.75..=0.85).contains(&l_conv), "l_conv {l_conv}");
+    }
+
+    #[test]
+    fn threshold_is_clamped() {
+        // Hugely over-provisioned fleet -> tiny loads -> clamp at 0.3.
+        let l = load(10.0);
+        let l_conv = learn_conversion_threshold(&l, 100, 100.0, 0.999).unwrap();
+        assert_eq!(l_conv, 0.3);
+        // Saturated fleet -> clamp at 0.95.
+        let l = load(100_000.0);
+        let l_conv = learn_conversion_threshold(&l, 10, 100.0, 0.999).unwrap();
+        assert_eq!(l_conv, 0.95);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let l = load(100.0);
+        assert!(learn_conversion_threshold(&l, 0, 100.0, 0.99).is_err());
+        assert!(learn_conversion_threshold(&l, 10, 0.0, 0.99).is_err());
+        assert!(learn_conversion_threshold(&l, 10, 100.0, 1.5).is_err());
+    }
+}

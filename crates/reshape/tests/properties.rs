@@ -1,0 +1,102 @@
+//! Property-based tests for the reshaping layer.
+
+use proptest::prelude::*;
+use so_powertrace::TimeGrid;
+use so_reshape::{
+    learn_conversion_threshold, throttle_funded_capacity, ConversionPolicy, ThrottleBoostPolicy,
+};
+use so_sim::{ReshapePolicy, StepObservation};
+use so_workloads::OfferedLoad;
+
+fn observation(offered: f64, base_lc: usize, conv: usize, th: usize) -> StepObservation {
+    StepObservation {
+        t: 0,
+        offered_qps: offered,
+        base_lc,
+        conversion: conv,
+        throttle_funded: th,
+        qps_per_server: 100.0,
+        l_conv: 0.8,
+        prev_lc_load: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Policy decisions always respect the available pools.
+    #[test]
+    fn decisions_respect_pools(
+        offered in 0.0f64..50_000.0,
+        base_lc in 1usize..50,
+        conv in 0usize..20,
+        th in 0usize..20,
+    ) {
+        let o = observation(offered, base_lc, conv, th);
+        let d1 = ConversionPolicy::default().decide(&o);
+        prop_assert!(d1.conversion_as_lc <= conv);
+        prop_assert_eq!(d1.throttle_funded_as_lc, 0);
+
+        let d2 = ThrottleBoostPolicy::default().decide(&o);
+        prop_assert!(d2.conversion_as_lc <= conv);
+        prop_assert!(d2.throttle_funded_as_lc <= th);
+    }
+
+    /// Conversion count is monotone in offered load (once in LC-heavy
+    /// phase, more load never converts fewer servers).
+    #[test]
+    fn conversion_is_monotone_in_load(extra in 0.0f64..5_000.0) {
+        let base = 2_000.0;
+        let mut p1 = ConversionPolicy::default();
+        let mut p2 = ConversionPolicy::default();
+        let d1 = p1.decide(&observation(base, 10, 16, 0));
+        let d2 = p2.decide(&observation(base + extra, 10, 16, 0));
+        prop_assert!(d2.conversion_as_lc >= d1.conversion_as_lc);
+    }
+
+    /// e_th never goes online before e_conv is exhausted.
+    #[test]
+    fn throttle_funded_only_after_conversion_exhausted(
+        offered in 0.0f64..50_000.0,
+        conv in 0usize..20,
+        th in 1usize..20,
+    ) {
+        let o = observation(offered, 10, conv, th);
+        let d = ThrottleBoostPolicy::default().decide(&o);
+        if d.throttle_funded_as_lc > 0 {
+            prop_assert_eq!(d.conversion_as_lc, conv, "e_th online before e_conv exhausted");
+        }
+    }
+
+    /// The learned threshold is always inside its documented clamp and
+    /// monotone in the training load's peak.
+    #[test]
+    fn l_conv_is_clamped_and_monotone(peak1 in 10.0f64..4_000.0, bump in 1.0f64..2_000.0) {
+        let grid = TimeGrid::days(3, 60);
+        let low = OfferedLoad::diurnal(grid, peak1, 0.0, 1);
+        let high = OfferedLoad::diurnal(grid, peak1 + bump, 0.0, 1);
+        let l1 = learn_conversion_threshold(&low, 20, 100.0, 0.99).unwrap();
+        let l2 = learn_conversion_threshold(&high, 20, 100.0, 0.99).unwrap();
+        prop_assert!((0.3..=0.95).contains(&l1));
+        prop_assert!((0.3..=0.95).contains(&l2));
+        prop_assert!(l2 + 1e-9 >= l1);
+    }
+
+    /// Throttle funding is monotone in the batch fleet size and the
+    /// usable fraction.
+    #[test]
+    fn throttle_funding_monotone(
+        servers in 0usize..500,
+        fraction in 0.05f64..1.0,
+    ) {
+        let small =
+            throttle_funded_capacity(servers, 280.0, 0.7, fraction, 300.0).unwrap();
+        let more_servers =
+            throttle_funded_capacity(servers + 50, 280.0, 0.7, fraction, 300.0).unwrap();
+        let more_fraction =
+            throttle_funded_capacity(servers, 280.0, 0.7, (fraction + 0.05).min(1.0), 300.0)
+                .unwrap();
+        prop_assert!(more_servers >= small);
+        prop_assert!(more_fraction >= small);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the runtime simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration constraint was violated.
+    InvalidConfig(&'static str),
+    /// The offered-load series was empty.
+    EmptyLoad,
+    /// A trace-level operation failed.
+    Trace(so_powertrace::TraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(what) => write!(f, "invalid simulation config: {what}"),
+            SimError::EmptyLoad => write!(f, "offered-load series is empty"),
+            SimError::Trace(e) => write!(f, "trace operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<so_powertrace::TraceError> for SimError {
+    fn from(e: so_powertrace::TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_constraint() {
+        let e = SimError::InvalidConfig("l_conv must lie in (0, 1]");
+        assert!(e.to_string().contains("l_conv"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Discrete-time datacenter runtime substrate.
+//!
+//! Production reshaping (§4) runs against live traffic and power sensors;
+//! this crate substitutes a discrete-time simulator that exposes the same
+//! observables — per-LC-server load, throughput, power draw — so the
+//! conversion and throttling policies exercise their real control paths
+//! (substitution documented in `DESIGN.md`).
+//!
+//! * [`simulate`] — steps a [`SimConfig`] over an offered load, consulting
+//!   a [`ReshapePolicy`] each step;
+//! * [`Telemetry`] — the recorded series behind Figures 12–14;
+//! * [`ServerPowerModel`] / [`DvfsState`] — the power/performance models.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), so_sim::SimError> {
+//! use so_powertrace::TimeGrid;
+//! use so_sim::{default_config, simulate, StaticPolicy};
+//! use so_workloads::OfferedLoad;
+//!
+//! let load = OfferedLoad::diurnal(TimeGrid::one_week(60), 1000.0, 0.0, 1);
+//! let config = default_config(12, 6, 0, 0, 10_000.0);
+//! let telemetry = simulate(&config, &load, &mut StaticPolicy { as_lc: true })?;
+//! assert_eq!(telemetry.len(), 168);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod balancer;
+mod dvfs;
+mod engine;
+mod latency;
+mod error;
+mod policy;
+mod power;
+
+pub use balancer::{route, route_guard_first, RoutingOutcome, ServerSlot};
+pub use dvfs::DvfsState;
+pub use engine::{default_config, one_week_grid, simulate, ConversionEvent, SimConfig, Telemetry};
+pub use error::SimError;
+pub use latency::LatencyModel;
+pub use policy::{ReshapePolicy, StaticPolicy, StepDecision, StepObservation};
+pub use power::ServerPowerModel;

@@ -1,0 +1,108 @@
+//! Property-based tests for the runtime simulator.
+
+use proptest::prelude::*;
+use so_powertrace::TimeGrid;
+use so_sim::{
+    default_config, simulate, DvfsState, ReshapePolicy, StaticPolicy, StepDecision,
+    StepObservation,
+};
+use so_workloads::OfferedLoad;
+
+/// A policy that flips roles and DVFS states pseudo-randomly — adversarial
+/// input for the engine's invariants.
+struct ChaoticPolicy {
+    state: u64,
+}
+
+impl ReshapePolicy for ChaoticPolicy {
+    fn decide(&mut self, o: &StepObservation) -> StepDecision {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = self.state >> 33;
+        StepDecision {
+            conversion_as_lc: (r % (o.conversion as u64 + 2)) as usize,
+            throttle_funded_as_lc: ((r >> 8) % (o.throttle_funded as u64 + 2)) as usize,
+            batch_dvfs: match r % 3 {
+                0 => DvfsState::Throttled,
+                1 => DvfsState::Nominal,
+                _ => DvfsState::Boosted,
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Engine invariants hold under an adversarial policy: served ≤
+    /// offered, load in [0, 1], power positive, telemetry complete.
+    #[test]
+    fn engine_invariants_under_chaotic_policy(
+        base_lc in 1usize..20,
+        base_batch in 0usize..20,
+        conversion in 0usize..8,
+        throttle in 0usize..8,
+        peak_qps in 50.0f64..5000.0,
+        seed in 0u64..1000,
+    ) {
+        let grid = TimeGrid::days(2, 60);
+        let load = OfferedLoad::diurnal(grid, peak_qps, 0.05, seed);
+        let config = default_config(base_lc, base_batch, conversion, throttle, 1e9);
+        let t = simulate(&config, &load, &mut ChaoticPolicy { state: seed }).unwrap();
+
+        prop_assert_eq!(t.len(), load.len());
+        for i in 0..t.len() {
+            prop_assert!(t.lc_served_qps[i] <= load.qps_at(i) + 1e-9);
+            prop_assert!(t.lc_served_qps[i] + t.lc_dropped_qps[i] - load.qps_at(i) < 1e-6);
+            prop_assert!((0.0..=1.0).contains(&t.per_lc_server_load[i]));
+            prop_assert!(t.total_power[i] > 0.0);
+            prop_assert!(t.conversion_as_lc[i] <= conversion);
+            prop_assert!(t.throttle_funded_as_lc[i] <= throttle);
+            prop_assert!(t.batch_throughput[i] >= 0.0);
+        }
+    }
+
+    /// Monotonicity: more LC servers never serve less.
+    #[test]
+    fn more_servers_serve_at_least_as_much(
+        base in 2usize..15,
+        extra in 1usize..10,
+        peak_qps in 500.0f64..3000.0,
+    ) {
+        let grid = TimeGrid::days(2, 60);
+        let load = OfferedLoad::diurnal(grid, peak_qps, 0.0, 1);
+        let small = default_config(base, 0, 0, 0, 1e9);
+        let big = default_config(base + extra, 0, 0, 0, 1e9);
+        let ts = simulate(&small, &load, &mut StaticPolicy { as_lc: true }).unwrap();
+        let tb = simulate(&big, &load, &mut StaticPolicy { as_lc: true }).unwrap();
+        prop_assert!(tb.total_lc_served() + 1e-6 >= ts.total_lc_served());
+    }
+
+    /// Batch work scales linearly with dedicated batch servers under a
+    /// static policy.
+    #[test]
+    fn batch_work_scales_with_dedicated_servers(b1 in 1usize..10, b2 in 11usize..30) {
+        let grid = TimeGrid::days(1, 60);
+        let load = OfferedLoad::diurnal(grid, 100.0, 0.0, 1);
+        let c1 = default_config(2, b1, 0, 0, 1e9);
+        let c2 = default_config(2, b2, 0, 0, 1e9);
+        let t1 = simulate(&c1, &load, &mut StaticPolicy { as_lc: true }).unwrap();
+        let t2 = simulate(&c2, &load, &mut StaticPolicy { as_lc: true }).unwrap();
+        let ratio = t2.total_batch_work() / t1.total_batch_work();
+        prop_assert!((ratio - b2 as f64 / b1 as f64).abs() < 1e-9);
+    }
+
+    /// Energy accounting: the power trace round-trips through Telemetry.
+    #[test]
+    fn power_trace_matches_series(peak_qps in 100.0f64..2000.0) {
+        let grid = TimeGrid::days(1, 30);
+        let load = OfferedLoad::diurnal(grid, peak_qps, 0.0, 2);
+        let config = default_config(5, 5, 1, 1, 1e9);
+        let t = simulate(&config, &load, &mut StaticPolicy { as_lc: false }).unwrap();
+        let trace = t.power_trace().unwrap();
+        prop_assert_eq!(trace.samples(), &t.total_power[..]);
+        prop_assert_eq!(trace.step_minutes(), 30);
+    }
+}

@@ -1,0 +1,111 @@
+//! The global user-activity curve that drives user-facing power.
+//!
+//! Large user-facing datacenters see strongly diurnal, day-of-week-dependent
+//! traffic (§1, §3.3). This module provides a smooth normalized activity
+//! level in `[0, 1]`: low in the early morning, a broad midday peak, a
+//! second evening peak, and damped weekends.
+
+use std::f64::consts::PI;
+
+/// Minutes per day, re-exported for convenience.
+pub const DAY: f64 = 1_440.0;
+
+/// Smooth bump centered at `center` minutes with the given width (minutes),
+/// wrapping around midnight.
+fn bump(minute: f64, center: f64, width: f64) -> f64 {
+    // Distance on the 24h circle.
+    let d = (minute - center).rem_euclid(DAY);
+    let d = d.min(DAY - d);
+    (-0.5 * (d / width).powi(2)).exp()
+}
+
+/// Normalized user activity in `[0, 1]` at `minute_of_day` on `day_of_week`
+/// (0 = Monday .. 6 = Sunday).
+///
+/// # Examples
+///
+/// ```
+/// use so_workloads::user_activity;
+///
+/// let night = user_activity(4 * 60, 2);
+/// let noon = user_activity(12 * 60 + 30, 2);
+/// assert!(noon > night);
+/// ```
+pub fn user_activity(minute_of_day: u32, day_of_week: u32) -> f64 {
+    let m = minute_of_day as f64 % DAY;
+    // Midday peak around 12:30 and an evening peak around 20:30, on a
+    // gentle sinusoidal base that bottoms out near 04:00.
+    let base = 0.20 + 0.12 * (2.0 * PI * (m - 10.0 * 60.0) / DAY).cos();
+    let midday = 0.52 * bump(m, 12.5 * 60.0, 95.0);
+    let evening = 0.42 * bump(m, 20.5 * 60.0, 80.0);
+    let weekend_scale = if day_of_week % 7 >= 5 { 0.85 } else { 1.0 };
+    ((base + midday + evening) * weekend_scale).clamp(0.0, 1.0)
+}
+
+/// Nightly backup window intensity in `[0, 1]`: a bump centered at 02:00
+/// (the paper's `db` clusters "perform daily backup at night, which
+/// involves a lot of data compression").
+pub fn backup_window(minute_of_day: u32) -> f64 {
+    bump(minute_of_day as f64 % DAY, 2.0 * 60.0, 110.0)
+}
+
+/// Weekday office-hours intensity in `[0, 1]`: high 09:00–18:00 on
+/// weekdays, near zero on weekends.
+pub fn office_hours(minute_of_day: u32, day_of_week: u32) -> f64 {
+    if day_of_week % 7 >= 5 {
+        return 0.05;
+    }
+    let m = minute_of_day as f64 % DAY;
+    // Smooth plateau between 9:00 and 18:00.
+    let rise = 1.0 / (1.0 + (-(m - 9.0 * 60.0) / 45.0).exp());
+    let fall = 1.0 / (1.0 + ((m - 18.0 * 60.0) / 45.0).exp());
+    (rise * fall).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_is_bounded() {
+        for day in 0..7 {
+            for m in (0..1440).step_by(7) {
+                let a = user_activity(m, day);
+                assert!((0.0..=1.0).contains(&a), "activity {a} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn daytime_exceeds_nighttime() {
+        assert!(user_activity(12 * 60 + 30, 1) > 2.0 * user_activity(4 * 60, 1));
+    }
+
+    #[test]
+    fn weekends_are_damped() {
+        let weekday = user_activity(12 * 60 + 30, 2);
+        let weekend = user_activity(12 * 60 + 30, 6);
+        assert!(weekend < weekday);
+    }
+
+    #[test]
+    fn backup_peaks_at_night() {
+        assert!(backup_window(2 * 60) > 0.9);
+        assert!(backup_window(14 * 60) < 0.01);
+    }
+
+    #[test]
+    fn office_hours_shape() {
+        assert!(office_hours(13 * 60, 1) > 0.9);
+        assert!(office_hours(3 * 60, 1) < 0.1);
+        assert!(office_hours(13 * 60, 6) < 0.1);
+    }
+
+    #[test]
+    fn bump_wraps_midnight() {
+        // 23:30 and 00:30 are equally close to a midnight-centered bump.
+        let a = bump(23.5 * 60.0, 0.0, 60.0);
+        let b = bump(0.5 * 60.0, 0.0, 60.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for workload generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing scenarios or fleets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A scenario must name at least one service.
+    EmptyMix,
+    /// A mix fraction was non-positive or not finite.
+    InvalidFraction {
+        /// Name of the offending service.
+        service: &'static str,
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// A fleet must contain at least one instance.
+    ZeroInstances,
+    /// Zero training weeks were requested (at least one is needed to build
+    /// averaged I-traces).
+    ZeroTrainWeeks,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::EmptyMix => write!(f, "scenario mix must name at least one service"),
+            WorkloadError::InvalidFraction { service, fraction } => {
+                write!(f, "mix fraction {fraction} for service {service} must be positive and finite")
+            }
+            WorkloadError::ZeroInstances => write!(f, "fleet must contain at least one instance"),
+            WorkloadError::ZeroTrainWeeks => {
+                write!(f, "at least one training week is required to average traces")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let err = WorkloadError::InvalidFraction { service: "db", fraction: -0.5 };
+        assert!(err.to_string().contains("db"));
+        assert!(err.to_string().contains("-0.5"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the synthetic workload generator.
+
+use proptest::prelude::*;
+use so_powertrace::TimeGrid;
+use so_workloads::{
+    heterogeneous_instance, inject_burst, rng::stream_rng, BurstSpec, DcScenario, Fleet,
+    InstanceSpec, ServiceClass,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated weekly trace stays within [0, ~hardware cap] and is
+    /// reproducible for its (seed, week) pair.
+    #[test]
+    fn weekly_traces_are_bounded_and_reproducible(
+        service_idx in 0usize..ServiceClass::ALL.len(),
+        seed in 0u64..10_000,
+        week in 0u32..4,
+    ) {
+        let service = ServiceClass::ALL[service_idx];
+        let spec = InstanceSpec::nominal(service, seed);
+        let grid = TimeGrid::one_week(120);
+        let a = spec.weekly_trace(grid, week);
+        let b = spec.weekly_trace(grid, week);
+        prop_assert_eq!(&a, &b);
+        // Noise can exceed the nominal peak slightly, but never wildly.
+        prop_assert!(a.peak() <= service.peak_watts() * 1.2, "{service}: {}", a.peak());
+        prop_assert!(a.min() >= 0.0);
+    }
+
+    /// Heterogeneous instances keep their parameters inside the clamps.
+    #[test]
+    fn heterogeneity_clamps(seed in 0u64..5_000, phase_sd in 0.0f64..200.0, amp_sd in 0.0f64..1.0) {
+        let mut rng = stream_rng(seed, 1);
+        let spec = heterogeneous_instance(ServiceClass::Cache, phase_sd, amp_sd, seed, &mut rng);
+        prop_assert!((0.4..=2.5).contains(&spec.amplitude_scale));
+        prop_assert!((0.7..=1.4).contains(&spec.base_scale));
+        prop_assert!(spec.phase_shift_minutes.is_finite());
+    }
+
+    /// Scenario fleets hit the requested size exactly and honor the mix
+    /// up to rounding, for any size.
+    #[test]
+    fn fleet_sizes_are_exact(n in 1usize..400) {
+        let fleet = DcScenario::dc2().generate_fleet(n).unwrap();
+        prop_assert_eq!(fleet.len(), n);
+        let shares = fleet.power_share_by_service();
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Burst injection never lowers power inside the window and never
+    /// changes it outside.
+    #[test]
+    fn burst_is_monotone_and_local(
+        start in 0usize..100,
+        duration in 1usize..50,
+        intensity in 1.0f64..3.0,
+    ) {
+        let grid = TimeGrid::one_week(120);
+        let fleet = Fleet::generate(
+            vec![
+                InstanceSpec::nominal(ServiceClass::Frontend, 1),
+                InstanceSpec::nominal(ServiceClass::Hadoop, 2),
+            ],
+            grid,
+            1,
+        )
+        .unwrap();
+        let burst = BurstSpec::new(ServiceClass::Frontend, start, duration, intensity);
+        let bursty = inject_burst(&fleet, burst);
+        let original = fleet.test_traces();
+        for t in 0..grid.len() {
+            let inside = t >= start && t < start + duration;
+            let delta = bursty[0].samples()[t] - original[0].samples()[t];
+            if inside {
+                prop_assert!(delta >= -1e-9, "burst lowered power at {t}");
+            } else {
+                prop_assert!(delta.abs() < 1e-12, "burst leaked outside window at {t}");
+            }
+            // Non-target service untouched.
+            prop_assert_eq!(bursty[1].samples()[t], original[1].samples()[t]);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Adapting to workload drift (§3.6): when access patterns shift, the
+//! remapping framework repairs the placement with targeted swaps instead
+//! of a full re-shuffle.
+//!
+//! Run with: `cargo run --release --example drift_remapping`
+
+use smoothoperator::prelude::*;
+use so_workloads::{Fleet, InstanceSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(1)
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(3)
+        .rack_capacity(10)
+        .build()?;
+
+    // Derive a good placement for the original workload.
+    let scenario = DcScenario::dc3();
+    let fleet = scenario.generate_fleet(100)?;
+    let mut assignment = SmoothPlacer::default().place(&fleet, &topo)?;
+    println!("initial placement derived for {} instances", fleet.len());
+
+    // The workload drifts: a quarter of the instances shift their diurnal
+    // phase by several hours (e.g. a regional traffic migration).
+    let mut drifted_specs: Vec<InstanceSpec> = fleet.specs().to_vec();
+    for spec in drifted_specs.iter_mut().step_by(4) {
+        spec.phase_shift_minutes += 6.0 * 60.0;
+    }
+    let drifted = Fleet::generate(drifted_specs, fleet.grid(), 2)?;
+
+    let rack_peaks = |assignment: &Assignment, fleet: &Fleet| -> f64 {
+        NodeAggregates::compute(&topo, assignment, fleet.test_traces())
+            .expect("aggregation succeeds")
+            .sum_of_peaks(&topo, Level::Rack)
+    };
+
+    let before_drift = rack_peaks(&assignment, &fleet);
+    let after_drift = rack_peaks(&assignment, &drifted);
+    println!(
+        "rack sum-of-peaks: {before_drift:.0} W on the old workload, {after_drift:.0} W after drift"
+    );
+
+    // Repair with differential-asynchrony-score swaps.
+    let report = remap(
+        &drifted,
+        &topo,
+        &mut assignment,
+        RemapConfig { max_swaps: 64, ..RemapConfig::default() },
+    )?;
+    println!(
+        "remap: {} swaps accepted; worst node score {:.3} -> {:.3}",
+        report.swaps.len(),
+        report.initial_worst_score,
+        report.final_worst_score
+    );
+    for swap in report.swaps.iter().take(5) {
+        println!(
+            "  swap instance {} <-> {} between {} and {} (gains {:.3} / {:.3})",
+            swap.instance_out,
+            swap.instance_in,
+            swap.node,
+            swap.partner,
+            swap.gain_node,
+            swap.gain_partner
+        );
+    }
+
+    let repaired = rack_peaks(&assignment, &drifted);
+    println!(
+        "rack sum-of-peaks after remapping: {repaired:.0} W ({:.1}% recovered)",
+        100.0 * (after_drift - repaired) / after_drift
+    );
+    Ok(())
+}

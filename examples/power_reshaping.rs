@@ -1,0 +1,66 @@
+//! Dynamic power profile reshaping: run the full pipeline on one
+//! datacenter and inspect the conversion policy at work hour by hour.
+//!
+//! Run with: `cargo run --release --example power_reshaping`
+
+use smoothoperator::prelude::*;
+use so_reshape::run_scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = DcScenario::dc2();
+    let topo = fitting_topology(240, 12)?;
+    let outcome = run_scenario(&scenario, 240, &topo, &PipelineConfig::default())?;
+
+    println!("datacenter {} — reshaping summary", outcome.name);
+    println!("  base fleet: {} LC + {} Batch servers", outcome.base_lc, outcome.base_batch);
+    println!(
+        "  placement unlocked {} conversion servers; throttling funds {} more",
+        outcome.extra_conversion, outcome.extra_throttle_funded
+    );
+    println!("  learned conversion threshold L_conv = {:.2}", outcome.l_conv);
+
+    println!("\nthroughput vs the pre-optimization week:");
+    for (name, run) in [
+        ("LC-only servers", &outcome.lc_only),
+        ("server conversion", &outcome.conversion),
+        ("conversion + throttle/boost", &outcome.throttle_boost),
+    ] {
+        println!(
+            "  {:<28} LC {:>+6.1}%   Batch {:>+6.1}%",
+            name,
+            100.0 * outcome.lc_improvement(run),
+            100.0 * outcome.batch_improvement(run),
+        );
+    }
+
+    println!("\npower-budget utilization (energy slack vs the {:.0} W budget):", outcome.budget_watts);
+    for (name, run) in [
+        ("server conversion", &outcome.conversion),
+        ("conversion + throttle/boost", &outcome.throttle_boost),
+    ] {
+        println!(
+            "  {:<28} avg slack -{:.1}%   off-peak slack -{:.1}%",
+            name,
+            100.0 * outcome.avg_slack_reduction(run)?,
+            100.0 * outcome.off_peak_slack_reduction(run)?,
+        );
+    }
+
+    // A day in the life of the conversion servers: sample Tuesday.
+    println!("\nTuesday, hour by hour (conversion run):");
+    println!("  {:>5} {:>10} {:>12} {:>12}", "hour", "LC load", "conv as LC", "batch work");
+    let steps_per_day = outcome.conversion.len() / 7;
+    let day_start = steps_per_day; // Tuesday
+    let steps_per_hour = (steps_per_day / 24).max(1);
+    for hour in (0..24).step_by(2) {
+        let i = day_start + hour * steps_per_hour;
+        println!(
+            "  {:>4}h {:>10.2} {:>12} {:>12.1}",
+            hour,
+            outcome.conversion.per_lc_server_load[i],
+            outcome.conversion.conversion_as_lc[i],
+            outcome.conversion.batch_throughput[i],
+        );
+    }
+    Ok(())
+}

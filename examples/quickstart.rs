@@ -1,0 +1,78 @@
+//! Quickstart: generate a synthetic datacenter, derive the workload-aware
+//! placement, and compare it to the historical service-grouped layout.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use smoothoperator::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 240-server datacenter whose service mix follows the paper's DC2
+    // (db/hadoop-heavy), with two weeks of training traces and one held-out
+    // test week per server.
+    let scenario = DcScenario::dc2();
+    let fleet = scenario.generate_fleet(240)?;
+    println!("fleet: {} instances across {} services", fleet.len(), fleet.services().len());
+    let (top_service, top_share) = fleet.power_share_by_service()[0];
+    println!("largest power consumer: {top_service} ({:.1}% of fleet power)", 100.0 * top_share);
+
+    // A four-level OCP-style power tree: 1 suite × 2 MSBs × 2 SBs × 2 RPPs
+    // × 4 racks of 10 servers.
+    let topo = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(2)
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(4)
+        .rack_capacity(10)
+        .build()?;
+    println!(
+        "topology: {} nodes, {} racks, {} server slots",
+        topo.len(),
+        topo.racks().len(),
+        topo.server_capacity()
+    );
+
+    // The historical layout groups each service's instances together; the
+    // SmoothOperator placement spreads synchronous instances apart.
+    let grouped = oblivious_placement(&fleet, &topo, 0.0, 42)?;
+    let smooth = SmoothPlacer::default().place(&fleet, &topo)?;
+
+    // Evaluate both on the held-out test week.
+    let test = fleet.test_traces();
+    let before = NodeAggregates::compute(&topo, &grouped, test)?;
+    let after = NodeAggregates::compute(&topo, &smooth, test)?;
+
+    println!("\nsum of aggregate peaks per level (test week):");
+    println!("{:<8} {:>12} {:>12} {:>10}", "level", "grouped", "smooth", "reduction");
+    for level in [Level::Datacenter, Level::Suite, Level::Msb, Level::Sb, Level::Rpp, Level::Rack]
+    {
+        let b = before.sum_of_peaks(&topo, level);
+        let a = after.sum_of_peaks(&topo, level);
+        println!(
+            "{:<8} {:>10.0} W {:>10.0} W {:>9.1}%",
+            level.to_string(),
+            b,
+            a,
+            100.0 * (b - a) / b
+        );
+    }
+
+    // The asynchrony score explains why: synchronous rack populations score
+    // near 1.0, complementary ones score higher.
+    let traces = fleet.averaged_traces();
+    let rack_scores = |assignment: &Assignment| -> f64 {
+        let by_rack = assignment.by_rack();
+        let mut total = 0.0;
+        let mut n = 0;
+        for members in by_rack.values() {
+            if members.len() >= 2 {
+                total += so_core::asynchrony_score(members.iter().map(|&i| &traces[i]))
+                    .expect("racks are non-empty");
+                n += 1;
+            }
+        }
+        total / n as f64
+    };
+    println!("\nmean rack asynchrony score: grouped {:.3} -> smooth {:.3}", rack_scores(&grouped), rack_scores(&smooth));
+    Ok(())
+}

@@ -1,0 +1,207 @@
+//! `smoothop` — command-line front end for the SmoothOperator library.
+//!
+//! ```text
+//! smoothop scenarios                 list the built-in datacenter presets
+//! smoothop breakdown <dc> [n]       per-service power shares (Figure 5)
+//! smoothop place     <dc> [n]       placement vs historical layout (Figure 10)
+//! smoothop pipeline  <dc> [n]       full reshaping pipeline (Figures 12-14)
+//! ```
+//!
+//! `<dc>` is `dc1`, `dc2`, or `dc3`; `n` is the fleet size (default 240).
+
+use std::process::ExitCode;
+
+use smoothoperator::prelude::*;
+use so_powertree::NodeAggregates;
+use so_reshape::{operate, run_scenario, LongRunConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("scenarios") => scenarios(),
+        Some("breakdown") => with_scenario(&args, breakdown),
+        Some("place") => with_scenario(&args, place),
+        Some("pipeline") => with_scenario(&args, pipeline),
+        Some("longrun") => with_scenario(&args, longrun),
+        Some("dot") => with_scenario(&args, dot),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `smoothop help`)").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn print_usage() {
+    println!("smoothop — SmoothOperator (ASPLOS'18) reproduction CLI");
+    println!();
+    println!("USAGE:");
+    println!("  smoothop scenarios                list the built-in datacenter presets");
+    println!("  smoothop breakdown <dc> [n]       per-service power shares (Figure 5)");
+    println!("  smoothop place     <dc> [n]       placement vs historical layout (Figure 10)");
+    println!("  smoothop pipeline  <dc> [n]       full reshaping pipeline (Figures 12-14)");
+    println!("  smoothop longrun   <dc> [n]       weeks of drift + monitored remapping");
+    println!("  smoothop dot       <dc> [n]       graphviz dot of the placed topology");
+    println!();
+    println!("  <dc> ∈ {{dc1, dc2, dc3}}; n = fleet size, default 240");
+}
+
+fn with_scenario(args: &[String], f: fn(DcScenario, usize) -> CliResult) -> CliResult {
+    let dc = args
+        .get(1)
+        .ok_or("missing datacenter argument (dc1|dc2|dc3)")?;
+    let scenario = match dc.as_str() {
+        "dc1" | "DC1" => DcScenario::dc1(),
+        "dc2" | "DC2" => DcScenario::dc2(),
+        "dc3" | "DC3" => DcScenario::dc3(),
+        other => return Err(format!("unknown datacenter `{other}` (dc1|dc2|dc3)").into()),
+    };
+    let n: usize = match args.get(2) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("fleet size `{raw}` is not a number"))?,
+        None => 240,
+    };
+    if n == 0 {
+        return Err("fleet size must be positive".into());
+    }
+    f(scenario, n)
+}
+
+fn scenarios() -> CliResult {
+    for sc in DcScenario::all() {
+        println!(
+            "{}: {} services, phase jitter σ {:.0} min, amplitude σ {:.2}, baseline mixing {:.0}%",
+            sc.name,
+            sc.mix.len(),
+            sc.phase_jitter_sd_minutes,
+            sc.amplitude_sd,
+            100.0 * sc.baseline_mixing
+        );
+        for (service, fraction) in &sc.mix {
+            println!("    {service:<14} {:.0}%", fraction * 100.0);
+        }
+    }
+    Ok(())
+}
+
+fn breakdown(scenario: DcScenario, n: usize) -> CliResult {
+    let fleet = scenario.generate_fleet(n)?;
+    println!("{} ({} instances) — power share by service:", scenario.name, n);
+    for (rank, (service, share)) in fleet.power_share_by_service().iter().enumerate() {
+        println!("  {:>2}. {:<14} {:>5.1}%", rank + 1, service.to_string(), 100.0 * share);
+    }
+    println!(
+        "
+{:<14} {:>5} {:>9} {:>9} {:>10} {:>12} {:>9}",
+        "service", "n", "mean W", "peak W", "peak hour", "seasonality", "peak CV"
+    );
+    for p in so_workloads::profile_services(&fleet)? {
+        println!(
+            "{:<14} {:>5} {:>9.1} {:>9.1} {:>9.1}h {:>11.0}% {:>9.2}",
+            p.service.to_string(),
+            p.instances,
+            p.mean_watts,
+            p.peak_watts,
+            p.peak_hour(),
+            100.0 * p.seasonality,
+            p.peak_cv,
+        );
+    }
+    Ok(())
+}
+
+fn place(scenario: DcScenario, n: usize) -> CliResult {
+    let fleet = scenario.generate_fleet(n)?;
+    let topo = fitting_topology(n, 12)?;
+    let historical = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E)?;
+    let smooth = SmoothPlacer::default().place(&fleet, &topo)?;
+
+    let test = fleet.test_traces();
+    let before = NodeAggregates::compute(&topo, &historical, test)?;
+    let after = NodeAggregates::compute(&topo, &smooth, test)?;
+
+    println!(
+        "{} ({n} instances on {} racks) — sum-of-peaks reduction (test week):",
+        scenario.name,
+        topo.racks().len()
+    );
+    for level in [Level::Suite, Level::Msb, Level::Sb, Level::Rpp, Level::Rack] {
+        let b = before.sum_of_peaks(&topo, level);
+        let a = after.sum_of_peaks(&topo, level);
+        println!("  {:<6} {:>8.0} W -> {:>8.0} W   ({:>5.1}%)", level.to_string(), b, a, 100.0 * (b - a) / b);
+    }
+    Ok(())
+}
+
+fn longrun(scenario: DcScenario, n: usize) -> CliResult {
+    let fleet = scenario.generate_fleet(n)?;
+    let topo = fitting_topology(n, 12)?;
+    let placement = SmoothPlacer::default().place(&fleet, &topo)?;
+    let report = operate(&fleet, &topo, &placement, &LongRunConfig::default())?;
+    println!("{} ({n} instances) — {} weeks of drift:", scenario.name, report.weeks.len());
+    for w in &report.weeks {
+        println!(
+            "  week {:>2}: frozen {:>8.0} W, managed {:>8.0} W{}{}",
+            w.week,
+            w.static_sum_of_peaks,
+            w.managed_sum_of_peaks,
+            if w.flagged { "  [flagged]" } else { "" },
+            if w.swaps > 0 { format!("  ({} swaps)", w.swaps) } else { String::new() },
+        );
+    }
+    println!(
+        "  mean managed advantage: {:.2}% ({} swaps total)",
+        100.0 * report.mean_managed_advantage(),
+        report.total_swaps()
+    );
+    Ok(())
+}
+
+fn dot(scenario: DcScenario, n: usize) -> CliResult {
+    let fleet = scenario.generate_fleet(n)?;
+    let topo = fitting_topology(n, 12)?;
+    let placement = SmoothPlacer::default().place(&fleet, &topo)?;
+    let agg = NodeAggregates::compute(&topo, &placement, fleet.test_traces())?;
+    let peaks: Vec<f64> = (0..topo.len())
+        .map(|i| agg.peak(NodeId::new(i)))
+        .collect::<Result<_, _>>()?;
+    print!("{}", so_powertree::to_dot(&topo, Some(&peaks))?);
+    Ok(())
+}
+
+fn pipeline(scenario: DcScenario, n: usize) -> CliResult {
+    let topo = fitting_topology(n, 12)?;
+    let outcome = run_scenario(&scenario, n, &topo, &PipelineConfig::default())?;
+    println!("{} ({n} instances) — reshaping pipeline:", outcome.name);
+    println!("  RPP peak reduction:   {:>5.1}%", 100.0 * outcome.rpp_peak_reduction);
+    println!(
+        "  extra servers:        {} conversion + {} throttle-funded (L_conv {:.2})",
+        outcome.extra_conversion, outcome.extra_throttle_funded, outcome.l_conv
+    );
+    println!(
+        "  conversion:           LC {:>+5.1}%  Batch {:>+5.1}%",
+        100.0 * outcome.lc_improvement(&outcome.conversion),
+        100.0 * outcome.batch_improvement(&outcome.conversion)
+    );
+    println!(
+        "  + throttle/boost:     LC {:>+5.1}%  Batch {:>+5.1}%",
+        100.0 * outcome.lc_improvement(&outcome.throttle_boost),
+        100.0 * outcome.batch_improvement(&outcome.throttle_boost)
+    );
+    println!(
+        "  energy slack:         avg -{:.1}%, off-peak -{:.1}%",
+        100.0 * outcome.avg_slack_reduction(&outcome.throttle_boost)?,
+        100.0 * outcome.off_peak_slack_reduction(&outcome.throttle_boost)?
+    );
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: scenario generation → placement →
+//! aggregation → fragmentation metrics.
+
+use smoothoperator::prelude::*;
+use so_core::peak_reduction_by_level;
+
+fn topology() -> PowerTopology {
+    PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(2)
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(4)
+        .rack_capacity(10)
+        .build()
+        .expect("shape is valid")
+}
+
+#[test]
+fn smooth_placement_beats_grouped_on_all_three_datacenters() {
+    for scenario in DcScenario::all() {
+        let fleet = scenario.generate_fleet(300).expect("fleet generates");
+        let topo = topology();
+        let grouped = oblivious_placement(&fleet, &topo, 0.0, 0xB4_5E).expect("fleet fits");
+        let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+
+        let test = fleet.test_traces();
+        let before = NodeAggregates::compute(&topo, &grouped, test).expect("aggregation");
+        let after = NodeAggregates::compute(&topo, &smooth, test).expect("aggregation");
+
+        for level in [Level::Rack, Level::Rpp] {
+            let b = before.sum_of_peaks(&topo, level);
+            let a = after.sum_of_peaks(&topo, level);
+            assert!(
+                a < b,
+                "{}: {level} sum-of-peaks {a} not below grouped {b}",
+                scenario.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fragmentation_ordering_matches_the_paper() {
+    // DC3 (strictly grouped, high heterogeneity) must show a larger
+    // RPP-level reduction than DC1 (semi-mixed, low heterogeneity),
+    // evaluated against each DC's own historical placement.
+    let mut reductions = Vec::new();
+    for scenario in DcScenario::all() {
+        let fleet = scenario.generate_fleet(300).expect("fleet generates");
+        let topo = topology();
+        let baseline = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E)
+            .expect("fleet fits");
+        let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+        let test = fleet.test_traces();
+        let before = so_core::FragmentationReport::analyze(&topo, &baseline, test)
+            .expect("analysis succeeds");
+        let after = so_core::FragmentationReport::analyze(&topo, &smooth, test)
+            .expect("analysis succeeds");
+        let rpp = peak_reduction_by_level(&before, &after)
+            .into_iter()
+            .find(|(l, _)| *l == Level::Rpp)
+            .map(|(_, r)| r)
+            .expect("rpp level exists");
+        reductions.push((scenario.name.clone(), rpp));
+    }
+    let dc1 = reductions[0].1;
+    let dc3 = reductions[2].1;
+    assert!(
+        dc3 > dc1 + 0.02,
+        "DC3 reduction {dc3} should clearly exceed DC1 {dc1}: {reductions:?}"
+    );
+}
+
+#[test]
+fn placement_never_overdraws_rack_budgets_sized_for_it() {
+    let fleet = DcScenario::dc2().generate_fleet(300).expect("fleet generates");
+    let topo = topology();
+    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+    let agg = NodeAggregates::compute(&topo, &smooth, fleet.test_traces())
+        .expect("aggregation succeeds");
+    // Budgets at the default 6 kW per rack comfortably cover 10 servers
+    // peaking below 350 W: the breaker model must stay silent.
+    let breaker = so_powertree::BreakerModel::default();
+    assert!(breaker.is_safe(&topo, &agg).expect("evaluation succeeds"));
+}
+
+#[test]
+fn remapping_improves_a_perturbed_smooth_placement() {
+    let fleet = DcScenario::dc3().generate_fleet(120).expect("fleet generates");
+    let topo = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(1)
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(3)
+        .rack_capacity(10)
+        .build()
+        .expect("shape is valid");
+    // Start from the worst case: strictly grouped.
+    let mut assignment = oblivious_placement(&fleet, &topo, 0.0, 7).expect("fleet fits");
+    let before = NodeAggregates::compute(&topo, &assignment, fleet.test_traces())
+        .expect("aggregation succeeds")
+        .sum_of_peaks(&topo, Level::Rack);
+
+    let report = remap(
+        &fleet,
+        &topo,
+        &mut assignment,
+        RemapConfig { max_swaps: 48, ..RemapConfig::default() },
+    )
+    .expect("remap succeeds");
+    assert!(!report.swaps.is_empty(), "expected the remapper to find swaps");
+    assert!(report.final_worst_score >= report.initial_worst_score);
+
+    let after = NodeAggregates::compute(&topo, &assignment, fleet.test_traces())
+        .expect("aggregation succeeds")
+        .sum_of_peaks(&topo, Level::Rack);
+    assert!(after < before, "remap should lower rack sum-of-peaks: {after} vs {before}");
+}
+
+#[test]
+fn asynchrony_scores_rise_from_grouped_to_smooth() {
+    let fleet = DcScenario::dc3().generate_fleet(160).expect("fleet generates");
+    let topo = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(2)
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .rack_capacity(10)
+        .build()
+        .expect("shape is valid");
+    let grouped = oblivious_placement(&fleet, &topo, 0.0, 1).expect("fleet fits");
+    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+
+    let traces = fleet.averaged_traces();
+    let score_of = |assignment: &Assignment| -> f64 {
+        let by_rack = assignment.by_rack();
+        let mut total = 0.0;
+        let mut count = 0;
+        for members in by_rack.values() {
+            if members.len() >= 2 {
+                total += so_core::asynchrony_score(members.iter().map(|&i| &traces[i]))
+                    .expect("non-empty");
+                count += 1;
+            }
+        }
+        total / count as f64
+    };
+    let grouped_score = score_of(&grouped);
+    let smooth_score = score_of(&smooth);
+    assert!(
+        smooth_score > grouped_score,
+        "mean rack asynchrony score should rise: {smooth_score} vs {grouped_score}"
+    );
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration tests for the StatProf provisioning comparison
+//! (the property structure behind Figure 11).
+
+use smoothoperator::prelude::*;
+use so_baselines::{aggregate_required_budget, statprof_required_budget};
+
+fn setup() -> (Fleet, PowerTopology, Assignment, Assignment) {
+    let scenario = DcScenario::dc2();
+    let fleet = scenario.generate_fleet(240).expect("fleet generates");
+    let topo = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(2)
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(3)
+        .rack_capacity(10)
+        .build()
+        .expect("shape is valid");
+    let grouped = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 1)
+        .expect("fleet fits");
+    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+    (fleet, topo, grouped, smooth)
+}
+
+#[test]
+fn smoop_dominates_statprof_at_equal_degrees() {
+    let (fleet, topo, grouped, smooth) = setup();
+    let test = fleet.test_traces();
+    for (u, d) in [(0.0, 0.0), (1.0, 0.01), (5.0, 0.05), (10.0, 0.1)] {
+        let degrees = ProvisioningDegrees { underprovision_pct: u, overbooking: d };
+        let statprof =
+            statprof_required_budget(&topo, &grouped, test, degrees).expect("provisioning");
+        let smoop =
+            aggregate_required_budget(&topo, &smooth, test, degrees).expect("provisioning");
+        for level in Level::ALL {
+            assert!(
+                smoop.at_level(level) <= statprof.at_level(level) + 1e-6,
+                "SmoOp({u},{d}) at {level}: {} vs StatProf {}",
+                smoop.at_level(level),
+                statprof.at_level(level)
+            );
+        }
+    }
+}
+
+#[test]
+fn smoop_plain_beats_most_aggressive_statprof_at_leaves() {
+    let (fleet, topo, grouped, smooth) = setup();
+    let test = fleet.test_traces();
+    let statprof_aggressive = statprof_required_budget(
+        &topo,
+        &grouped,
+        test,
+        ProvisioningDegrees { underprovision_pct: 10.0, overbooking: 0.1 },
+    )
+    .expect("provisioning");
+    let smoop_plain =
+        aggregate_required_budget(&topo, &smooth, test, ProvisioningDegrees::none())
+            .expect("provisioning");
+    for level in [Level::Sb, Level::Rpp] {
+        assert!(
+            smoop_plain.at_level(level) <= statprof_aggressive.at_level(level),
+            "{level}: SmoOp(0,0) {} vs StatProf(10,0.1) {}",
+            smoop_plain.at_level(level),
+            statprof_aggressive.at_level(level)
+        );
+    }
+}
+
+#[test]
+fn underprovisioning_and_overbooking_are_monotone() {
+    let (fleet, topo, grouped, _) = setup();
+    let test = fleet.test_traces();
+    let mut last_dc = f64::INFINITY;
+    for (u, d) in [(0.0, 0.0), (1.0, 0.01), (5.0, 0.05), (10.0, 0.1)] {
+        let degrees = ProvisioningDegrees { underprovision_pct: u, overbooking: d };
+        let report =
+            statprof_required_budget(&topo, &grouped, test, degrees).expect("provisioning");
+        let dc = report.at_level(Level::Datacenter);
+        assert!(dc <= last_dc, "StatProf({u},{d}) DC requirement rose: {dc} > {last_dc}");
+        last_dc = dc;
+    }
+}
+
+#[test]
+fn requirements_grow_toward_the_leaves() {
+    // Lower levels lose cancellation opportunities, so their summed
+    // requirements are at least the root's (for the aggregate-aware
+    // scheme).
+    let (fleet, topo, _, smooth) = setup();
+    let report = aggregate_required_budget(
+        &topo,
+        &smooth,
+        fleet.test_traces(),
+        ProvisioningDegrees::none(),
+    )
+    .expect("provisioning");
+    let mut prev = 0.0;
+    for level in Level::ALL {
+        let r = report.at_level(level);
+        assert!(r + 1e-6 >= prev, "{level} requirement {r} below parent {prev}");
+        prev = r;
+    }
+}

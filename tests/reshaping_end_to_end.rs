@@ -1,0 +1,97 @@
+//! Cross-crate integration tests for the full reshaping pipeline
+//! (placement → headroom → conversion servers → runtime policies).
+
+use smoothoperator::prelude::*;
+use so_reshape::{run_scenario, ScenarioOutcome};
+
+fn outcome(scenario: &DcScenario) -> ScenarioOutcome {
+    let topo = fitting_topology(200, 10).expect("topology fits");
+    run_scenario(scenario, 200, &topo, &PipelineConfig::default()).expect("pipeline succeeds")
+}
+
+#[test]
+fn conversion_improves_both_lc_and_batch() {
+    let outcome = outcome(&DcScenario::dc2());
+    assert!(outcome.extra_conversion > 0);
+    let lc = outcome.lc_improvement(&outcome.conversion);
+    let batch = outcome.batch_improvement(&outcome.conversion);
+    assert!(lc > 0.0, "LC gain {lc}");
+    assert!(batch > 0.0, "batch gain {batch}");
+
+    // LC-only matches conversion's LC gain (same extra traffic, enough
+    // servers) but leaves batch flat.
+    let lc_only_batch = outcome.batch_improvement(&outcome.lc_only);
+    assert!(lc_only_batch.abs() < 1e-9, "lc-only batch gain {lc_only_batch}");
+}
+
+#[test]
+fn throttle_boost_extends_lc_beyond_conversion() {
+    let outcome = outcome(&DcScenario::dc1());
+    let conv = outcome.lc_improvement(&outcome.conversion);
+    let tb = outcome.lc_improvement(&outcome.throttle_boost);
+    assert!(
+        tb > conv,
+        "throttle/boost LC gain {tb} should exceed conversion-only {conv}"
+    );
+}
+
+#[test]
+fn qos_is_protected_by_conversion() {
+    let outcome = outcome(&DcScenario::dc2());
+    // With conversion servers absorbing the grown traffic, QoS-risk steps
+    // stay rare even though the offered load grew.
+    let risky = outcome.conversion.qos_risk_steps(outcome.l_conv);
+    let total = outcome.conversion.len();
+    assert!(
+        (risky as f64) < 0.06 * total as f64,
+        "{risky}/{total} steps above L_conv"
+    );
+}
+
+#[test]
+fn slack_reductions_are_positive_and_dc3_is_smallest() {
+    let mut reductions = Vec::new();
+    for scenario in DcScenario::all() {
+        let outcome = outcome(&scenario);
+        let avg = outcome
+            .avg_slack_reduction(&outcome.throttle_boost)
+            .expect("slack computes");
+        assert!(avg > 0.0, "{}: slack reduction {avg}", scenario.name);
+        reductions.push((scenario.name.clone(), avg));
+    }
+    let dc3 = reductions[2].1;
+    assert!(
+        dc3 < reductions[0].1 && dc3 < reductions[1].1,
+        "DC3 should benefit least from reshaping: {reductions:?}"
+    );
+}
+
+#[test]
+fn conversion_servers_switch_roles_during_the_week() {
+    let outcome = outcome(&DcScenario::dc2());
+    let lc_steps = outcome
+        .conversion
+        .conversion_as_lc
+        .iter()
+        .filter(|&&c| c > 0)
+        .count();
+    let batch_steps = outcome
+        .conversion
+        .conversion_as_lc
+        .iter()
+        .filter(|&&c| c < outcome.extra_conversion)
+        .count();
+    assert!(lc_steps > 0, "conversion servers never served LC");
+    assert!(batch_steps > 0, "conversion servers never served Batch");
+}
+
+#[test]
+fn pre_run_defines_the_budget_and_stays_under_it() {
+    let outcome = outcome(&DcScenario::dc1());
+    let slack = outcome
+        .pre
+        .slack(outcome.budget_watts)
+        .expect("slack computes");
+    assert!(!slack.has_overdraw());
+    assert!(slack.min_slack() > 0.0, "budget margin should be positive");
+}

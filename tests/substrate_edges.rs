@@ -1,0 +1,123 @@
+//! Cross-crate edge cases: the error paths a downstream user will hit
+//! first, exercised through the public umbrella API.
+
+use smoothoperator::prelude::*;
+use smoothoperator::{capping, cluster, placement, trace, tree, workloads};
+
+#[test]
+fn trace_errors_carry_useful_messages() {
+    let err = PowerTrace::new(vec![], 10).unwrap_err();
+    assert!(err.to_string().contains("at least one sample"));
+    let err = PowerTrace::new(vec![f64::NAN], 10).unwrap_err();
+    assert!(err.to_string().contains("invalid power sample"));
+    let a = PowerTrace::new(vec![1.0], 10).unwrap();
+    let b = PowerTrace::new(vec![1.0, 2.0], 10).unwrap();
+    let err = a.try_add(&b).unwrap_err();
+    assert!(err.to_string().contains("length mismatch"));
+}
+
+#[test]
+fn topology_invariants_are_enforced() {
+    assert!(PowerTopology::builder().suites(0).build().is_err());
+    assert!(PowerTopology::builder().rack_capacity(0).build().is_err());
+    let topo = PowerTopology::builder().build().unwrap();
+    assert!(topo.node(tree::NodeId::new(usize::MAX)).is_err());
+    // Assignments to non-racks are rejected.
+    assert!(Assignment::new(vec![topo.root()], &topo).is_err());
+}
+
+#[test]
+fn placement_rejects_oversized_fleets_cleanly() {
+    let topo = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(1)
+        .sbs_per_msb(1)
+        .rpps_per_sb(1)
+        .racks_per_rpp(2)
+        .rack_capacity(2)
+        .build()
+        .unwrap();
+    let fleet = DcScenario::dc1().generate_fleet(5).unwrap();
+    let err = SmoothPlacer::default().place(&fleet, &topo).unwrap_err();
+    match err {
+        placement::CoreError::CapacityExceeded { needed, capacity } => {
+            assert_eq!(needed, 5);
+            assert_eq!(capacity, 4);
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+    assert!(err.to_string().contains("exceeds topology capacity"));
+}
+
+#[test]
+fn scenario_validation_is_surfaced() {
+    let mut scenario = DcScenario::dc1();
+    scenario.mix[0].1 = f64::NAN;
+    let err = scenario.generate_fleet(10).unwrap_err();
+    assert!(matches!(err, workloads::WorkloadError::InvalidFraction { .. }));
+    assert!(err.to_string().contains("must be positive"));
+}
+
+#[test]
+fn clustering_validates_inputs_through_the_placer_path() {
+    // k-means invariants surface from the cluster crate directly.
+    let err = cluster::kmeans(&[vec![1.0], vec![f64::NAN]], cluster::KMeansConfig::new(1))
+        .unwrap_err();
+    assert!(matches!(err, cluster::ClusterError::NonFiniteCoordinate { index: 1 }));
+
+    let err = cluster::tsne(
+        &[vec![1.0], vec![2.0]],
+        cluster::TsneConfig { perplexity: 5.0, ..cluster::TsneConfig::default() },
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("perplexity"));
+}
+
+#[test]
+fn capping_surfaces_malformed_demands() {
+    let topo = PowerTopology::builder().build().unwrap();
+    let wrong_len = vec![capping::ClassDemand::zero(); 3];
+    let budgets = vec![f64::INFINITY; topo.len()];
+    assert!(capping::allocate_caps(&topo, &wrong_len, &budgets).is_err());
+}
+
+#[test]
+fn csv_io_reports_line_numbers() {
+    let err = trace::io::read_csv("1.0\nnot-a-number\n".as_bytes(), 10).unwrap_err();
+    assert!(err.to_string().contains("line 2"));
+}
+
+#[test]
+fn sim_config_validation_names_the_field() {
+    let mut config = sim_default();
+    config.l_conv = 2.0;
+    let err = config.validate().unwrap_err();
+    assert!(err.to_string().contains("l_conv"));
+    let mut config = sim_default();
+    config.batch_backlog_factor = -1.0;
+    assert!(config.validate().is_err());
+}
+
+fn sim_default() -> SimConfig {
+    smoothoperator::sim::default_config(4, 4, 0, 0, 10_000.0)
+}
+
+#[test]
+fn remap_handles_degenerate_assignments() {
+    // A single-instance fleet: no node has two members, so remap finds
+    // nothing and reports cleanly.
+    let topo = PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(1)
+        .sbs_per_msb(1)
+        .rpps_per_sb(1)
+        .racks_per_rpp(2)
+        .rack_capacity(2)
+        .build()
+        .unwrap();
+    let fleet = DcScenario::dc1().generate_fleet(1).unwrap();
+    let mut assignment = Assignment::round_robin(&topo, 1).unwrap();
+    let report = remap(&fleet, &topo, &mut assignment, RemapConfig::default()).unwrap();
+    assert!(report.swaps.is_empty());
+    assert!(report.initial_worst_score.is_infinite());
+}
