@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies
+//! just enough of serde's surface for the workspace to compile: the
+//! [`Serialize`] / [`Deserialize`] marker traits (blanket-implemented for
+//! every type) and the matching no-op derive macros. Swapping in the real
+//! `serde` later only requires repointing the workspace dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

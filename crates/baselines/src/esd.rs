@@ -71,7 +71,10 @@ pub fn shave_with_battery(
     budget_watts: f64,
     battery: BatteryModel,
 ) -> ShaveOutcome {
-    assert!(budget_watts.is_finite() && budget_watts > 0.0, "budget must be positive");
+    assert!(
+        budget_watts.is_finite() && budget_watts > 0.0,
+        "budget must be positive"
+    );
     assert!(
         battery.capacity_watt_minutes > 0.0
             && battery.max_discharge_watts > 0.0
@@ -91,10 +94,7 @@ pub fn shave_with_battery(
     for &p in draw.samples() {
         if p > budget_watts {
             let deficit = p - budget_watts;
-            let deliverable = battery
-                .max_discharge_watts
-                .min(soc / step)
-                .min(deficit);
+            let deliverable = battery.max_discharge_watts.min(soc / step).min(deficit);
             soc -= deliverable * step;
             shaved += deliverable * step;
             let remaining = deficit - deliverable;
@@ -105,8 +105,7 @@ pub fn shave_with_battery(
         } else {
             let headroom = budget_watts - p;
             let intake = battery.max_recharge_watts.min(headroom);
-            soc = (soc + intake * step * battery.efficiency)
-                .min(battery.capacity_watt_minutes);
+            soc = (soc + intake * step * battery.efficiency).min(battery.capacity_watt_minutes);
         }
         min_soc = min_soc.min(soc);
     }
@@ -132,11 +131,8 @@ mod tests {
         let mut samples = vec![500.0; 30];
         samples[10] = 700.0;
         samples[11] = 700.0;
-        let outcome = shave_with_battery(
-            &trace(samples),
-            600.0,
-            BatteryModel::sized_for(100.0, 30.0),
-        );
+        let outcome =
+            shave_with_battery(&trace(samples), 600.0, BatteryModel::sized_for(100.0, 30.0));
         assert!(outcome.fully_covered());
         assert!((outcome.shaved_watt_minutes - 2000.0).abs() < 1e-6);
     }
@@ -147,11 +143,8 @@ mod tests {
         let samples: Vec<f64> = (0..60)
             .map(|t| if (10..46).contains(&t) { 700.0 } else { 500.0 })
             .collect();
-        let outcome = shave_with_battery(
-            &trace(samples),
-            600.0,
-            BatteryModel::sized_for(100.0, 30.0),
-        );
+        let outcome =
+            shave_with_battery(&trace(samples), 600.0, BatteryModel::sized_for(100.0, 30.0));
         assert!(!outcome.fully_covered());
         assert!(outcome.uncovered_samples > 20, "battery lasted too long");
         assert!(outcome.min_state_of_charge < 1.0);
@@ -162,11 +155,8 @@ mod tests {
         // A single sample of +500 W but the battery can only push 100 W.
         let mut samples = vec![500.0; 10];
         samples[5] = 1_100.0;
-        let outcome = shave_with_battery(
-            &trace(samples),
-            600.0,
-            BatteryModel::sized_for(100.0, 60.0),
-        );
+        let outcome =
+            shave_with_battery(&trace(samples), 600.0, BatteryModel::sized_for(100.0, 60.0));
         assert_eq!(outcome.uncovered_samples, 1);
         assert!((outcome.uncovered_watt_minutes - 4_000.0).abs() < 1e-6);
     }
@@ -177,11 +167,11 @@ mod tests {
         let mut samples = vec![100.0; 100];
         samples[5..7].fill(700.0);
         samples[80..82].fill(700.0);
-        let outcome = shave_with_battery(
-            &trace(samples),
-            600.0,
-            BatteryModel::sized_for(100.0, 25.0),
+        let outcome =
+            shave_with_battery(&trace(samples), 600.0, BatteryModel::sized_for(100.0, 25.0));
+        assert!(
+            outcome.fully_covered(),
+            "recharge should cover the second burst"
         );
-        assert!(outcome.fully_covered(), "recharge should cover the second burst");
     }
 }

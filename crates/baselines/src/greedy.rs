@@ -56,10 +56,12 @@ pub fn greedy_peak_placement(
     let len = traces[0].len();
     for t in traces {
         if t.len() != len {
-            return Err(TreeError::Trace(so_powertrace::TraceError::LengthMismatch {
-                left: len,
-                right: t.len(),
-            }));
+            return Err(TreeError::Trace(
+                so_powertrace::TraceError::LengthMismatch {
+                    left: len,
+                    right: t.len(),
+                },
+            ));
         }
     }
 
@@ -107,7 +109,7 @@ pub fn greedy_peak_placement(
                 }
                 cost += new_peak - peak[idx];
             }
-            if best.is_none_or(|(_, bc)| cost < bc) {
+            if best.map_or(true, |(_, bc)| cost < bc) {
                 best = Some((r, cost));
             }
         }
@@ -165,7 +167,10 @@ mod tests {
         ];
         let assignment = greedy_peak_placement(&t, &traces).unwrap();
         // With one slot per rack, the two synchronous instances must split.
-        assert_ne!(assignment.rack_of(0).unwrap(), assignment.rack_of(1).unwrap());
+        assert_ne!(
+            assignment.rack_of(0).unwrap(),
+            assignment.rack_of(1).unwrap()
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ mod tests {
                 max - min == instances.len() - 1
             })
             .count();
-        assert!(contiguous_racks < 3, "{contiguous_racks} racks remained contiguous");
+        assert!(
+            contiguous_racks < 3,
+            "{contiguous_racks} racks remained contiguous"
+        );
     }
 
     #[test]

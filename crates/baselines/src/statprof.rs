@@ -28,7 +28,10 @@ pub struct ProvisioningDegrees {
 impl ProvisioningDegrees {
     /// The conservative `(0, 0)` setting: provision for observed peaks.
     pub fn none() -> Self {
-        Self { underprovision_pct: 0.0, overbooking: 0.0 }
+        Self {
+            underprovision_pct: 0.0,
+            overbooking: 0.0,
+        }
     }
 
     /// Quantile to provision at.
@@ -198,7 +201,10 @@ mod tests {
             &t,
             &a,
             &traces,
-            ProvisioningDegrees { underprovision_pct: 5.0, overbooking: 0.0 },
+            ProvisioningDegrees {
+                underprovision_pct: 5.0,
+                overbooking: 0.0,
+            },
         )
         .unwrap();
         for level in Level::ALL {
@@ -216,7 +222,10 @@ mod tests {
             &t,
             &a,
             &traces,
-            ProvisioningDegrees { underprovision_pct: 0.0, overbooking: 0.1 },
+            ProvisioningDegrees {
+                underprovision_pct: 0.0,
+                overbooking: 0.1,
+            },
         )
         .unwrap();
         assert!(over.at_level(Level::Datacenter) < none.at_level(Level::Datacenter));
@@ -230,6 +239,8 @@ mod tests {
         let t = topo();
         let a = Assignment::round_robin(&t, 4).unwrap();
         let traces = out_of_phase_traces();
-        assert!(statprof_required_budget(&t, &a, &traces[..2], ProvisioningDegrees::none()).is_err());
+        assert!(
+            statprof_required_budget(&t, &a, &traces[..2], ProvisioningDegrees::none()).is_err()
+        );
     }
 }

@@ -24,12 +24,7 @@ fn topo() -> PowerTopology {
 fn small_fleet(n: usize) -> Fleet {
     let grid = TimeGrid::one_week(240);
     let specs: Vec<InstanceSpec> = (0..n)
-        .map(|i| {
-            InstanceSpec::nominal(
-                ServiceClass::ALL[i % ServiceClass::ALL.len()],
-                i as u64,
-            )
-        })
+        .map(|i| InstanceSpec::nominal(ServiceClass::ALL[i % ServiceClass::ALL.len()], i as u64))
         .collect();
     Fleet::generate(specs, grid, 1).expect("fleet generates")
 }

@@ -21,7 +21,10 @@ fn main() {
     let before_rpp = before.sum_of_peaks(&setup.topology, Level::Rpp);
     let before_rack = before.sum_of_peaks(&setup.topology, Level::Rack);
 
-    println!("{:>14} {:>12} {:>12}", "clusters/child", "RPP red.", "rack red.");
+    println!(
+        "{:>14} {:>12} {:>12}",
+        "clusters/child", "RPP red.", "rack red."
+    );
     for c in [1usize, 2, 4, 8] {
         let placer = SmoothPlacer::new(PlacementConfig {
             clusters_per_child: c,

@@ -39,8 +39,7 @@ fn main() {
                 rack_of[members[i]] = racks[(c + rank * 7) % q];
             }
         }
-        let assignment =
-            Assignment::new(rack_of, &setup.topology).expect("assignment is valid");
+        let assignment = Assignment::new(rack_of, &setup.topology).expect("assignment is valid");
         let after = NodeAggregates::compute(&setup.topology, &assignment, test)
             .expect("aggregation succeeds");
         let reduction = 1.0 - after.sum_of_peaks(&setup.topology, Level::Rack) / before_racks;

@@ -29,25 +29,31 @@ fn main() {
     let base_rack = base.sum_of_peaks(topo, Level::Rack);
     let base_rpp = base.sum_of_peaks(topo, Level::Rpp);
 
-    let report = |name: &str, assignment: &Assignment, elapsed: std::time::Duration, swaps: usize| {
-        let agg = NodeAggregates::compute(topo, assignment, test).expect("aggregation");
-        println!(
-            "{:<22} rack red. {:>6}   rpp red. {:>6}   {:>8.1?}   {:>4} swaps",
-            name,
-            pct_abs(1.0 - agg.sum_of_peaks(topo, Level::Rack) / base_rack),
-            pct_abs(1.0 - agg.sum_of_peaks(topo, Level::Rpp) / base_rpp),
-            elapsed,
-            swaps,
-        );
-    };
+    let report =
+        |name: &str, assignment: &Assignment, elapsed: std::time::Duration, swaps: usize| {
+            let agg = NodeAggregates::compute(topo, assignment, test).expect("aggregation");
+            println!(
+                "{:<22} rack red. {:>6}   rpp red. {:>6}   {:>8.1?}   {:>4} swaps",
+                name,
+                pct_abs(1.0 - agg.sum_of_peaks(topo, Level::Rack) / base_rack),
+                pct_abs(1.0 - agg.sum_of_peaks(topo, Level::Rpp) / base_rpp),
+                elapsed,
+                swaps,
+            );
+        };
 
     // Full clustering placement.
     let t0 = Instant::now();
-    let smooth = SmoothPlacer::default().place(fleet, topo).expect("placement succeeds");
+    let smooth = SmoothPlacer::default()
+        .place(fleet, topo)
+        .expect("placement succeeds");
     report("placement", &smooth, t0.elapsed(), 0);
 
     // Remap-only, starting from the grouped layout.
-    let config = RemapConfig { max_swaps: 96, ..RemapConfig::default() };
+    let config = RemapConfig {
+        max_swaps: 96,
+        ..RemapConfig::default()
+    };
     let t0 = Instant::now();
     let mut remapped = grouped.clone();
     let r = remap(fleet, topo, &mut remapped, config).expect("remap succeeds");

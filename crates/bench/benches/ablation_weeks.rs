@@ -4,8 +4,8 @@
 //! its decisions to any specific week". This sweep varies the training
 //! window and evaluates the placement on the held-out test week.
 
-use so_bench::{banner, pct_abs};
 use so_baselines::oblivious_placement;
+use so_bench::{banner, pct_abs};
 use so_core::SmoothPlacer;
 use so_powertree::{Level, NodeAggregates, PowerTopology};
 use so_workloads::DcScenario;

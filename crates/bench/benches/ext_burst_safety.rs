@@ -25,13 +25,15 @@ fn main() {
     let topo = &setup.topology;
 
     let grouped = oblivious_placement(fleet, topo, 0.0, 7).expect("fleet fits");
-    let smooth = SmoothPlacer::default().place(fleet, topo).expect("placement succeeds");
+    let smooth = SmoothPlacer::default()
+        .place(fleet, topo)
+        .expect("placement succeeds");
 
     // Budgets: only RPPs constrained, at 5% above the worst historical
     // RPP peak (the uniform breaker size an operator of the unoptimized
     // datacenter would install).
-    let historical = NodeAggregates::compute(topo, &grouped, fleet.test_traces())
-        .expect("aggregation");
+    let historical =
+        NodeAggregates::compute(topo, &grouped, fleet.test_traces()).expect("aggregation");
     let max_rpp_peak = topo
         .nodes_at_level(Level::Rpp)
         .iter()
@@ -41,7 +43,13 @@ fn main() {
     let budgets: Vec<f64> = topo
         .nodes()
         .iter()
-        .map(|n| if n.level() == Level::Rpp { rpp_budget } else { f64::INFINITY })
+        .map(|n| {
+            if n.level() == Level::Rpp {
+                rpp_budget
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect();
 
     // A two-hour regional burst centered on the datacenter's daily peak.
@@ -56,10 +64,11 @@ fn main() {
     let bursty = inject_burst(fleet, burst);
 
     let breaker = BreakerModel::new(2);
+    println!("RPP budget: {rpp_budget:.0} W (worst historical peak {max_rpp_peak:.0} W + 5%)\n");
     println!(
-        "RPP budget: {rpp_budget:.0} W (worst historical peak {max_rpp_peak:.0} W + 5%)\n"
+        "{:<12} {:>14} {:>14} {:>18}",
+        "placement", "trips", "tripped RPPs", "worst overdraw"
     );
-    println!("{:<12} {:>14} {:>14} {:>18}", "placement", "trips", "tripped RPPs", "worst overdraw");
     for (name, assignment) in [("grouped", &grouped), ("smooth", &smooth)] {
         let agg = NodeAggregates::compute(topo, assignment, &bursty).expect("aggregation");
         let trips = breaker

@@ -25,7 +25,9 @@ fn main() {
     let topo = &setup.topology;
 
     let grouped = oblivious_placement(fleet, topo, 0.0, 7).expect("fleet fits");
-    let smooth = SmoothPlacer::default().place(fleet, topo).expect("placement succeeds");
+    let smooth = SmoothPlacer::default()
+        .place(fleet, topo)
+        .expect("placement succeeds");
 
     // Derated RPP budgets: 93% of the worst historical RPP peak — e.g. a
     // utility-mandated derate after an incident. The fragmented placement
@@ -41,10 +43,19 @@ fn main() {
     let budgets: Vec<f64> = topo
         .nodes()
         .iter()
-        .map(|n| if n.level() == Level::Rpp { rpp_budget } else { f64::INFINITY })
+        .map(|n| {
+            if n.level() == Level::Rpp {
+                rpp_budget
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect();
 
-    println!("RPP budget: {rpp_budget:.0} W ({} of the worst historical peak)\n", pct_abs(0.93));
+    println!(
+        "RPP budget: {rpp_budget:.0} W ({} of the worst historical peak)\n",
+        pct_abs(0.93)
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>14} {:>14}",
         "placement", "shed steps", "LC-shed", "batch shed", "LC shed"

@@ -48,11 +48,7 @@ fn main() {
     let hot_trace = agg_grouped.trace(hot).expect("trace exists");
     let budget = hot_trace.quantile(0.5).expect("valid quantile")
         + 0.6 * (hot_trace.peak() - hot_trace.quantile(0.5).expect("valid quantile"));
-    let overdraw_minutes: f64 = hot_trace
-        .samples()
-        .iter()
-        .filter(|&&p| p > budget)
-        .count() as f64
+    let overdraw_minutes: f64 = hot_trace.samples().iter().filter(|&&p| p > budget).count() as f64
         * hot_trace.step_minutes() as f64;
     println!(
         "hottest RPP under grouped placement: peak {:.0} W, budget {:.0} W,\n  over budget for {:.0} minutes/week ({} of samples)\n",
@@ -62,8 +58,14 @@ fn main() {
         pct_abs(overdraw_minutes / (hot_trace.len() as f64 * hot_trace.step_minutes() as f64)),
     );
 
-    println!("battery sized for the overdraw amplitude ({:.0} W), varying duration:", hot_trace.peak() - budget);
-    println!("  {:>12} {:>14} {:>18}", "capacity", "covered?", "uncovered energy");
+    println!(
+        "battery sized for the overdraw amplitude ({:.0} W), varying duration:",
+        hot_trace.peak() - budget
+    );
+    println!(
+        "  {:>12} {:>14} {:>18}",
+        "capacity", "covered?", "uncovered energy"
+    );
     for minutes in [15.0, 30.0, 60.0, 120.0, 240.0] {
         let battery = BatteryModel::sized_for(hot_trace.peak() - budget, minutes);
         let outcome = shave_with_battery(hot_trace, budget, battery);
@@ -116,11 +118,13 @@ fn main() {
     );
     let agg_burst = NodeAggregates::compute(topo, &smooth, &bursty).expect("aggregation");
     let burst_trace = agg_burst.trace(hot).expect("trace exists");
-    let burst_budget = smooth_trace.peak().max(burst_trace.samples()[..200].iter().copied().fold(f64::MIN, f64::max)) * 1.005;
-    let battery = BatteryModel::sized_for(
-        (burst_trace.peak() - burst_budget).max(1.0),
-        45.0,
-    );
+    let burst_budget = smooth_trace.peak().max(
+        burst_trace.samples()[..200]
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max),
+    ) * 1.005;
+    let battery = BatteryModel::sized_for((burst_trace.peak() - burst_budget).max(1.0), 45.0);
     let outcome = shave_with_battery(burst_trace, burst_budget, battery);
     println!(
         "\na 30-minute traffic burst on the smooth placement: battery sized for 45 min {} it (uncovered {:.0} W·min)",

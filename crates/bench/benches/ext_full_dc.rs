@@ -36,10 +36,12 @@ fn main() {
         .expect("shape is valid");
     assert_eq!(topo.racks().len(), 128);
 
-    let baseline = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E)
-        .expect("fleet fits");
+    let baseline =
+        oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E).expect("fleet fits");
     let t0 = Instant::now();
-    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+    let smooth = SmoothPlacer::default()
+        .place(&fleet, &topo)
+        .expect("placement succeeds");
     let place = t0.elapsed();
 
     let test = fleet.test_traces();
@@ -51,7 +53,10 @@ fn main() {
         fleet.len(),
         topo.len()
     );
-    println!("{:<8} {:>8} {:>12} {:>12} {:>10}", "level", "nodes", "grouped", "smooth", "red.");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>10}",
+        "level", "nodes", "grouped", "smooth", "red."
+    );
     for level in Level::ALL {
         let b = before.sum_of_peaks(&topo, level);
         let a = after.sum_of_peaks(&topo, level);

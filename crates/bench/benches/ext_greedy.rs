@@ -45,12 +45,13 @@ fn main() {
         report("random", &random, t0.elapsed());
 
         let t0 = Instant::now();
-        let smooth = SmoothPlacer::default().place(fleet, topo).expect("placement succeeds");
+        let smooth = SmoothPlacer::default()
+            .place(fleet, topo)
+            .expect("placement succeeds");
         report("clustering", &smooth, t0.elapsed());
 
         let t0 = Instant::now();
-        let greedy =
-            greedy_peak_placement(topo, fleet.averaged_traces()).expect("fleet fits");
+        let greedy = greedy_peak_placement(topo, fleet.averaged_traces()).expect("fleet fits");
         report("greedy", &greedy, t0.elapsed());
     }
     println!("\n(context: greedy optimizes the training week directly and can overfit it;\n the clustering placement generalizes through the asynchrony embedding and\n runs in near-linear time, which is what a 10^4-10^5-instance suite needs)");

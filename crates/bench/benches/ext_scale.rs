@@ -44,7 +44,9 @@ fn main() {
         let baseline = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E)
             .expect("fleet fits");
         let t0 = Instant::now();
-        let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+        let smooth = SmoothPlacer::default()
+            .place(&fleet, &topo)
+            .expect("placement succeeds");
         let place_time = t0.elapsed();
 
         let test = fleet.test_traces();

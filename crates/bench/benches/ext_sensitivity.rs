@@ -5,7 +5,7 @@
 //! baseline mixing (how fragmented the historical placement is). The
 //! paper's three datacenters are three points in this plane; the sweep
 //! maps the whole region. Cells run in parallel (one thread per jitter
-//! row) via crossbeam's scoped threads.
+//! row) via std's scoped threads.
 
 use so_baselines::oblivious_placement;
 use so_bench::{banner, pct_abs};
@@ -27,9 +27,10 @@ fn rpp_reduction(jitter_sd: f64, mixing: f64) -> f64 {
         .rack_capacity(12)
         .build()
         .expect("shape is valid");
-    let baseline =
-        oblivious_placement(&fleet, &topo, mixing, 0xB4_5E).expect("fleet fits");
-    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+    let baseline = oblivious_placement(&fleet, &topo, mixing, 0xB4_5E).expect("fleet fits");
+    let smooth = SmoothPlacer::default()
+        .place(&fleet, &topo)
+        .expect("placement succeeds");
     let test = fleet.test_traces();
     let before = NodeAggregates::compute(&topo, &baseline, test).expect("aggregation");
     let after = NodeAggregates::compute(&topo, &smooth, test).expect("aggregation");
@@ -46,11 +47,11 @@ fn main() {
 
     // One worker per jitter row.
     let mut rows: Vec<Vec<f64>> = vec![Vec::new(); jitters.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = jitters
             .iter()
             .map(|&jitter| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     mixings
                         .iter()
                         .map(|&mixing| rpp_reduction(jitter, mixing))
@@ -61,8 +62,7 @@ fn main() {
         for (row, handle) in rows.iter_mut().zip(handles) {
             *row = handle.join().expect("worker finishes");
         }
-    })
-    .expect("scope joins");
+    });
 
     print!("{:>14}", "jitter \\ mix");
     for m in mixings {

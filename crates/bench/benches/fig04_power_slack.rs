@@ -33,7 +33,10 @@ fn main() {
     );
 
     let pre_slack = outcome.pre.slack(budget).expect("slack computes");
-    let post_slack = outcome.throttle_boost.slack(budget).expect("slack computes");
+    let post_slack = outcome
+        .throttle_boost
+        .slack(budget)
+        .expect("slack computes");
     println!(
         "\nmean power slack: {:.0} W -> {:.0} W",
         pre_slack.mean_slack(),

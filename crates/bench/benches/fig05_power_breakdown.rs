@@ -19,7 +19,12 @@ fn main() {
         println!("\n{}:", setup.scenario.name);
         let shares = setup.fleet.power_share_by_service();
         for (rank, (service, share)) in shares.iter().take(10).enumerate() {
-            println!("  {:>2}. {:<14} {:>6}", rank + 1, service.to_string(), pct_abs(*share));
+            println!(
+                "  {:>2}. {:<14} {:>6}",
+                rank + 1,
+                service.to_string(),
+                pct_abs(*share)
+            );
         }
         let covered: f64 = shares.iter().take(10).map(|(_, s)| s).sum();
         println!("  (top 10 cover {} of fleet power)", pct_abs(covered));

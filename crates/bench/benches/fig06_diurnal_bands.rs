@@ -29,8 +29,8 @@ fn main() {
                     .weekly_trace(grid, 0)
             })
             .collect();
-        let bands = PercentileBands::compute(&population, &quantiles)
-            .expect("population is on one grid");
+        let bands =
+            PercentileBands::compute(&population, &quantiles).expect("population is on one grid");
 
         println!("\n{label}:");
         for &q in &quantiles {

@@ -33,11 +33,12 @@ fn main() {
 
     let vectors = score_vectors(fleet, &members, &straces).expect("embedding succeeds");
     let clustering = kmeans(&vectors, KMeansConfig::new(8)).expect("k-means succeeds");
-    let silhouette =
-        silhouette_score(&vectors, &clustering.labels).expect("at least two clusters");
+    let silhouette = silhouette_score(&vectors, &clustering.labels).expect("at least two clusters");
     println!(
         "k-means: k = 8, inertia = {:.4}, silhouette = {:.3}, sizes = {:?}",
-        clustering.inertia, silhouette, clustering.sizes()
+        clustering.inertia,
+        silhouette,
+        clustering.sizes()
     );
 
     // Cluster purity vs service labels (how well clusters track services).
@@ -65,8 +66,7 @@ fn main() {
     let mut standardized = vectors.clone();
     for d in 0..dim {
         let mean = vectors.iter().map(|v| v[d]).sum::<f64>() / vectors.len() as f64;
-        let var = vectors.iter().map(|v| (v[d] - mean).powi(2)).sum::<f64>()
-            / vectors.len() as f64;
+        let var = vectors.iter().map(|v| (v[d] - mean).powi(2)).sum::<f64>() / vectors.len() as f64;
         let sd = var.sqrt().max(1e-9);
         for (row, v) in standardized.iter_mut().zip(&vectors) {
             row[d] = (v[d] - mean) / sd;

@@ -16,7 +16,10 @@ fn main() {
         "Sum-of-peaks reduction of SmoothOperator vs the historical placement (test week).",
     );
     let levels = [Level::Suite, Level::Msb, Level::Sb, Level::Rpp];
-    println!("{:<6} {:>8} {:>8} {:>8} {:>8}", "DC", "SUITE", "MSB", "SB", "RPP");
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8}",
+        "DC", "SUITE", "MSB", "SB", "RPP"
+    );
 
     for scenario in DcScenario::all() {
         let setup = standard_setup(scenario);

@@ -15,13 +15,14 @@ fn main() {
         "Figure 11 — normalized required power budget per level",
         "StatProf(u, δ) on the historical placement vs SmoOp(u, δ) on the\nworkload-aware placement; normalized to StatProf(0, 0) per level.",
     );
-    let degrees = [
-        (0.0, 0.0),
-        (1.0, 0.01),
-        (5.0, 0.05),
-        (10.0, 0.1),
+    let degrees = [(0.0, 0.0), (1.0, 0.01), (5.0, 0.05), (10.0, 0.1)];
+    let levels = [
+        Level::Datacenter,
+        Level::Suite,
+        Level::Msb,
+        Level::Sb,
+        Level::Rpp,
     ];
-    let levels = [Level::Datacenter, Level::Suite, Level::Msb, Level::Sb, Level::Rpp];
 
     for scenario in DcScenario::all() {
         let setup = standard_setup(scenario);
@@ -41,13 +42,14 @@ fn main() {
             "config", "DC", "SUITE", "MSB", "SB", "RPP"
         );
         for &(u, d) in &degrees {
-            let config = ProvisioningDegrees { underprovision_pct: u, overbooking: d };
-            let statprof =
-                statprof_required_budget(&setup.topology, &setup.grouped, test, config)
-                    .expect("provisioning succeeds");
-            let smoop =
-                aggregate_required_budget(&setup.topology, &setup.smooth, test, config)
-                    .expect("provisioning succeeds");
+            let config = ProvisioningDegrees {
+                underprovision_pct: u,
+                overbooking: d,
+            };
+            let statprof = statprof_required_budget(&setup.topology, &setup.grouped, test, config)
+                .expect("provisioning succeeds");
+            let smoop = aggregate_required_budget(&setup.topology, &setup.smooth, test, config)
+                .expect("provisioning succeeds");
 
             let fmt_row = |name: String, report: &so_baselines::ProvisioningReport| {
                 let mut row = format!("  {name:<20}");

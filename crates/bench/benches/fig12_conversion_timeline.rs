@@ -18,8 +18,8 @@ fn main() {
     );
     let scenario = DcScenario::dc2();
     let topo = fitting_topology(240, 12).expect("topology fits");
-    let outcome = run_scenario(&scenario, 240, &topo, &PipelineConfig::default())
-        .expect("pipeline succeeds");
+    let outcome =
+        run_scenario(&scenario, 240, &topo, &PipelineConfig::default()).expect("pipeline succeeds");
 
     println!(
         "fleet: {} LC + {} Batch servers; headroom hosts {} conversion servers; L_conv = {:.2}\n",
@@ -27,9 +27,18 @@ fn main() {
     );
 
     let width = 96;
-    println!("per-LC-server load (guarded level L_conv = {:.2}):", outcome.l_conv);
-    println!("  pre  {}", sparkline(&thin(&outcome.pre.per_lc_server_load, width)));
-    println!("  conv {}", sparkline(&thin(&outcome.conversion.per_lc_server_load, width)));
+    println!(
+        "per-LC-server load (guarded level L_conv = {:.2}):",
+        outcome.l_conv
+    );
+    println!(
+        "  pre  {}",
+        sparkline(&thin(&outcome.pre.per_lc_server_load, width))
+    );
+    println!(
+        "  conv {}",
+        sparkline(&thin(&outcome.conversion.per_lc_server_load, width))
+    );
     let pre_peak_load = outcome
         .pre
         .per_lc_server_load
@@ -45,12 +54,24 @@ fn main() {
     println!("  peak load: pre {pre_peak_load:.3} -> conv {conv_peak_load:.3}\n");
 
     println!("Batch throughput (normalized server·steps):");
-    println!("  pre  {}", sparkline(&thin(&outcome.pre.batch_throughput, width)));
-    println!("  conv {}", sparkline(&thin(&outcome.conversion.batch_throughput, width)));
+    println!(
+        "  pre  {}",
+        sparkline(&thin(&outcome.pre.batch_throughput, width))
+    );
+    println!(
+        "  conv {}",
+        sparkline(&thin(&outcome.conversion.batch_throughput, width))
+    );
 
     println!("\nLC throughput (served QPS):");
-    println!("  pre  {}", sparkline(&thin(&outcome.pre.lc_served_qps, width)));
-    println!("  conv {}", sparkline(&thin(&outcome.conversion.lc_served_qps, width)));
+    println!(
+        "  pre  {}",
+        sparkline(&thin(&outcome.pre.lc_served_qps, width))
+    );
+    println!(
+        "  conv {}",
+        sparkline(&thin(&outcome.conversion.lc_served_qps, width))
+    );
 
     let conv_lc_steps = outcome
         .conversion

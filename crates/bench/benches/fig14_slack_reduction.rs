@@ -15,7 +15,10 @@ fn main() {
         "Figure 14 — power-slack reduction per datacenter",
         "Energy-slack reduction of the full reshaping tier vs the pre run,\nagainst the peak-provisioned root budget.",
     );
-    println!("{:<5} {:>16} {:>22}", "DC", "avg slack red.", "off-peak slack red.");
+    println!(
+        "{:<5} {:>16} {:>22}",
+        "DC", "avg slack red.", "off-peak slack red."
+    );
     for scenario in DcScenario::all() {
         let topo = fitting_topology(240, 12).expect("topology fits");
         let outcome = run_scenario(&scenario, 240, &topo, &PipelineConfig::default())
@@ -26,7 +29,12 @@ fn main() {
         let off_peak = outcome
             .off_peak_slack_reduction(&outcome.throttle_boost)
             .expect("slack computes");
-        println!("{:<5} {:>16} {:>22}", outcome.name, pct_abs(avg), pct_abs(off_peak));
+        println!(
+            "{:<5} {:>16} {:>22}",
+            outcome.name,
+            pct_abs(avg),
+            pct_abs(off_peak)
+        );
     }
     println!("\n(paper: 44% / 41% / 18% average slack reduction for DC1/DC2/DC3,\n off-peak reductions higher than the averages)");
 }

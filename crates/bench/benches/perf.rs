@@ -11,11 +11,14 @@ use so_cluster::{balanced_kmeans, kmeans, KMeansConfig};
 use so_core::{
     asynchrony_score, pairwise_score_vectors, score_vectors, ServiceTraces, SmoothPlacer,
 };
+use so_parallel::serial_scope;
 use so_powertree::{Assignment, NodeAggregates, PowerTopology};
 use so_workloads::DcScenario;
 
 fn bench_scoring(c: &mut Criterion) {
-    let fleet = DcScenario::dc2().generate_fleet(256).expect("fleet generates");
+    let fleet = DcScenario::dc2()
+        .generate_fleet(256)
+        .expect("fleet generates");
     let traces = fleet.averaged_traces();
 
     let mut group = c.benchmark_group("scoring");
@@ -28,7 +31,9 @@ fn bench_scoring(c: &mut Criterion) {
 }
 
 fn bench_embedding(c: &mut Criterion) {
-    let fleet = DcScenario::dc2().generate_fleet(192).expect("fleet generates");
+    let fleet = DcScenario::dc2()
+        .generate_fleet(192)
+        .expect("fleet generates");
     let members: Vec<usize> = (0..fleet.len()).collect();
     let straces = ServiceTraces::extract(&fleet, &members, 8).expect("services exist");
 
@@ -44,7 +49,9 @@ fn bench_embedding(c: &mut Criterion) {
 }
 
 fn bench_clustering(c: &mut Criterion) {
-    let fleet = DcScenario::dc3().generate_fleet(256).expect("fleet generates");
+    let fleet = DcScenario::dc3()
+        .generate_fleet(256)
+        .expect("fleet generates");
     let members: Vec<usize> = (0..fleet.len()).collect();
     let straces = ServiceTraces::extract(&fleet, &members, 8).expect("services exist");
     let points = score_vectors(&fleet, &members, &straces).expect("embedding succeeds");
@@ -60,7 +67,9 @@ fn bench_clustering(c: &mut Criterion) {
 }
 
 fn bench_placement(c: &mut Criterion) {
-    let fleet = DcScenario::dc2().generate_fleet(320).expect("fleet generates");
+    let fleet = DcScenario::dc2()
+        .generate_fleet(320)
+        .expect("fleet generates");
     let topo = PowerTopology::builder()
         .suites(1)
         .msbs_per_suite(2)
@@ -83,8 +92,51 @@ fn bench_placement(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel placement on a fleet-scale topology (10k instances,
+/// 512 racks). Identical work and bit-identical output in both arms — the
+/// only difference is the thread budget, so the ratio is the speedup of
+/// the `parallel` feature on this machine. On a single-core runner both
+/// arms degenerate to the same serial loop.
+fn bench_parallel_placement(c: &mut Criterion) {
+    let fleet = DcScenario::dc2()
+        .generate_fleet(10_000)
+        .expect("fleet generates");
+    // 4 suites x 2 MSBs x 2 SBs x 4 RPPs x 4 racks x 40 servers = 10_240.
+    let topo = PowerTopology::builder()
+        .suites(4)
+        .msbs_per_suite(2)
+        .sbs_per_msb(2)
+        .rpps_per_sb(4)
+        .racks_per_rpp(4)
+        .rack_capacity(40)
+        .build()
+        .expect("shape is valid");
+
+    let mut group = c.benchmark_group("parallel_placement");
+    group.sample_size(10);
+    group.bench_function("smooth_place_10k_parallel", |b| {
+        b.iter(|| {
+            SmoothPlacer::default()
+                .place(&fleet, &topo)
+                .expect("placement succeeds")
+        })
+    });
+    group.bench_function("smooth_place_10k_serial", |b| {
+        b.iter(|| {
+            serial_scope(|| {
+                SmoothPlacer::default()
+                    .place(&fleet, &topo)
+                    .expect("placement succeeds")
+            })
+        })
+    });
+    group.finish();
+}
+
 fn bench_aggregation(c: &mut Criterion) {
-    let fleet = DcScenario::dc1().generate_fleet(320).expect("fleet generates");
+    let fleet = DcScenario::dc1()
+        .generate_fleet(320)
+        .expect("fleet generates");
     let topo = PowerTopology::builder()
         .suites(1)
         .msbs_per_suite(2)
@@ -116,7 +168,11 @@ fn bench_capping(c: &mut Criterion) {
         .build()
         .expect("shape is valid");
     let demands = vec![
-        ClassDemand { high: 1_500.0, medium: 300.0, low: 1_800.0 };
+        ClassDemand {
+            high: 1_500.0,
+            medium: 300.0,
+            low: 1_800.0
+        };
         topo.racks().len()
     ];
     let budgets: Vec<f64> = topo
@@ -138,6 +194,7 @@ criterion_group!(
     bench_embedding,
     bench_clustering,
     bench_placement,
+    bench_parallel_placement,
     bench_aggregation,
     bench_capping
 );

@@ -29,7 +29,8 @@ fn main() {
             stat_multiplexing: false,
             distributed_ups: true,
             smooth_operator: true,
-            evidence: "asynchrony scores are functions of trace *timing* (so-core::asynchrony_score)",
+            evidence:
+                "asynchrony scores are functions of trace *timing* (so-core::asynchrony_score)",
         },
         Row {
             property: "Using existing power infra.",
@@ -86,6 +87,12 @@ fn main() {
     let model = ConversionModel::default();
     println!("\nconversion-server assumptions (storage-disaggregated):");
     println!("  conversion time: {} minutes", model.conversion_minutes());
-    println!("  data stays available: {}", model.preserves_data_availability());
-    println!("  OS stays up (power monitors in control): {}", model.os_stays_up());
+    println!(
+        "  data stays available: {}",
+        model.preserves_data_availability()
+    );
+    println!(
+        "  OS stays up (power monitors in control): {}",
+        model.os_stays_up()
+    );
 }

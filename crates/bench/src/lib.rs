@@ -70,7 +70,13 @@ pub fn setup_with(scenario: DcScenario, instances: usize, rack_capacity: usize) 
     let smooth = SmoothPlacer::default()
         .place(&fleet, &topology)
         .expect("placement succeeds on bench fleets");
-    DcSetup { scenario, fleet, topology, grouped, smooth }
+    DcSetup {
+        scenario,
+        fleet,
+        topology,
+        grouped,
+        smooth,
+    }
 }
 
 /// Prints a figure/table banner.

@@ -26,12 +26,16 @@ pub struct CapOutcome {
 impl CapOutcome {
     /// Total shed power across racks, by class.
     pub fn total_shed(&self) -> ClassDemand {
-        self.shed.iter().fold(ClassDemand::zero(), |acc, &s| acc + s)
+        self.shed
+            .iter()
+            .fold(ClassDemand::zero(), |acc, &s| acc + s)
     }
 
     /// Total granted power across racks, by class.
     pub fn total_granted(&self) -> ClassDemand {
-        self.granted.iter().fold(ClassDemand::zero(), |acc, &g| acc + g)
+        self.granted
+            .iter()
+            .fold(ClassDemand::zero(), |acc, &g| acc + g)
     }
 
     /// Whether any high-priority (LC) power was shed — an SLA event.
@@ -198,7 +202,14 @@ mod tests {
     #[test]
     fn no_shedding_when_budgets_suffice() {
         let t = topo();
-        let demands = vec![ClassDemand { high: 100.0, medium: 50.0, low: 200.0 }; 4];
+        let demands = vec![
+            ClassDemand {
+                high: 100.0,
+                medium: 50.0,
+                low: 200.0
+            };
+            4
+        ];
         let outcome = allocate_caps(&t, &demands, &uniform_budgets(&t, 1_000.0)).unwrap();
         assert_eq!(outcome.total_shed(), ClassDemand::zero());
         assert_eq!(outcome.granted[0].total(), 350.0);
@@ -208,7 +219,14 @@ mod tests {
     fn batch_sheds_before_lc() {
         let t = topo();
         // Each rack demands 400 W LC + 400 W batch against a 500 W budget.
-        let demands = vec![ClassDemand { high: 400.0, medium: 0.0, low: 400.0 }; 4];
+        let demands = vec![
+            ClassDemand {
+                high: 400.0,
+                medium: 0.0,
+                low: 400.0
+            };
+            4
+        ];
         let outcome = allocate_caps(&t, &demands, &uniform_budgets(&t, 500.0)).unwrap();
         for (g, s) in outcome.granted.iter().zip(&outcome.shed) {
             assert_eq!(g.high, 400.0, "LC must be fully granted");
@@ -221,7 +239,14 @@ mod tests {
     #[test]
     fn lc_sheds_only_when_budget_is_below_lc_demand() {
         let t = topo();
-        let demands = vec![ClassDemand { high: 600.0, medium: 0.0, low: 100.0 }; 4];
+        let demands = vec![
+            ClassDemand {
+                high: 600.0,
+                medium: 0.0,
+                low: 100.0
+            };
+            4
+        ];
         let outcome = allocate_caps(&t, &demands, &uniform_budgets(&t, 500.0)).unwrap();
         assert!(outcome.lc_was_shed());
         for s in &outcome.shed {
@@ -236,7 +261,14 @@ mod tests {
         // Rack budgets ample, but the root can only carry 1 000 W total.
         let mut budgets = uniform_budgets(&t, 1_000.0);
         budgets[t.root().index()] = 1_000.0;
-        let demands = vec![ClassDemand { high: 300.0, medium: 0.0, low: 300.0 }; 4];
+        let demands = vec![
+            ClassDemand {
+                high: 300.0,
+                medium: 0.0,
+                low: 300.0
+            };
+            4
+        ];
         let outcome = allocate_caps(&t, &demands, &budgets).unwrap();
         let total = outcome.total_granted();
         assert!(total.total() <= 1_000.0 + 1e-6);
@@ -280,7 +312,14 @@ mod tests {
         let t = topo();
         let demands = vec![ClassDemand::zero(); 3];
         assert!(allocate_caps(&t, &demands, &uniform_budgets(&t, 1.0)).is_err());
-        let bad = vec![ClassDemand { high: -1.0, medium: 0.0, low: 0.0 }; 4];
+        let bad = vec![
+            ClassDemand {
+                high: -1.0,
+                medium: 0.0,
+                low: 0.0
+            };
+            4
+        ];
         assert!(allocate_caps(&t, &bad, &uniform_budgets(&t, 1.0)).is_err());
         let demands = vec![ClassDemand::zero(); 4];
         assert!(allocate_caps(&t, &demands, &[1.0]).is_err());

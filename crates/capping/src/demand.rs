@@ -128,8 +128,16 @@ mod tests {
 
     #[test]
     fn addition_is_classwise() {
-        let a = ClassDemand { high: 1.0, medium: 2.0, low: 3.0 };
-        let b = ClassDemand { high: 10.0, medium: 20.0, low: 30.0 };
+        let a = ClassDemand {
+            high: 1.0,
+            medium: 2.0,
+            low: 3.0,
+        };
+        let b = ClassDemand {
+            high: 10.0,
+            medium: 20.0,
+            low: 30.0,
+        };
         let c = a + b;
         assert_eq!(c.high, 11.0);
         assert_eq!(c.medium, 22.0);
@@ -148,9 +156,17 @@ mod tests {
 
     #[test]
     fn invalid_demands_are_detected() {
-        let d = ClassDemand { high: -1.0, medium: 0.0, low: 0.0 };
+        let d = ClassDemand {
+            high: -1.0,
+            medium: 0.0,
+            low: 0.0,
+        };
         assert!(!d.is_valid());
-        let d = ClassDemand { high: f64::NAN, medium: 0.0, low: 0.0 };
+        let d = ClassDemand {
+            high: f64::NAN,
+            medium: 0.0,
+            low: 0.0,
+        };
         assert!(!d.is_valid());
     }
 }

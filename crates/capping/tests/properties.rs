@@ -18,8 +18,11 @@ fn topo() -> PowerTopology {
 
 fn demands(n: usize) -> impl Strategy<Value = Vec<ClassDemand>> {
     prop::collection::vec(
-        (0.0f64..500.0, 0.0f64..500.0, 0.0f64..500.0)
-            .prop_map(|(high, medium, low)| ClassDemand { high, medium, low }),
+        (0.0f64..500.0, 0.0f64..500.0, 0.0f64..500.0).prop_map(|(high, medium, low)| ClassDemand {
+            high,
+            medium,
+            low,
+        }),
         n..=n,
     )
 }

@@ -7,10 +7,11 @@
 //! least distance penalty (documented design choice in `DESIGN.md`).
 
 use serde::{Deserialize, Serialize};
+use so_parallel::par_map;
 
 use crate::distance::euclidean_sq;
 use crate::error::{validate_points, ClusterError};
-use crate::kmeans::{kmeans, Clustering, KMeansConfig};
+use crate::kmeans::{cluster_sums, inertia_of, kmeans, Clustering, KMeansConfig};
 
 /// Result of a balanced k-means run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,11 +64,11 @@ pub fn balanced_kmeans(
         *size += 1;
     }
 
-    // Distance of every point to every centroid.
-    let dist2: Vec<Vec<f64>> = points
-        .iter()
-        .map(|p| base.centroids.iter().map(|c| euclidean_sq(p, c)).collect())
-        .collect();
+    // Distance of every point to every centroid. Row-parallel: each row is
+    // a pure function of one point, identical to the serial loop.
+    let dist2: Vec<Vec<f64>> = par_map(points, 64, |_, p| {
+        base.centroids.iter().map(|c| euclidean_sq(p, c)).collect()
+    });
 
     // Process points most-confident-first: large (second_best − best)
     // margin means the point really belongs to its best cluster.
@@ -88,7 +89,7 @@ pub fn balanced_kmeans(
                 continue;
             }
             let d = dist2[i][c];
-            if best.is_none_or(|(_, bd)| d < bd) {
+            if best.map_or(true, |(_, bd)| d < bd) {
                 best = Some((c, d));
             }
         }
@@ -97,16 +98,10 @@ pub fn balanced_kmeans(
         remaining[c] -= 1;
     }
 
-    // Recompute centroids and inertia for the balanced labels.
+    // Recompute centroids and inertia for the balanced labels, using the
+    // same canonically chunked reductions as the k-means update step.
     let dim = points[0].len();
-    let mut centroids = vec![vec![0.0; dim]; k];
-    let mut counts = vec![0usize; k];
-    for (p, &l) in points.iter().zip(&labels) {
-        counts[l] += 1;
-        for (s, v) in centroids[l].iter_mut().zip(p) {
-            *s += v;
-        }
-    }
+    let (mut centroids, counts) = cluster_sums(points, &labels, k, dim);
     for (centroid, &count) in centroids.iter_mut().zip(&counts) {
         if count > 0 {
             for v in centroid.iter_mut() {
@@ -114,11 +109,7 @@ pub fn balanced_kmeans(
             }
         }
     }
-    let inertia = points
-        .iter()
-        .zip(&labels)
-        .map(|(p, &l)| euclidean_sq(p, &centroids[l]))
-        .sum();
+    let inertia = inertia_of(points, &labels, &centroids);
 
     Ok(BalancedClustering {
         clustering: Clustering {
@@ -190,9 +181,11 @@ mod tests {
         }
         let result = balanced_kmeans(&pts, KMeansConfig::new(3)).unwrap();
         for blob in 0..3 {
-            let labels: Vec<usize> =
-                (0..10).map(|i| result.labels()[blob * 10 + i]).collect();
-            assert!(labels.iter().all(|&l| l == labels[0]), "blob {blob} split: {labels:?}");
+            let labels: Vec<usize> = (0..10).map(|i| result.labels()[blob * 10 + i]).collect();
+            assert!(
+                labels.iter().all(|&l| l == labels[0]),
+                "blob {blob} split: {labels:?}"
+            );
         }
     }
 

@@ -43,7 +43,11 @@ impl fmt::Display for ClusterError {
             ClusterError::TooFewPoints { points, clusters } => {
                 write!(f, "{points} points cannot fill {clusters} clusters")
             }
-            ClusterError::DimensionMismatch { expected, found, index } => write!(
+            ClusterError::DimensionMismatch {
+                expected,
+                found,
+                index,
+            } => write!(
                 f,
                 "point {index} has {found} dimensions, expected {expected}"
             ),
@@ -51,7 +55,10 @@ impl fmt::Display for ClusterError {
                 write!(f, "point {index} has a non-finite coordinate")
             }
             ClusterError::InvalidPerplexity(p) => {
-                write!(f, "perplexity {p} must be positive and below the point count")
+                write!(
+                    f,
+                    "perplexity {p} must be positive and below the point count"
+                )
             }
         }
     }
@@ -98,7 +105,10 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = ClusterError::TooFewPoints { points: 3, clusters: 8 };
+        let e = ClusterError::TooFewPoints {
+            points: 3,
+            clusters: 8,
+        };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('8'));
     }

@@ -4,13 +4,24 @@
 //! `|B|`-dimensional asynchrony-score space and k-means-clusters them to
 //! identify groups with synchronous power behaviour (§3.5).
 
-use rand::Rng;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use so_parallel::{par_chunk_map, par_map};
 
 use crate::distance::euclidean_sq;
 use crate::error::{validate_points, ClusterError};
+
+/// Minimum points per worker for the assignment step (one `nearest` scan
+/// per point).
+const ASSIGN_GRAIN: usize = 64;
+
+/// Canonical chunk length for parallel sum reductions (centroid update,
+/// inertia). The chunk layout — and therefore the floating-point
+/// association — depends only on this constant, never on the thread count,
+/// so serial and parallel runs produce bit-identical results.
+pub(crate) const REDUCE_CHUNK: usize = 256;
 
 /// Configuration for [`kmeans`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,7 +39,12 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// A sensible default configuration for `k` clusters.
     pub fn new(k: usize) -> Self {
-        Self { k, max_iters: 100, tol: 1e-6, seed: 0xC1_05_7E_12 }
+        Self {
+            k,
+            max_iters: 100,
+            tol: 1e-6,
+            seed: 0xC1_05_7E_12,
+        }
     }
 }
 
@@ -87,7 +103,10 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
         return Err(ClusterError::ZeroClusters);
     }
     if points.len() < config.k {
-        return Err(ClusterError::TooFewPoints { points: points.len(), clusters: config.k });
+        return Err(ClusterError::TooFewPoints {
+            points: points.len(),
+            clusters: config.k,
+        });
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -97,19 +116,12 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
 
     for iter in 0..config.max_iters.max(1) {
         iterations = iter + 1;
-        // Assignment step.
-        for (i, p) in points.iter().enumerate() {
-            labels[i] = nearest(p, &centroids).0;
-        }
-        // Update step.
-        let mut sums = vec![vec![0.0; centroids[0].len()]; config.k];
-        let mut counts = vec![0usize; config.k];
-        for (p, &l) in points.iter().zip(&labels) {
-            counts[l] += 1;
-            for (s, v) in sums[l].iter_mut().zip(p) {
-                *s += v;
-            }
-        }
+        // Assignment step: each label is a pure function of one point, so
+        // the parallel map is trivially identical to the serial loop.
+        labels = par_map(points, ASSIGN_GRAIN, |_, p| nearest(p, &centroids).0);
+        // Update step: canonically chunked partial sums folded in chunk
+        // order (see `REDUCE_CHUNK`).
+        let (sums, counts) = cluster_sums(points, &labels, config.k, centroids[0].len());
         let mut movement = 0.0;
         for c in 0..config.k {
             if counts[c] == 0 {
@@ -120,7 +132,10 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
                     .enumerate()
                     .max_by(|(_, a), (_, b)| {
                         euclidean_sq(a, &centroids[labels_centroid(&centroids, a)])
-                            .partial_cmp(&euclidean_sq(b, &centroids[labels_centroid(&centroids, b)]))
+                            .partial_cmp(&euclidean_sq(
+                                b,
+                                &centroids[labels_centroid(&centroids, b)],
+                            ))
                             .expect("distances are finite")
                     })
                     .map(|(i, _)| i)
@@ -139,9 +154,7 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
     }
 
     // Final assignment.
-    for (i, p) in points.iter().enumerate() {
-        labels[i] = nearest(p, &centroids).0;
-    }
+    labels = par_map(points, ASSIGN_GRAIN, |_, p| nearest(p, &centroids).0);
 
     // Hard non-empty guarantee: every empty cluster adopts the farthest
     // outlier of a cluster that can spare one (possible because n >= k).
@@ -168,12 +181,65 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
         centroids[empty] = points[outlier].clone();
     }
 
-    let inertia = points
-        .iter()
-        .zip(&labels)
-        .map(|(p, &l)| euclidean_sq(p, &centroids[l]))
-        .sum();
-    Ok(Clustering { labels, centroids, inertia, iterations })
+    let inertia = inertia_of(points, &labels, &centroids);
+    Ok(Clustering {
+        labels,
+        centroids,
+        inertia,
+        iterations,
+    })
+}
+
+/// Per-cluster coordinate sums and member counts, reduced over canonical
+/// [`REDUCE_CHUNK`]-sized chunks so the result does not depend on the
+/// thread count.
+pub(crate) fn cluster_sums(
+    points: &[Vec<f64>],
+    labels: &[usize],
+    k: usize,
+    dim: usize,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let partials = par_chunk_map(points, REDUCE_CHUNK, |chunk_idx, chunk| {
+        let base = chunk_idx * REDUCE_CHUNK;
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (offset, p) in chunk.iter().enumerate() {
+            let l = labels[base + offset];
+            counts[l] += 1;
+            for (s, v) in sums[l].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        (sums, counts)
+    });
+    let mut sums = vec![vec![0.0; dim]; k];
+    let mut counts = vec![0usize; k];
+    for (part_sums, part_counts) in partials {
+        for (acc, part) in sums.iter_mut().zip(&part_sums) {
+            for (s, v) in acc.iter_mut().zip(part) {
+                *s += v;
+            }
+        }
+        for (acc, part) in counts.iter_mut().zip(&part_counts) {
+            *acc += part;
+        }
+    }
+    (sums, counts)
+}
+
+/// Sum of squared point-to-centroid distances, reduced over canonical
+/// chunks like [`cluster_sums`].
+pub(crate) fn inertia_of(points: &[Vec<f64>], labels: &[usize], centroids: &[Vec<f64>]) -> f64 {
+    par_chunk_map(points, REDUCE_CHUNK, |chunk_idx, chunk| {
+        let base = chunk_idx * REDUCE_CHUNK;
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(offset, p)| euclidean_sq(p, &centroids[labels[base + offset]]))
+            .sum::<f64>()
+    })
+    .into_iter()
+    .sum()
 }
 
 fn labels_centroid(centroids: &[Vec<f64>], p: &[f64]) -> usize {
@@ -219,9 +285,10 @@ fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
             chosen
         };
         centroids.push(points[next].clone());
-        for (i, p) in points.iter().enumerate() {
-            dist2[i] = dist2[i].min(euclidean_sq(p, centroids.last().expect("just pushed")));
-        }
+        let latest = centroids.last().expect("just pushed");
+        dist2 = par_map(points, ASSIGN_GRAIN * 4, |i, p| {
+            dist2[i].min(euclidean_sq(p, latest))
+        });
     }
     centroids
 }
@@ -272,14 +339,20 @@ mod tests {
     #[test]
     fn clusters_are_never_empty() {
         // Many duplicate points force potential empty clusters.
-        let pts: Vec<Vec<f64>> = (0..30).map(|_| vec![1.0, 1.0]).chain((0..2).map(|_| vec![5.0, 5.0])).collect();
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|_| vec![1.0, 1.0])
+            .chain((0..2).map(|_| vec![5.0, 5.0]))
+            .collect();
         let result = kmeans(&pts, KMeansConfig::new(4)).unwrap();
         assert!(result.sizes().iter().all(|&s| s > 0));
     }
 
     #[test]
     fn invalid_inputs_rejected() {
-        assert!(matches!(kmeans(&[], KMeansConfig::new(2)), Err(ClusterError::EmptyInput)));
+        assert!(matches!(
+            kmeans(&[], KMeansConfig::new(2)),
+            Err(ClusterError::EmptyInput)
+        ));
         let pts = vec![vec![1.0]];
         assert!(matches!(
             kmeans(&pts, KMeansConfig::new(0)),

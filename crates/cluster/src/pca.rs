@@ -72,7 +72,11 @@ impl Pca {
             components.push(axis);
             explained.push(eigenvalue.max(0.0));
         }
-        Ok(Self { mean, components, explained })
+        Ok(Self {
+            mean,
+            components,
+            explained,
+        })
     }
 
     /// Number of fitted components.

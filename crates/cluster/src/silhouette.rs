@@ -85,10 +85,13 @@ pub fn best_k(
         if k < 2 || k > points.len() {
             continue;
         }
-        let config = crate::kmeans::KMeansConfig { seed, ..crate::kmeans::KMeansConfig::new(k) };
+        let config = crate::kmeans::KMeansConfig {
+            seed,
+            ..crate::kmeans::KMeansConfig::new(k)
+        };
         let clustering = crate::kmeans::kmeans(points, config)?;
         let score = silhouette_score(points, &clustering.labels)?;
-        if best.is_none_or(|(_, s)| score > s) {
+        if best.map_or(true, |(_, s)| score > s) {
             best = Some((k, score));
         }
     }

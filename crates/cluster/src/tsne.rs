@@ -46,10 +46,7 @@ pub fn tsne(points: &[Vec<f64>], config: TsneConfig) -> Result<Vec<[f64; 2]>, Cl
     if n == 1 {
         return Ok(vec![[0.0, 0.0]]);
     }
-    if !config.perplexity.is_finite()
-        || config.perplexity <= 0.0
-        || config.perplexity >= n as f64
-    {
+    if !config.perplexity.is_finite() || config.perplexity <= 0.0 || config.perplexity >= n as f64 {
         return Err(ClusterError::InvalidPerplexity(config.perplexity));
     }
 
@@ -95,12 +92,7 @@ pub fn tsne(points: &[Vec<f64>], config: TsneConfig) -> Result<Vec<[f64; 2]>, Cl
     // Initial layout: small deterministic Gaussian cloud.
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut y: Vec<[f64; 2]> = (0..n)
-        .map(|_| {
-            [
-                1e-2 * crate_normal(&mut rng),
-                1e-2 * crate_normal(&mut rng),
-            ]
-        })
+        .map(|_| [1e-2 * crate_normal(&mut rng), 1e-2 * crate_normal(&mut rng)])
         .collect();
     let mut velocity = vec![[0.0f64; 2]; n];
     let mut gains = vec![[1.0f64; 2]; n];
@@ -189,10 +181,18 @@ fn search_beta(row: &[f64], skip: usize, target_entropy: f64) -> f64 {
         }
         if diff > 0.0 {
             beta_min = beta;
-            beta = if beta_max.is_infinite() { beta * 2.0 } else { (beta + beta_max) / 2.0 };
+            beta = if beta_max.is_infinite() {
+                beta * 2.0
+            } else {
+                (beta + beta_max) / 2.0
+            };
         } else {
             beta_max = beta;
-            beta = if beta_min.is_infinite() { beta / 2.0 } else { (beta + beta_min) / 2.0 };
+            beta = if beta_min.is_infinite() {
+                beta / 2.0
+            } else {
+                (beta + beta_min) / 2.0
+            };
         }
     }
     beta
@@ -225,7 +225,10 @@ mod tests {
             pts.push(vec![0.0 + (i % 7) as f64 * 0.05, (i % 5) as f64 * 0.05]);
         }
         for i in 0..n_per {
-            pts.push(vec![50.0 + (i % 7) as f64 * 0.05, 50.0 + (i % 5) as f64 * 0.05]);
+            pts.push(vec![
+                50.0 + (i % 7) as f64 * 0.05,
+                50.0 + (i % 5) as f64 * 0.05,
+            ]);
         }
         pts
     }
@@ -262,8 +265,15 @@ mod tests {
     #[test]
     fn output_is_finite_and_centered() {
         let pts = two_blobs(10);
-        let y = tsne(&pts, TsneConfig { perplexity: 5.0, iters: 100, ..TsneConfig::default() })
-            .unwrap();
+        let y = tsne(
+            &pts,
+            TsneConfig {
+                perplexity: 5.0,
+                iters: 100,
+                ..TsneConfig::default()
+            },
+        )
+        .unwrap();
         let mut mean = [0.0f64; 2];
         let mut spread = 0.0f64;
         for p in &y {
@@ -274,15 +284,27 @@ mod tests {
         }
         // Centered relative to the embedding's own scale.
         let tol = 1e-9 * (spread + 1.0);
-        assert!(mean[0].abs() < tol && mean[1].abs() < tol, "mean {mean:?}, spread {spread}");
+        assert!(
+            mean[0].abs() < tol && mean[1].abs() < tol,
+            "mean {mean:?}, spread {spread}"
+        );
     }
 
     #[test]
     fn rejects_bad_perplexity() {
         let pts = two_blobs(5);
-        let bad = TsneConfig { perplexity: 10.0, ..TsneConfig::default() };
-        assert!(matches!(tsne(&pts, bad), Err(ClusterError::InvalidPerplexity(_))));
-        let zero = TsneConfig { perplexity: 0.0, ..TsneConfig::default() };
+        let bad = TsneConfig {
+            perplexity: 10.0,
+            ..TsneConfig::default()
+        };
+        assert!(matches!(
+            tsne(&pts, bad),
+            Err(ClusterError::InvalidPerplexity(_))
+        ));
+        let zero = TsneConfig {
+            perplexity: 0.0,
+            ..TsneConfig::default()
+        };
         assert!(tsne(&pts, zero).is_err());
     }
 

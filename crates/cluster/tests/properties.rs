@@ -4,10 +4,7 @@ use proptest::prelude::*;
 use so_cluster::{balanced_kmeans, kmeans, tsne, KMeansConfig, Pca, TsneConfig};
 
 fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f64..100.0, dim..=dim),
-        n..=n,
-    )
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dim..=dim), n..=n)
 }
 
 proptest! {

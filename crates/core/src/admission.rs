@@ -52,10 +52,12 @@ pub fn admission_decisions(
     candidate: &PowerTrace,
 ) -> Result<Vec<AdmissionDecision>, CoreError> {
     if budgets.len() != topology.len() {
-        return Err(CoreError::Tree(so_powertree::TreeError::InstanceCountMismatch {
-            assignment: topology.len(),
-            traces: budgets.len(),
-        }));
+        return Err(CoreError::Tree(
+            so_powertree::TreeError::InstanceCountMismatch {
+                assignment: topology.len(),
+                traces: budgets.len(),
+            },
+        ));
     }
     let by_rack = assignment.by_rack();
     let capacity = topology.rack_capacity();
@@ -178,8 +180,7 @@ mod tests {
         // A 200 W-flat candidate would push either rack past its 250 W
         // budget (100 + 200 = 300).
         let candidate = PowerTrace::new(vec![200.0, 200.0], 10).unwrap();
-        let best =
-            best_rack_for(&topo, &assignment, &agg, &budgets(&topo), &candidate).unwrap();
+        let best = best_rack_for(&topo, &assignment, &agg, &budgets(&topo), &candidate).unwrap();
         assert!(best.is_none());
         // Decisions still explain why.
         let decisions =
@@ -196,8 +197,7 @@ mod tests {
         let assignment = Assignment::round_robin(&topo, 4).unwrap();
         let agg = NodeAggregates::compute(&topo, &assignment, &traces).unwrap();
         let candidate = PowerTrace::new(vec![1.0, 1.0], 10).unwrap();
-        let best =
-            best_rack_for(&topo, &assignment, &agg, &budgets(&topo), &candidate).unwrap();
+        let best = best_rack_for(&topo, &assignment, &agg, &budgets(&topo), &candidate).unwrap();
         assert!(best.is_none(), "no slots should be available");
     }
 

@@ -56,9 +56,9 @@ impl FragmentationReport {
             for &node in nodes {
                 let score = if level.is_rack() {
                     match by_rack.get(&node) {
-                        Some(members) if members.len() >= 2 => {
-                            Some(asynchrony_score(members.iter().map(|&i| &instance_traces[i]))?)
-                        }
+                        Some(members) if members.len() >= 2 => Some(asynchrony_score(
+                            members.iter().map(|&i| &instance_traces[i]),
+                        )?),
                         _ => None,
                     }
                 } else {
@@ -85,7 +85,12 @@ impl FragmentationReport {
                 let min = scores.iter().copied().fold(f64::MAX, f64::min);
                 (mean, min)
             };
-            levels.push(LevelFragmentation { level, sum_of_peaks, mean_score, min_score });
+            levels.push(LevelFragmentation {
+                level,
+                sum_of_peaks,
+                mean_score,
+                min_score,
+            });
         }
         Ok(Self { levels })
     }
@@ -178,14 +183,20 @@ mod tests {
             .find(|(l, _)| *l == Level::Rack)
             .map(|(_, r)| *r)
             .unwrap();
-        assert!(rack > 0.0, "rack-level peak reduction {rack} should be positive");
+        assert!(
+            rack > 0.0,
+            "rack-level peak reduction {rack} should be positive"
+        );
         // Root level never changes (same total power).
         let dc = reductions
             .iter()
             .find(|(l, _)| *l == Level::Datacenter)
             .map(|(_, r)| *r)
             .unwrap();
-        assert!(dc.abs() < 1e-9, "datacenter peak must be placement-invariant, got {dc}");
+        assert!(
+            dc.abs() < 1e-9,
+            "datacenter peak must be placement-invariant, got {dc}"
+        );
         // Scores improve too.
         assert!(after.at_level(Level::Rack).mean_score > before.at_level(Level::Rack).mean_score);
     }

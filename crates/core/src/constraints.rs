@@ -125,8 +125,7 @@ impl SmoothPlacer {
 
         // Instances pinned by constraints must not be displaced by later
         // repairs of other groups.
-        let constrained: BTreeSet<usize> =
-            constraints.groups().iter().flatten().copied().collect();
+        let constrained: BTreeSet<usize> = constraints.groups().iter().flatten().copied().collect();
 
         for group in constraints.groups() {
             repair_group(group, &constrained, &vectors, topology, &mut assignment)?;
@@ -170,7 +169,7 @@ fn repair_group(
                 continue;
             }
             let d = euclidean_sq(&vectors[moving], &vectors[j]);
-            if best.is_none_or(|(_, bd)| d < bd) {
+            if best.map_or(true, |(_, bd)| d < bd) {
                 best = Some((j, d));
             }
         }
@@ -249,8 +248,7 @@ mod tests {
     fn oversized_groups_are_rejected() {
         let fleet = DcScenario::dc1().generate_fleet(40).unwrap();
         let topo = topo(); // 16 racks
-        let constraints =
-            PlacementConstraints::none().anti_affinity((0..17).collect());
+        let constraints = PlacementConstraints::none().anti_affinity((0..17).collect());
         let err = SmoothPlacer::default()
             .place_constrained(&fleet, &topo, &constraints)
             .unwrap_err();

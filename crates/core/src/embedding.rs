@@ -6,14 +6,22 @@
 //! is quadratic in the fleet size and spans a sparse high-dimensional space
 //! that clusters poorly.
 
+use so_parallel::par_map;
 use so_workloads::Fleet;
 
 use crate::error::CoreError;
 use crate::score::instance_to_service_score;
 use crate::straces::ServiceTraces;
 
+/// Minimum embedding rows per worker thread: each row costs `|B|` trace
+/// scans, so a handful already amortizes a spawn.
+const ROW_GRAIN: usize = 8;
+
 /// Computes the asynchrony-score vector of every member instance against
 /// the given S-traces. Row `r` corresponds to `members[r]`.
+///
+/// Rows are computed in parallel; each row is a pure function of one
+/// instance, so the result is identical to the serial loop.
 ///
 /// # Errors
 ///
@@ -24,21 +32,20 @@ pub fn score_vectors(
     straces: &ServiceTraces,
 ) -> Result<Vec<Vec<f64>>, CoreError> {
     let traces = fleet.averaged_traces();
-    members
-        .iter()
-        .map(|&i| {
-            straces
-                .traces()
-                .iter()
-                .map(|s| instance_to_service_score(&traces[i], s))
-                .collect()
-        })
-        .collect()
+    par_map(members, ROW_GRAIN, |_, &i| {
+        straces
+            .traces()
+            .iter()
+            .map(|s| instance_to_service_score(&traces[i], s))
+            .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Computes pairwise I-to-I score vectors (each instance against every
 /// member instance). Quadratic; retained for the embedding ablation that
-/// justifies the paper's I-to-S choice.
+/// justifies the paper's I-to-S choice. Row-parallel like [`score_vectors`].
 ///
 /// # Errors
 ///
@@ -48,15 +55,14 @@ pub fn pairwise_score_vectors(
     members: &[usize],
 ) -> Result<Vec<Vec<f64>>, CoreError> {
     let traces = fleet.averaged_traces();
-    members
-        .iter()
-        .map(|&i| {
-            members
-                .iter()
-                .map(|&j| crate::score::pairwise_score(&traces[i], &traces[j]))
-                .collect()
-        })
-        .collect()
+    par_map(members, ROW_GRAIN, |_, &i| {
+        members
+            .iter()
+            .map(|&j| crate::score::pairwise_score(&traces[i], &traces[j]))
+            .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -99,7 +105,11 @@ mod tests {
         let st = ServiceTraces::extract(&f, &members, 3).unwrap();
         let vs = score_vectors(&f, &members, &st).unwrap();
         let d = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt()
         };
         // The two frontend instances are nearer each other than either is
         // to the db instance.

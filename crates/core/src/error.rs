@@ -91,7 +91,10 @@ mod tests {
         use std::error::Error as _;
         let e = CoreError::from(so_powertrace::TraceError::Empty);
         assert!(e.source().is_some());
-        let e = CoreError::CapacityExceeded { needed: 10, capacity: 5 };
+        let e = CoreError::CapacityExceeded {
+            needed: 10,
+            capacity: 5,
+        };
         assert!(e.source().is_none());
         assert!(e.to_string().contains("10"));
     }

@@ -82,7 +82,10 @@ impl DriftMonitor {
             .iter()
             .map(|&level| (level, aggregates.sum_of_peaks(topology, level)))
             .collect();
-        Ok(Self { baseline_sums, threshold })
+        Ok(Self {
+            baseline_sums,
+            threshold,
+        })
     }
 
     /// The relative drift threshold.
@@ -114,9 +117,17 @@ impl DriftMonitor {
             if level >= Level::Sb && relative_change > self.threshold {
                 remap_recommended = true;
             }
-            levels.push(LevelDrift { level, baseline, observed, relative_change });
+            levels.push(LevelDrift {
+                level,
+                baseline,
+                observed,
+                relative_change,
+            });
         }
-        Ok(DriftReport { levels, remap_recommended })
+        Ok(DriftReport {
+            levels,
+            remap_recommended,
+        })
     }
 }
 
@@ -145,7 +156,9 @@ mod tests {
         let (topo, assignment, fleet) = setup();
         let monitor =
             DriftMonitor::baseline(&topo, &assignment, fleet.averaged_traces(), 0.05).unwrap();
-        let report = monitor.observe(&topo, &assignment, fleet.test_traces()).unwrap();
+        let report = monitor
+            .observe(&topo, &assignment, fleet.test_traces())
+            .unwrap();
         assert!(!report.remap_recommended, "{report:?}");
         assert_eq!(report.levels.len(), 6);
     }
@@ -156,11 +169,7 @@ mod tests {
         let monitor =
             DriftMonitor::baseline(&topo, &assignment, fleet.averaged_traces(), 0.05).unwrap();
         // Everything 30% hotter: leaf sums rise well past the threshold.
-        let drifted: Vec<PowerTrace> = fleet
-            .test_traces()
-            .iter()
-            .map(|t| t.scale(1.3))
-            .collect();
+        let drifted: Vec<PowerTrace> = fleet.test_traces().iter().map(|t| t.scale(1.3)).collect();
         let report = monitor.observe(&topo, &assignment, &drifted).unwrap();
         assert!(report.remap_recommended);
         for drift in &report.levels {
@@ -173,9 +182,11 @@ mod tests {
         let (topo, assignment, fleet) = setup();
         let monitor =
             DriftMonitor::baseline(&topo, &assignment, fleet.averaged_traces(), 0.05).unwrap();
-        let cooled: Vec<PowerTrace> =
-            fleet.test_traces().iter().map(|t| t.scale(0.5)).collect();
+        let cooled: Vec<PowerTrace> = fleet.test_traces().iter().map(|t| t.scale(0.5)).collect();
         let report = monitor.observe(&topo, &assignment, &cooled).unwrap();
-        assert!(!report.remap_recommended, "shrinking peaks are not fragmentation");
+        assert!(
+            !report.remap_recommended,
+            "shrinking peaks are not fragmentation"
+        );
     }
 }

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use so_cluster::{balanced_kmeans, KMeansConfig};
+use so_parallel::par_map;
 use so_powertree::{Assignment, NodeId, PowerTopology};
 use so_workloads::Fleet;
 
@@ -101,7 +102,10 @@ impl SmoothPlacer {
         let n = fleet.len();
         let capacity = topology.server_capacity();
         if n > capacity {
-            return Err(CoreError::CapacityExceeded { needed: n, capacity });
+            return Err(CoreError::CapacityExceeded {
+                needed: n,
+                capacity,
+            });
         }
 
         let all: Vec<usize> = (0..n).collect();
@@ -109,7 +113,9 @@ impl SmoothPlacer {
         let root_vectors = self.embed(fleet, &all)?;
 
         let mut rack_of: Vec<Option<NodeId>> = vec![None; n];
-        self.assign(fleet, topology, topology.root(), all, &root_vectors, &mut rack_of)?;
+        for (i, rack) in self.assign(fleet, topology, topology.root(), &all, &root_vectors)? {
+            rack_of[i] = Some(rack);
+        }
 
         let rack_of: Vec<NodeId> = rack_of
             .into_iter()
@@ -135,11 +141,12 @@ impl SmoothPlacer {
         base: &Assignment,
     ) -> Result<Assignment, CoreError> {
         let members = base.instances_under(topology, node)?;
-        let mut rack_of: Vec<Option<NodeId>> =
-            base.racks().iter().map(|&r| Some(r)).collect();
+        let mut rack_of: Vec<Option<NodeId>> = base.racks().iter().map(|&r| Some(r)).collect();
         if !members.is_empty() {
             let vectors = self.embed(fleet, &members)?;
-            self.assign(fleet, topology, node, members, &vectors, &mut rack_of)?;
+            for (i, rack) in self.assign(fleet, topology, node, &members, &vectors)? {
+                rack_of[i] = Some(rack);
+            }
         }
         let rack_of: Vec<NodeId> = rack_of
             .into_iter()
@@ -166,47 +173,54 @@ impl SmoothPlacer {
         self.config.top_services.max(1)
     }
 
+    /// Recursively assigns `members` to racks under `node`, returning the
+    /// `(instance, rack)` pairs.
+    ///
+    /// Child subtrees are independent once the groups are dealt, so the
+    /// recursion fans out in parallel. Each child's result vector is a pure
+    /// function of its group, and the results are concatenated in child
+    /// order — the outcome is identical to the serial recursion.
     fn assign(
         &self,
         fleet: &Fleet,
         topology: &PowerTopology,
         node: NodeId,
-        members: Vec<usize>,
+        members: &[usize],
         vectors: &[Vec<f64>],
-        rack_of: &mut [Option<NodeId>],
-    ) -> Result<(), CoreError> {
+    ) -> Result<Vec<(usize, NodeId)>, CoreError> {
         let power_node = topology.node(node)?;
         if power_node.is_rack() {
-            for &i in &members {
-                rack_of[i] = Some(node);
-            }
-            return Ok(());
+            return Ok(members.iter().map(|&i| (i, node)).collect());
         }
         let children: Vec<NodeId> = power_node.children().to_vec();
         let q = children.len();
         if members.is_empty() {
-            return Ok(());
+            return Ok(Vec::new());
         }
 
         // Refresh the embedding for this subtree when configured.
         let local_vectors;
         let vectors = if self.config.recluster_per_level && members.len() > q {
-            local_vectors = self.embed(fleet, &members)?;
+            local_vectors = self.embed(fleet, members)?;
             &local_vectors
         } else {
             vectors
         };
 
-        let groups = self.deal(&members, vectors, q)?;
+        let groups = self.deal(members, vectors, q)?;
 
         // Respect subtree capacities: move overflow into children with
         // space (only triggers on nearly-full datacenters).
         let groups = rebalance_capacity(groups, &children, topology)?;
 
-        for (child, group) in children.into_iter().zip(groups) {
-            self.assign(fleet, topology, child, group, vectors, rack_of)?;
+        let jobs: Vec<(NodeId, Vec<usize>)> = children.into_iter().zip(groups).collect();
+        let mut pairs = Vec::with_capacity(members.len());
+        for result in par_map(&jobs, 1, |_, (child, group)| {
+            self.assign(fleet, topology, *child, group, vectors)
+        }) {
+            pairs.extend(result?);
         }
-        Ok(())
+        Ok(pairs)
     }
 
     /// Splits `members` into `q` groups by balanced clustering + round-robin
@@ -274,7 +288,11 @@ fn rebalance_capacity(
     let mut overflow = Vec::new();
     for (group, &cap) in groups.iter_mut().zip(&capacities) {
         while group.len() > cap {
-            overflow.push(group.pop().expect("group is over capacity, hence non-empty"));
+            overflow.push(
+                group
+                    .pop()
+                    .expect("group is over capacity, hence non-empty"),
+            );
         }
     }
     if overflow.is_empty() {
@@ -334,7 +352,13 @@ mod tests {
         let fleet = DcScenario::dc1().generate_fleet(100).unwrap();
         let topo = topo(4); // capacity 64
         let err = SmoothPlacer::default().place(&fleet, &topo).unwrap_err();
-        assert!(matches!(err, CoreError::CapacityExceeded { needed: 100, capacity: 64 }));
+        assert!(matches!(
+            err,
+            CoreError::CapacityExceeded {
+                needed: 100,
+                capacity: 64
+            }
+        ));
     }
 
     #[test]
@@ -391,7 +415,10 @@ mod tests {
             .place_within(&fleet, &topo, sb, &grouped)
             .unwrap();
         let after_members = placed.instances_under(&topo, sb).unwrap();
-        assert_eq!(before_members, after_members, "no instance crossed the subtree");
+        assert_eq!(
+            before_members, after_members,
+            "no instance crossed the subtree"
+        );
 
         // Outside the subtree, nothing moved.
         for i in 0..64 {

@@ -5,9 +5,20 @@
 //! *differential asynchrony score* `AD_{i,N}` of each of its instances, and
 //! swaps the worst-fitting instance with one from another node — accepting
 //! a swap only when it raises the differential scores at *both* nodes.
+//!
+//! # Cost model
+//!
+//! The engine keeps one [`NodeAggregate`] per power node: member sums are
+//! maintained incrementally across swaps, peer means come from
+//! [`NodeAggregate::mean_excluding`] in `O(T)`, and candidate evaluation
+//! never re-sums a node — evaluating one candidate costs `O(T)` instead of
+//! the naive `O(|node| · T)`. Candidate partners are scanned in parallel;
+//! the reduction keeps the first best candidate in (node, member) order, so
+//! the chosen swap is identical to the serial scan's.
 
 use serde::{Deserialize, Serialize};
-use so_powertrace::PowerTrace;
+use so_parallel::par_map;
+use so_powertrace::{NodeAggregate, PowerTrace, TimeGrid};
 use so_powertree::{Assignment, Level, NodeId, PowerTopology};
 use so_workloads::Fleet;
 
@@ -85,15 +96,32 @@ pub fn remap(
         .map(|(_, s)| s)
         .unwrap_or(f64::INFINITY);
 
+    // Each instance's peak, computed once up front (pure per-instance map).
+    let peaks = par_map(traces, 64, |_, t| t.peak());
+    let mut states = build_states(topology, assignment, traces, config.level)?;
+
     let mut swaps = Vec::new();
     'outer: while swaps.len() < config.max_swaps {
-        // Rank this level's nodes by ascending asynchrony score.
-        let mut scored = scored_nodes(topology, assignment, traces, config.level)?;
+        // Rank this level's nodes by ascending asynchrony score. Peak sums
+        // are recomputed from the cached per-instance peaks and aggregate
+        // peaks come from the cached sums — O(nodes · |node|), no trace
+        // scans.
+        let mut scored: Vec<(usize, f64)> = states
+            .iter()
+            .enumerate()
+            .filter_map(|(si, state)| state.score(&peaks).map(|s| (si, s)))
+            .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
 
-        for &(node, _) in scored.iter().take(config.nodes_per_round) {
-            if let Some(record) = best_swap(node, topology, assignment, traces, &config)? {
+        for &(si, _) in scored.iter().take(config.nodes_per_round) {
+            if let Some(record) = best_swap(si, &states, traces, &config)? {
                 assignment.swap(record.instance_out, record.instance_in)?;
+                let pi = states
+                    .iter()
+                    .position(|s| s.node == record.partner)
+                    .expect("partner came from the state list");
+                states[si].replace_member(record.instance_out, record.instance_in, traces)?;
+                states[pi].replace_member(record.instance_in, record.instance_out, traces)?;
                 swaps.push(record);
                 continue 'outer;
             }
@@ -104,7 +132,81 @@ pub fn remap(
     let final_worst_score = worst_node(topology, assignment, traces, config.level)?
         .map(|(_, s)| s)
         .unwrap_or(f64::INFINITY);
-    Ok(RemapReport { swaps, initial_worst_score, final_worst_score })
+    Ok(RemapReport {
+        swaps,
+        initial_worst_score,
+        final_worst_score,
+    })
+}
+
+/// Cached per-node remapping state: the member list (sorted ascending, as
+/// [`Assignment::instances_under`] reports it) and the incrementally
+/// maintained aggregate of the members' traces.
+#[derive(Debug, Clone)]
+struct NodeState {
+    node: NodeId,
+    members: Vec<usize>,
+    agg: NodeAggregate,
+}
+
+impl NodeState {
+    /// Asynchrony score from cached state, or `None` for nodes with fewer
+    /// than two members (ineligible, as in [`scored_nodes`]).
+    fn score(&self, peaks: &[f64]) -> Option<f64> {
+        if self.members.len() < 2 {
+            return None;
+        }
+        let aggregate_peak = self.agg.peak();
+        if aggregate_peak == 0.0 {
+            return Some(self.members.len() as f64);
+        }
+        let peak_sum: f64 = self.members.iter().map(|&i| peaks[i]).sum();
+        Some(peak_sum / aggregate_peak)
+    }
+
+    /// Applies one side of an accepted swap: `out` leaves, `inn` arrives.
+    fn replace_member(
+        &mut self,
+        out: usize,
+        inn: usize,
+        traces: &[PowerTrace],
+    ) -> Result<(), CoreError> {
+        let pos = self
+            .members
+            .binary_search(&out)
+            .expect("swapped instance is a member of its node");
+        self.members.remove(pos);
+        let pos = self
+            .members
+            .binary_search(&inn)
+            .expect_err("arriving instance is not yet a member");
+        self.members.insert(pos, inn);
+        self.agg.remove(&traces[out])?;
+        self.agg.add(&traces[inn])?;
+        Ok(())
+    }
+}
+
+/// Builds the cached state of every node at `level`, one node per parallel
+/// task (each task sums that node's member traces once).
+fn build_states(
+    topology: &PowerTopology,
+    assignment: &Assignment,
+    traces: &[PowerTrace],
+    level: Level,
+) -> Result<Vec<NodeState>, CoreError> {
+    let grid = traces.first().map_or(TimeGrid::new(1, 1), |t| t.grid());
+    par_map(
+        topology.nodes_at_level(level),
+        1,
+        |_, &node| -> Result<NodeState, CoreError> {
+            let members = assignment.instances_under(topology, node)?;
+            let agg = NodeAggregate::from_traces(grid, members.iter().map(|&i| &traces[i]))?;
+            Ok(NodeState { node, members, agg })
+        },
+    )
+    .into_iter()
+    .collect()
 }
 
 /// Asynchrony score of every node at `level` that hosts at least two
@@ -115,14 +217,25 @@ fn scored_nodes(
     traces: &[PowerTrace],
     level: Level,
 ) -> Result<Vec<(NodeId, f64)>, CoreError> {
+    // One node per parallel task; each node's score is computed exactly as
+    // the serial loop would, and the results keep node order.
+    let scores = par_map(
+        topology.nodes_at_level(level),
+        1,
+        |_, &node| -> Result<Option<(NodeId, f64)>, CoreError> {
+            let members = assignment.instances_under(topology, node)?;
+            if members.len() < 2 {
+                return Ok(None);
+            }
+            let score = asynchrony_score(members.iter().map(|&i| &traces[i]))?;
+            Ok(Some((node, score)))
+        },
+    );
     let mut out = Vec::new();
-    for &node in topology.nodes_at_level(level) {
-        let members = assignment.instances_under(topology, node)?;
-        if members.len() < 2 {
-            continue;
+    for entry in scores {
+        if let Some(scored) = entry? {
+            out.push(scored);
         }
-        let score = asynchrony_score(members.iter().map(|&i| &traces[i]))?;
-        out.push((node, score));
     }
     Ok(out)
 }
@@ -139,77 +252,92 @@ pub fn worst_node(
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite")))
 }
 
-/// Finds the best admissible swap for `node`: take its lowest-`AD`
-/// instance and scan all instances of other nodes at the same level,
-/// requiring both nodes' differential scores to rise.
+/// Finds the best admissible swap for the node at state index `si`: take
+/// its lowest-`AD` instance and scan all instances of other nodes at the
+/// same level, requiring both nodes' differential scores to rise.
+///
+/// Every peer mean is an `O(T)` [`NodeAggregate::mean_excluding`] against
+/// the cached node sum, so one candidate costs `O(T)` regardless of node
+/// size. Partner nodes are scanned in parallel; ties resolve to the first
+/// candidate in (partner, member) order, exactly as a serial scan would.
 fn best_swap(
-    node: NodeId,
-    topology: &PowerTopology,
-    assignment: &Assignment,
+    si: usize,
+    states: &[NodeState],
     traces: &[PowerTrace],
     config: &RemapConfig,
 ) -> Result<Option<SwapRecord>, CoreError> {
-    let level = config.level;
-    let members = assignment.instances_under(topology, node)?;
-    if members.len() < 2 {
+    let state = &states[si];
+    if state.members.len() < 2 {
         return Ok(None);
     }
 
-    // Worst-fitting instance of `node` by differential score.
+    // Worst-fitting instance of the node by differential score. The map is
+    // positional, the reduction serial in member order (first wins ties).
+    let ads = par_map(&state.members, 8, |_, &i| -> Result<f64, CoreError> {
+        let peers = state.agg.mean_excluding(&traces[i])?;
+        differential_score(&traces[i], &peers)
+    });
     let mut worst: Option<(usize, f64)> = None;
-    for &i in &members {
-        let peers = mean_excluding(traces, &members, i)?;
-        let ad = differential_score(&traces[i], &peers)?;
-        if worst.is_none_or(|(_, w)| ad < w) {
+    for (&i, ad) in state.members.iter().zip(ads) {
+        let ad = ad?;
+        if worst.map_or(true, |(_, w)| ad < w) {
             worst = Some((i, ad));
         }
     }
     let (out_instance, out_score) = worst.expect("node has at least two members");
-    let peers_node = mean_excluding(traces, &members, out_instance)?;
+    let peers_node = state.agg.mean_excluding(&traces[out_instance])?;
 
-    let mut best: Option<SwapRecord> = None;
-    for &partner in topology.nodes_at_level(level) {
-        if partner == node {
-            continue;
-        }
-        let partner_members = assignment.instances_under(topology, partner)?;
-        if partner_members.len() < 2 {
-            continue;
-        }
-        for &j in &partner_members {
-            let peers_partner = mean_excluding(traces, &partner_members, j)?;
-            let ad_j_before = differential_score(&traces[j], &peers_partner)?;
-            let ad_j_at_node = differential_score(&traces[j], &peers_node)?;
-            let ad_i_at_partner = differential_score(&traces[out_instance], &peers_partner)?;
-            let gain_node = ad_j_at_node - out_score;
-            let gain_partner = ad_i_at_partner - ad_j_before;
-            if gain_node > config.min_gain && gain_partner > config.min_gain {
-                let combined = gain_node + gain_partner;
-                if best
-                    .as_ref()
-                    .is_none_or(|b| combined > b.gain_node + b.gain_partner)
-                {
-                    best = Some(SwapRecord {
-                        instance_out: out_instance,
-                        instance_in: j,
-                        node,
-                        partner,
-                        gain_node,
-                        gain_partner,
-                    });
+    // One parallel task per candidate partner; each returns its own best
+    // admissible candidate in member order.
+    let candidates = par_map(
+        states,
+        1,
+        |sj, partner| -> Result<Option<SwapRecord>, CoreError> {
+            if sj == si || partner.members.len() < 2 {
+                return Ok(None);
+            }
+            let mut best: Option<SwapRecord> = None;
+            for &j in &partner.members {
+                let peers_partner = partner.agg.mean_excluding(&traces[j])?;
+                let ad_j_before = differential_score(&traces[j], &peers_partner)?;
+                let ad_j_at_node = differential_score(&traces[j], &peers_node)?;
+                let ad_i_at_partner = differential_score(&traces[out_instance], &peers_partner)?;
+                let gain_node = ad_j_at_node - out_score;
+                let gain_partner = ad_i_at_partner - ad_j_before;
+                if gain_node > config.min_gain && gain_partner > config.min_gain {
+                    let combined = gain_node + gain_partner;
+                    if best
+                        .as_ref()
+                        .map_or(true, |b| combined > b.gain_node + b.gain_partner)
+                    {
+                        best = Some(SwapRecord {
+                            instance_out: out_instance,
+                            instance_in: j,
+                            node: state.node,
+                            partner: partner.node,
+                            gain_node,
+                            gain_partner,
+                        });
+                    }
                 }
+            }
+            Ok(best)
+        },
+    );
+
+    // Strict `>` keeps the earliest best across partners, matching the
+    // serial scan's tie-breaking.
+    let mut best: Option<SwapRecord> = None;
+    for candidate in candidates {
+        if let Some(candidate) = candidate? {
+            if best.as_ref().map_or(true, |b| {
+                candidate.gain_node + candidate.gain_partner > b.gain_node + b.gain_partner
+            }) {
+                best = Some(candidate);
             }
         }
     }
     Ok(best)
-}
-
-fn mean_excluding(
-    traces: &[PowerTrace],
-    members: &[usize],
-    exclude: usize,
-) -> Result<PowerTrace, CoreError> {
-    crate::score::averaged_peer_trace(traces, members, exclude)
 }
 
 #[cfg(test)]
@@ -248,11 +376,8 @@ mod tests {
         let fleet = fleet();
         let racks = topo.racks();
         // Worst case: both frontends on rack 0, both dbs on rack 1.
-        let mut assignment = Assignment::new(
-            vec![racks[0], racks[0], racks[1], racks[1]],
-            &topo,
-        )
-        .unwrap();
+        let mut assignment =
+            Assignment::new(vec![racks[0], racks[0], racks[1], racks[1]], &topo).unwrap();
 
         let report = remap(&fleet, &topo, &mut assignment, RemapConfig::default()).unwrap();
         assert!(!report.swaps.is_empty(), "expected at least one swap");
@@ -274,11 +399,8 @@ mod tests {
         let fleet = fleet();
         let racks = topo.racks();
         // Already mixed: one frontend + one db per rack.
-        let mut assignment = Assignment::new(
-            vec![racks[0], racks[1], racks[0], racks[1]],
-            &topo,
-        )
-        .unwrap();
+        let mut assignment =
+            Assignment::new(vec![racks[0], racks[1], racks[0], racks[1]], &topo).unwrap();
         let before = assignment.clone();
         let report = remap(&fleet, &topo, &mut assignment, RemapConfig::default()).unwrap();
         assert!(report.swaps.is_empty());
@@ -290,12 +412,12 @@ mod tests {
         let topo = topo();
         let fleet = fleet();
         let racks = topo.racks();
-        let mut assignment = Assignment::new(
-            vec![racks[0], racks[0], racks[1], racks[1]],
-            &topo,
-        )
-        .unwrap();
-        let config = RemapConfig { max_swaps: 0, ..RemapConfig::default() };
+        let mut assignment =
+            Assignment::new(vec![racks[0], racks[0], racks[1], racks[1]], &topo).unwrap();
+        let config = RemapConfig {
+            max_swaps: 0,
+            ..RemapConfig::default()
+        };
         let report = remap(&fleet, &topo, &mut assignment, config).unwrap();
         assert!(report.swaps.is_empty());
     }
@@ -308,14 +430,14 @@ mod tests {
         // Rack 0 synchronous (two frontends), rack 1 mixed is impossible
         // here (remaining two dbs are also synchronous) — but frontends
         // have a sharper shared peak, so scores identify a worst node.
-        let assignment = Assignment::new(
-            vec![racks[0], racks[0], racks[1], racks[1]],
-            &topo,
-        )
-        .unwrap();
+        let assignment =
+            Assignment::new(vec![racks[0], racks[0], racks[1], racks[1]], &topo).unwrap();
         let (_, score) = worst_node(&topo, &assignment, fleet.averaged_traces(), Level::Rack)
             .unwrap()
             .unwrap();
-        assert!(score < 1.2, "synchronous rack should score near 1.0, got {score}");
+        assert!(
+            score < 1.2,
+            "synchronous rack should score near 1.0, got {score}"
+        );
     }
 }

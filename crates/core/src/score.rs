@@ -91,10 +91,7 @@ pub fn instance_to_service_score(
 /// # Errors
 ///
 /// Propagates grid mismatches.
-pub fn differential_score(
-    instance: &PowerTrace,
-    peer_mean: &PowerTrace,
-) -> Result<f64, CoreError> {
+pub fn differential_score(instance: &PowerTrace, peer_mean: &PowerTrace) -> Result<f64, CoreError> {
     pairwise_score(instance, peer_mean)
 }
 
@@ -175,11 +172,7 @@ mod tests {
 
     #[test]
     fn differential_score_and_peer_mean() {
-        let traces = vec![
-            trace(&[4.0, 0.0]),
-            trace(&[0.0, 4.0]),
-            trace(&[0.0, 4.0]),
-        ];
+        let traces = vec![trace(&[4.0, 0.0]), trace(&[0.0, 4.0]), trace(&[0.0, 4.0])];
         let members = vec![0, 1, 2];
         let peers_of_0 = averaged_peer_trace(&traces, &members, 0).unwrap();
         assert_eq!(peers_of_0.samples(), &[0.0, 4.0]);

@@ -55,7 +55,10 @@ impl ServiceTraces {
             services.push(service);
             s_traces.push(mean);
         }
-        Ok(Self { services, traces: s_traces })
+        Ok(Self {
+            services,
+            traces: s_traces,
+        })
     }
 
     /// The ranked services (largest consumer first).
@@ -122,10 +125,8 @@ mod tests {
         let f = fleet();
         let members = f.instances_of(ServiceClass::Hadoop);
         let st = ServiceTraces::extract(&f, &members, 1).unwrap();
-        let expected = PowerTrace::mean_of(
-            members.iter().map(|&i| &f.averaged_traces()[i]),
-        )
-        .unwrap();
+        let expected =
+            PowerTrace::mean_of(members.iter().map(|&i| &f.averaged_traces()[i])).unwrap();
         assert_eq!(st.traces()[0], expected);
     }
 

@@ -7,11 +7,7 @@ use so_powertree::PowerTopology;
 use so_workloads::{Fleet, InstanceSpec, ServiceClass};
 
 fn traces(n: usize, len: usize) -> impl Strategy<Value = Vec<PowerTrace>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..500.0, len..=len),
-        n..=n,
-    )
-    .prop_map(|vs| {
+    prop::collection::vec(prop::collection::vec(0.0f64..500.0, len..=len), n..=n).prop_map(|vs| {
         vs.into_iter()
             .map(|v| PowerTrace::new(v, 10).expect("valid samples"))
             .collect()

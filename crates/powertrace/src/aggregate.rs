@@ -1,0 +1,345 @@
+//! [`NodeAggregate`]: a running element-wise sum of member traces with a
+//! lazily cached peak.
+//!
+//! Remapping (§3.4) repeatedly asks "what is this power node's aggregate
+//! trace / peak if instance *i* leaves and instance *j* arrives?". Summing
+//! the node's members from scratch costs `O(|node| · T)` per question; a
+//! `NodeAggregate` answers in `O(T)` by maintaining the sum incrementally
+//! ([`add`](NodeAggregate::add) / [`remove`](NodeAggregate::remove)) and
+//! evaluating hypothetical swaps against it without mutation
+//! ([`peak_with_swap`](NodeAggregate::peak_with_swap)).
+//!
+//! The cached peak is invalidated on every mutation and recomputed on the
+//! next [`peak`](NodeAggregate::peak) call.
+
+use std::sync::OnceLock;
+
+use crate::error::TraceError;
+use crate::grid::TimeGrid;
+use crate::trace::PowerTrace;
+
+/// Maximum sample of a slice, folded exactly like [`PowerTrace::peak`].
+///
+/// Shared by trace peaks, aggregate peaks, and the simulator's telemetry so
+/// every "peak of a sample vector" in the workspace is the same fold (and
+/// therefore bit-identical wherever the inputs are). Returns `f64::MIN` for
+/// an empty slice.
+pub fn peak_of_samples(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::MIN, f64::max)
+}
+
+/// A power node's aggregate trace, maintained incrementally.
+///
+/// Internally this is the raw running sum of every added member minus every
+/// removed one. Because floating-point subtraction is not an exact inverse
+/// of addition, removing a member can leave tiny negative residues; they are
+/// clamped to zero whenever samples are observed (peaks, materialized
+/// traces), matching [`PowerTrace`]'s non-negativity invariant.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), so_powertrace::TraceError> {
+/// use so_powertrace::{NodeAggregate, PowerTrace};
+///
+/// let a = PowerTrace::new(vec![4.0, 0.0], 15)?;
+/// let b = PowerTrace::new(vec![0.0, 4.0], 15)?;
+/// let mut node = NodeAggregate::new(a.grid());
+/// node.add(&a)?;
+/// node.add(&b)?;
+/// assert_eq!(node.peak(), 4.0);
+/// // What if `a` left and a synchronous twin of `b` arrived?
+/// assert_eq!(node.peak_with_swap(&a, &b)?, 8.0);
+/// // The probe did not mutate the aggregate:
+/// assert_eq!(node.peak(), 4.0);
+/// node.remove(&a)?;
+/// assert_eq!(node.to_trace()?.samples(), &[0.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeAggregate {
+    sum: Vec<f64>,
+    step_minutes: u32,
+    count: usize,
+    /// Cached `peak()`; replaced with a fresh empty cell on mutation.
+    peak: OnceLock<f64>,
+}
+
+impl NodeAggregate {
+    /// An empty aggregate on the given grid.
+    pub fn new(grid: TimeGrid) -> Self {
+        Self {
+            sum: vec![0.0; grid.len()],
+            step_minutes: grid.step_minutes(),
+            count: 0,
+            peak: OnceLock::new(),
+        }
+    }
+
+    /// Builds an aggregate by adding every trace in `members`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a mismatch error when the traces are not on `grid`.
+    pub fn from_traces<'a>(
+        grid: TimeGrid,
+        members: impl IntoIterator<Item = &'a PowerTrace>,
+    ) -> Result<Self, TraceError> {
+        let mut agg = Self::new(grid);
+        for t in members {
+            agg.add(t)?;
+        }
+        Ok(agg)
+    }
+
+    /// Number of member traces currently in the aggregate.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True when no member has been added (or all have been removed).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of samples per trace.
+    pub fn len(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// The grid the aggregate is sampled on.
+    pub fn grid(&self) -> TimeGrid {
+        TimeGrid::new(self.step_minutes, self.sum.len())
+    }
+
+    /// Adds a member trace to the running sum. `O(T)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a mismatch error when `trace` is not on the aggregate's grid.
+    pub fn add(&mut self, trace: &PowerTrace) -> Result<(), TraceError> {
+        self.check_compatible(trace)?;
+        for (acc, &v) in self.sum.iter_mut().zip(trace.samples()) {
+            *acc += v;
+        }
+        self.count += 1;
+        self.peak = OnceLock::new();
+        Ok(())
+    }
+
+    /// Removes a previously added member trace from the running sum. `O(T)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a mismatch error when `trace` is not on the aggregate's grid,
+    /// and [`TraceError::Empty`] when the aggregate has no members.
+    pub fn remove(&mut self, trace: &PowerTrace) -> Result<(), TraceError> {
+        if self.count == 0 {
+            return Err(TraceError::Empty);
+        }
+        self.check_compatible(trace)?;
+        for (acc, &v) in self.sum.iter_mut().zip(trace.samples()) {
+            *acc -= v;
+        }
+        self.count -= 1;
+        self.peak = OnceLock::new();
+        Ok(())
+    }
+
+    /// The aggregate's peak power, cached until the next mutation.
+    ///
+    /// Equals `self.to_trace().unwrap().peak()` (samples are clamped at
+    /// zero); `0.0` for an empty aggregate on a non-empty grid.
+    pub fn peak(&self) -> f64 {
+        *self.peak.get_or_init(|| {
+            self.sum
+                .iter()
+                .fold(f64::MIN, |acc, &v| acc.max(v.max(0.0)))
+        })
+    }
+
+    /// Peak of the hypothetical aggregate with `leaving` removed and
+    /// `arriving` added — the remap engine's swap probe. `O(T)`, allocates
+    /// nothing, and does **not** mutate the aggregate, so any number of
+    /// candidate swaps can be evaluated concurrently against one node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a mismatch error when either trace is not on the aggregate's
+    /// grid.
+    pub fn peak_with_swap(
+        &self,
+        leaving: &PowerTrace,
+        arriving: &PowerTrace,
+    ) -> Result<f64, TraceError> {
+        self.check_compatible(leaving)?;
+        self.check_compatible(arriving)?;
+        let mut peak = f64::MIN;
+        for ((&acc, &out), &inn) in self
+            .sum
+            .iter()
+            .zip(leaving.samples())
+            .zip(arriving.samples())
+        {
+            peak = peak.max((acc - out + inn).max(0.0));
+        }
+        Ok(peak)
+    }
+
+    /// Materializes the aggregate as a [`PowerTrace`] (clamped at zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] when the grid has no samples.
+    pub fn to_trace(&self) -> Result<PowerTrace, TraceError> {
+        PowerTrace::new(
+            self.sum.iter().map(|&v| v.max(0.0)).collect(),
+            self.step_minutes,
+        )
+    }
+
+    /// Mean of the members *excluding* one of them, in `O(T)`:
+    /// `(sum − excluded) / (count − 1)`. This is the paper's averaged peer
+    /// trace (Eq. 6's \bar{P}) without the `O(|node| · T)` re-summation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] when fewer than two members are present
+    /// and a mismatch error when `excluded` is not on the aggregate's grid.
+    pub fn mean_excluding(&self, excluded: &PowerTrace) -> Result<PowerTrace, TraceError> {
+        if self.count < 2 {
+            return Err(TraceError::Empty);
+        }
+        self.check_compatible(excluded)?;
+        let scale = 1.0 / (self.count - 1) as f64;
+        let samples = self
+            .sum
+            .iter()
+            .zip(excluded.samples())
+            .map(|(&acc, &v)| ((acc - v) * scale).max(0.0))
+            .collect();
+        PowerTrace::new(samples, self.step_minutes)
+    }
+
+    fn check_compatible(&self, trace: &PowerTrace) -> Result<(), TraceError> {
+        if trace.len() != self.sum.len() {
+            return Err(TraceError::LengthMismatch {
+                left: self.sum.len(),
+                right: trace.len(),
+            });
+        }
+        if trace.step_minutes() != self.step_minutes {
+            return Err(TraceError::StepMismatch {
+                left: self.step_minutes,
+                right: trace.step_minutes(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(samples: &[f64]) -> PowerTrace {
+        PowerTrace::new(samples.to_vec(), 10).unwrap()
+    }
+
+    #[test]
+    fn add_remove_track_sum_and_count() {
+        let a = trace(&[1.0, 2.0]);
+        let b = trace(&[3.0, 1.0]);
+        let mut agg = NodeAggregate::new(a.grid());
+        assert!(agg.is_empty());
+        agg.add(&a).unwrap();
+        agg.add(&b).unwrap();
+        assert_eq!(agg.count(), 2);
+        assert_eq!(agg.to_trace().unwrap().samples(), &[4.0, 3.0]);
+        agg.remove(&a).unwrap();
+        assert_eq!(agg.count(), 1);
+        assert_eq!(agg.to_trace().unwrap().samples(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn peak_is_cached_and_invalidated() {
+        let mut agg = NodeAggregate::new(TimeGrid::new(10, 2));
+        assert_eq!(agg.peak(), 0.0);
+        agg.add(&trace(&[1.0, 5.0])).unwrap();
+        assert_eq!(agg.peak(), 5.0);
+        assert_eq!(agg.peak(), 5.0);
+        agg.remove(&trace(&[0.0, 4.0])).unwrap();
+        assert_eq!(agg.peak(), 1.0);
+    }
+
+    #[test]
+    fn peak_matches_from_scratch_sum() {
+        let members = [
+            trace(&[1.0, 4.0, 2.0]),
+            trace(&[3.0, 0.0, 5.0]),
+            trace(&[2.0, 2.0, 2.0]),
+        ];
+        let agg = NodeAggregate::from_traces(members[0].grid(), &members).unwrap();
+        let scratch = PowerTrace::sum_of(&members).unwrap();
+        assert_eq!(agg.peak(), scratch.peak());
+        assert_eq!(agg.to_trace().unwrap(), scratch);
+    }
+
+    #[test]
+    fn swap_probe_does_not_mutate() {
+        let a = trace(&[4.0, 0.0]);
+        let b = trace(&[0.0, 4.0]);
+        let agg = NodeAggregate::from_traces(a.grid(), [&a, &b]).unwrap();
+        assert_eq!(agg.peak_with_swap(&a, &b).unwrap(), 8.0);
+        assert_eq!(agg.peak(), 4.0);
+        assert_eq!(agg.count(), 2);
+    }
+
+    #[test]
+    fn mean_excluding_matches_peer_mean() {
+        let members = [trace(&[1.0, 2.0]), trace(&[3.0, 4.0]), trace(&[5.0, 6.0])];
+        let agg = NodeAggregate::from_traces(members[0].grid(), &members).unwrap();
+        let peers = PowerTrace::mean_of([&members[1], &members[2]]).unwrap();
+        let fast = agg.mean_excluding(&members[0]).unwrap();
+        for (x, y) in fast.samples().iter().zip(peers.samples()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn errors_on_mismatch_and_underflow() {
+        let mut agg = NodeAggregate::new(TimeGrid::new(10, 2));
+        assert!(matches!(
+            agg.remove(&trace(&[1.0, 1.0])),
+            Err(TraceError::Empty)
+        ));
+        assert!(agg.add(&trace(&[1.0, 1.0, 1.0])).is_err());
+        assert!(agg
+            .add(&PowerTrace::new(vec![1.0, 1.0], 5).unwrap())
+            .is_err());
+        agg.add(&trace(&[1.0, 1.0])).unwrap();
+        assert!(agg.mean_excluding(&trace(&[1.0, 1.0])).is_err());
+    }
+
+    #[test]
+    fn clamps_fp_residue_after_remove() {
+        let big = trace(&[1.0e16, 1.0]);
+        let small = trace(&[0.1, 0.1]);
+        let mut agg = NodeAggregate::new(big.grid());
+        agg.add(&big).unwrap();
+        agg.add(&small).unwrap();
+        agg.remove(&big).unwrap();
+        // 1e16 + 0.1 - 1e16 == 0.0 in f64: the residue clamps, not panics.
+        let t = agg.to_trace().unwrap();
+        assert!(t.samples().iter().all(|&v| v >= 0.0));
+        assert!(agg.peak() >= 0.0);
+    }
+
+    #[test]
+    fn peak_of_samples_matches_trace_peak() {
+        let t = trace(&[1.0, 7.0, 3.0]);
+        assert_eq!(peak_of_samples(t.samples()), t.peak());
+        assert_eq!(peak_of_samples(&[]), f64::MIN);
+    }
+}

@@ -52,7 +52,10 @@ impl PercentileBands {
         }
         for t in population {
             if t.len() != first.len() {
-                return Err(TraceError::LengthMismatch { left: first.len(), right: t.len() });
+                return Err(TraceError::LengthMismatch {
+                    left: first.len(),
+                    right: t.len(),
+                });
             }
             if t.step_minutes() != first.step_minutes() {
                 return Err(TraceError::StepMismatch {

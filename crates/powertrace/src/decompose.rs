@@ -34,12 +34,18 @@ impl SeasonalDecomposition {
     /// cover a whole number of days.
     pub fn of(trace: &PowerTrace) -> Result<Self, TraceError> {
         let step = trace.step_minutes();
-        if !MINUTES_PER_DAY.is_multiple_of(step) {
-            return Err(TraceError::StepMismatch { left: step, right: MINUTES_PER_DAY });
+        if MINUTES_PER_DAY % step != 0 {
+            return Err(TraceError::StepMismatch {
+                left: step,
+                right: MINUTES_PER_DAY,
+            });
         }
         let per_day = (MINUTES_PER_DAY / step) as usize;
-        if !trace.len().is_multiple_of(per_day) {
-            return Err(TraceError::LengthMismatch { left: trace.len(), right: per_day });
+        if trace.len() % per_day != 0 {
+            return Err(TraceError::LengthMismatch {
+                left: trace.len(),
+                right: per_day,
+            });
         }
         let days = trace.len() / per_day;
         let mean = trace.mean();
@@ -55,25 +61,22 @@ impl SeasonalDecomposition {
             .enumerate()
             .map(|(i, &v)| v - mean - template[i % per_day])
             .collect();
-        Ok(Self { mean, daily_template: template, residual, step_minutes: step })
+        Ok(Self {
+            mean,
+            daily_template: template,
+            residual,
+            step_minutes: step,
+        })
     }
 
     /// Fraction of the trace's variance explained by the daily template,
     /// in `[0, 1]` — the *seasonality* of the workload.
     pub fn seasonality(&self) -> f64 {
         let per_day = self.daily_template.len();
-        let template_var: f64 = self
-            .daily_template
-            .iter()
-            .map(|v| v * v)
-            .sum::<f64>()
-            / per_day as f64;
-        let residual_var: f64 = self
-            .residual
-            .iter()
-            .map(|v| v * v)
-            .sum::<f64>()
-            / self.residual.len() as f64;
+        let template_var: f64 =
+            self.daily_template.iter().map(|v| v * v).sum::<f64>() / per_day as f64;
+        let residual_var: f64 =
+            self.residual.iter().map(|v| v * v).sum::<f64>() / self.residual.len() as f64;
         let total = template_var + residual_var;
         if total == 0.0 {
             0.0

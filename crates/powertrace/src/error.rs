@@ -60,7 +60,10 @@ impl fmt::Display for TraceError {
                 write!(f, "trace step mismatch: {left} min vs {right} min")
             }
             TraceError::OutOfBounds { requested, len } => {
-                write!(f, "index {requested} out of bounds for trace of length {len}")
+                write!(
+                    f,
+                    "index {requested} out of bounds for trace of length {len}"
+                )
             }
             TraceError::InvalidQuantile(q) => {
                 write!(f, "quantile {q} outside the closed interval [0, 1]")
@@ -81,12 +84,24 @@ mod tests {
             (TraceError::Empty, "at least one sample"),
             (TraceError::ZeroStep, "at least one minute"),
             (
-                TraceError::InvalidSample { index: 3, value: f64::NAN },
+                TraceError::InvalidSample {
+                    index: 3,
+                    value: f64::NAN,
+                },
                 "index 3",
             ),
             (TraceError::LengthMismatch { left: 2, right: 5 }, "2 vs 5"),
-            (TraceError::StepMismatch { left: 1, right: 10 }, "1 min vs 10 min"),
-            (TraceError::OutOfBounds { requested: 9, len: 4 }, "out of bounds"),
+            (
+                TraceError::StepMismatch { left: 1, right: 10 },
+                "1 min vs 10 min",
+            ),
+            (
+                TraceError::OutOfBounds {
+                    requested: 9,
+                    len: 4,
+                },
+                "out of bounds",
+            ),
             (TraceError::InvalidQuantile(1.5), "1.5"),
         ];
         for (err, needle) in cases {

@@ -85,14 +85,21 @@ pub fn read_csv<R: Read>(reader: R, step_minutes: u32) -> Result<PowerTrace, Tra
         if trimmed.is_empty() {
             continue;
         }
-        let field = trimmed.rsplit(',').next().expect("rsplit yields at least one field").trim();
+        let field = trimmed
+            .rsplit(',')
+            .next()
+            .expect("rsplit yields at least one field")
+            .trim();
         match field.parse::<f64>() {
             Ok(v) => samples.push(v),
             Err(_) if index == 0 => continue, // header row
             Err(_) => {
                 let mut content = trimmed.to_string();
                 content.truncate(60);
-                return Err(TraceIoError::Parse { line: index + 1, content });
+                return Err(TraceIoError::Parse {
+                    line: index + 1,
+                    content,
+                });
             }
         }
     }
@@ -157,7 +164,10 @@ mod tests {
     #[test]
     fn invalid_samples_surface_trace_errors() {
         let err = read_csv("-5.0\n".as_bytes(), 10).unwrap_err();
-        assert!(matches!(err, TraceIoError::Trace(TraceError::InvalidSample { .. })));
+        assert!(matches!(
+            err,
+            TraceIoError::Trace(TraceError::InvalidSample { .. })
+        ));
         let err = read_csv("".as_bytes(), 10).unwrap_err();
         assert!(matches!(err, TraceIoError::Trace(TraceError::Empty)));
     }

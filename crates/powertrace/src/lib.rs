@@ -13,7 +13,10 @@
 //! * [`Ecdf`] — empirical power CDFs for the StatProf baseline;
 //! * [`PercentileBands`] — cross-instance percentile bands (Figure 6);
 //! * [`sum_of_peaks`] / [`peak_of_sum`] — the fragmentation indicators of
-//!   §2.2.
+//!   §2.2;
+//! * [`NodeAggregate`] — an incrementally maintained aggregate trace with a
+//!   cached peak, so remapping evaluates candidate swaps in `O(T)` instead
+//!   of re-summing a whole power node.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod aggregate;
 mod bands;
 mod decompose;
 mod error;
@@ -44,6 +48,7 @@ mod slack;
 mod stats;
 mod trace;
 
+pub use aggregate::{peak_of_samples, NodeAggregate};
 pub use bands::PercentileBands;
 pub use decompose::SeasonalDecomposition;
 pub use error::TraceError;

@@ -17,7 +17,9 @@ use crate::trace::PowerTrace;
 /// # Errors
 ///
 /// Returns [`TraceError::Empty`] when the set is empty.
-pub fn sum_of_peaks<'a>(traces: impl IntoIterator<Item = &'a PowerTrace>) -> Result<f64, TraceError> {
+pub fn sum_of_peaks<'a>(
+    traces: impl IntoIterator<Item = &'a PowerTrace>,
+) -> Result<f64, TraceError> {
     let mut sum = 0.0;
     let mut any = false;
     for t in traces {
@@ -38,7 +40,9 @@ pub fn sum_of_peaks<'a>(traces: impl IntoIterator<Item = &'a PowerTrace>) -> Res
 ///
 /// Returns [`TraceError::Empty`] when the set is empty and a mismatch error
 /// when the traces are not on a common grid.
-pub fn peak_of_sum<'a>(traces: impl IntoIterator<Item = &'a PowerTrace>) -> Result<f64, TraceError> {
+pub fn peak_of_sum<'a>(
+    traces: impl IntoIterator<Item = &'a PowerTrace>,
+) -> Result<f64, TraceError> {
     PowerTrace::sum_of(traces).map(|t| t.peak())
 }
 

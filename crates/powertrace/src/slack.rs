@@ -45,7 +45,10 @@ impl SlackProfile {
     /// finite.
     pub fn new(draw: &PowerTrace, budget: f64) -> Result<Self, TraceError> {
         if !budget.is_finite() || budget < 0.0 {
-            return Err(TraceError::InvalidSample { index: 0, value: budget });
+            return Err(TraceError::InvalidSample {
+                index: 0,
+                value: budget,
+            });
         }
         let mut slack = Vec::with_capacity(draw.len());
         let mut overdraw = Vec::with_capacity(draw.len());
@@ -139,9 +142,16 @@ pub fn slack_reduction(before: &SlackProfile, after: &SlackProfile) -> f64 {
 /// # Errors
 ///
 /// Returns [`TraceError::InvalidQuantile`] for quantiles outside `[0, 1]`.
-pub fn off_peak_mask(reference: &PowerTrace, threshold_quantile: f64) -> Result<Vec<bool>, TraceError> {
+pub fn off_peak_mask(
+    reference: &PowerTrace,
+    threshold_quantile: f64,
+) -> Result<Vec<bool>, TraceError> {
     let threshold = reference.quantile(threshold_quantile)?;
-    Ok(reference.samples().iter().map(|&v| v <= threshold).collect())
+    Ok(reference
+        .samples()
+        .iter()
+        .map(|&v| v <= threshold)
+        .collect())
 }
 
 #[cfg(test)]

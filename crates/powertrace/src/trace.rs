@@ -62,7 +62,10 @@ impl PowerTrace {
                 return Err(TraceError::InvalidSample { index, value });
             }
         }
-        Ok(Self { samples, step_minutes })
+        Ok(Self {
+            samples,
+            step_minutes,
+        })
     }
 
     /// An all-zero trace covering the given grid.
@@ -79,7 +82,10 @@ impl PowerTrace {
     ///
     /// Panics if `value` is not finite or is negative.
     pub fn constant(value: f64, grid: TimeGrid) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "power must be finite and non-negative");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "power must be finite and non-negative"
+        );
         Self {
             samples: vec![value; grid.len()],
             step_minutes: grid.step_minutes(),
@@ -147,7 +153,7 @@ impl PowerTrace {
     /// Maximum sample — the trace's *peak power* (the quantity that
     /// provisioning must accommodate).
     pub fn peak(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::MIN, f64::max)
+        crate::aggregate::peak_of_samples(&self.samples)
     }
 
     /// Index of the (first) peak sample.
@@ -253,7 +259,10 @@ impl PowerTrace {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scale(&self, factor: f64) -> PowerTrace {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
         PowerTrace {
             samples: self.samples.iter().map(|v| v * factor).collect(),
             step_minutes: self.step_minutes,
@@ -307,7 +316,7 @@ impl PowerTrace {
         if factor == 0 {
             return Err(TraceError::ZeroStep);
         }
-        if !self.samples.len().is_multiple_of(factor) {
+        if self.samples.len() % factor != 0 {
             return Err(TraceError::LengthMismatch {
                 left: self.samples.len(),
                 right: factor,
@@ -343,18 +352,21 @@ impl PowerTrace {
         if step_minutes == self.step_minutes {
             return Ok(self.clone());
         }
-        if step_minutes.is_multiple_of(self.step_minutes) {
+        if step_minutes % self.step_minutes == 0 {
             // Coarser grid: average buckets.
             self.downsample((step_minutes / self.step_minutes) as usize)
-        } else if self.step_minutes.is_multiple_of(step_minutes) {
+        } else if self.step_minutes % step_minutes == 0 {
             // Finer grid: hold each sample across its sub-steps.
             let factor = (self.step_minutes / step_minutes) as usize;
             let samples = self
                 .samples
                 .iter()
-                .flat_map(|&v| std::iter::repeat_n(v, factor))
+                .flat_map(|&v| std::iter::repeat(v).take(factor))
                 .collect();
-            Ok(PowerTrace { samples, step_minutes })
+            Ok(PowerTrace {
+                samples,
+                step_minutes,
+            })
         } else {
             Err(TraceError::LengthMismatch {
                 left: self.step_minutes as usize,
@@ -372,7 +384,9 @@ impl PowerTrace {
     ///
     /// Returns [`TraceError::Empty`] for an empty input and a mismatch error
     /// when the traces are not on a common grid.
-    pub fn mean_of<'a>(traces: impl IntoIterator<Item = &'a PowerTrace>) -> Result<PowerTrace, TraceError> {
+    pub fn mean_of<'a>(
+        traces: impl IntoIterator<Item = &'a PowerTrace>,
+    ) -> Result<PowerTrace, TraceError> {
         let mut iter = traces.into_iter();
         let first = iter.next().ok_or(TraceError::Empty)?;
         let mut acc = first.clone();
@@ -391,7 +405,9 @@ impl PowerTrace {
     ///
     /// Returns [`TraceError::Empty`] for an empty input and a mismatch error
     /// when the traces are not on a common grid.
-    pub fn sum_of<'a>(traces: impl IntoIterator<Item = &'a PowerTrace>) -> Result<PowerTrace, TraceError> {
+    pub fn sum_of<'a>(
+        traces: impl IntoIterator<Item = &'a PowerTrace>,
+    ) -> Result<PowerTrace, TraceError> {
         let mut iter = traces.into_iter();
         let first = iter.next().ok_or(TraceError::Empty)?;
         let mut acc = first.clone();
@@ -465,7 +481,8 @@ impl AddAssign<&PowerTrace> for PowerTrace {
     /// Panics when the traces are not on the same grid; use
     /// [`PowerTrace::try_add_assign`] for a checked variant.
     fn add_assign(&mut self, rhs: &PowerTrace) {
-        self.try_add_assign(rhs).expect("trace grids must match for +=");
+        self.try_add_assign(rhs)
+            .expect("trace grids must match for +=");
     }
 }
 
@@ -530,9 +547,15 @@ mod tests {
     fn arithmetic_checks_grids() {
         let a = trace(&[1.0, 2.0]);
         let b = PowerTrace::new(vec![1.0, 2.0], 5).unwrap();
-        assert!(matches!(a.try_add(&b), Err(TraceError::StepMismatch { .. })));
+        assert!(matches!(
+            a.try_add(&b),
+            Err(TraceError::StepMismatch { .. })
+        ));
         let c = trace(&[1.0, 2.0, 3.0]);
-        assert!(matches!(a.try_add(&c), Err(TraceError::LengthMismatch { .. })));
+        assert!(matches!(
+            a.try_add(&c),
+            Err(TraceError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -574,7 +597,7 @@ mod tests {
     #[test]
     fn resample_both_directions() {
         let t = trace(&[1.0, 3.0, 5.0, 7.0]); // 10-minute step
-        // Coarser: 20-minute buckets averaged.
+                                              // Coarser: 20-minute buckets averaged.
         let coarse = t.resample(20).unwrap();
         assert_eq!(coarse.samples(), &[2.0, 6.0]);
         // Finer: 5-minute step-hold.

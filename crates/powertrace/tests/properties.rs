@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use so_powertrace::{
-    off_peak_mask, peak_of_sum, sum_of_peaks, Ecdf, PercentileBands, PowerTrace, SlackProfile,
+    off_peak_mask, peak_of_sum, sum_of_peaks, Ecdf, NodeAggregate, PercentileBands, PowerTrace,
+    SlackProfile,
 };
 
 fn sample_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -124,5 +125,47 @@ proptest! {
         let t = PowerTrace::new(v, 10).unwrap();
         let d = t.downsample(4).unwrap();
         prop_assert!((t.energy_watt_minutes() - d.energy_watt_minutes()).abs() < 1e-6);
+    }
+
+    /// An arbitrary add/remove sequence on a [`NodeAggregate`] matches a
+    /// from-scratch `PowerTrace::sum_of` over the live members at every
+    /// step: the incremental cache never drifts from the ground truth.
+    #[test]
+    fn node_aggregate_matches_from_scratch_sum(
+        vs in prop::collection::vec(sample_vec(24), 1..10),
+        ops in prop::collection::vec(0usize..2048, 1..40),
+    ) {
+        let traces: Vec<PowerTrace> =
+            vs.into_iter().map(|v| PowerTrace::new(v, 10).unwrap()).collect();
+        let mut agg = NodeAggregate::new(traces[0].grid());
+        let mut live: Vec<usize> = Vec::new();
+
+        for op in ops {
+            let (is_add, pick) = (op % 2 == 0, op / 2);
+            if is_add || live.is_empty() {
+                let idx = pick % traces.len();
+                agg.add(&traces[idx]).unwrap();
+                live.push(idx);
+            } else {
+                let at = pick % live.len();
+                let idx = live.swap_remove(at);
+                agg.remove(&traces[idx]).unwrap();
+            }
+
+            prop_assert_eq!(agg.count(), live.len());
+            if live.is_empty() {
+                prop_assert!((agg.peak() - 0.0).abs() < 1e-6);
+                continue;
+            }
+            let expected = PowerTrace::sum_of(live.iter().map(|&i| &traces[i])).unwrap();
+            prop_assert!(
+                (agg.peak() - expected.peak()).abs() < 1e-6,
+                "cached peak {} vs from-scratch {}", agg.peak(), expected.peak()
+            );
+            let got = agg.to_trace().unwrap();
+            for (a, b) in got.samples().iter().zip(expected.samples()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Bottom-up aggregation of instance power traces through the tree.
 
-use so_powertrace::{PowerTrace, SlackProfile, TimeGrid};
+use so_parallel::par_map;
+use so_powertrace::{NodeAggregate, PowerTrace, SlackProfile, TimeGrid};
 
 use crate::assignment::Assignment;
 use crate::error::TreeError;
@@ -37,6 +38,12 @@ pub struct NodeAggregates {
 impl NodeAggregates {
     /// Aggregates instance traces through the tree.
     ///
+    /// Racks are summed concurrently (each rack's [`NodeAggregate`] adds
+    /// its instances in ascending id order), then one level-synchronous
+    /// upward pass sums each internal node's children — nodes within a
+    /// level are independent, so every level is also a parallel map. The
+    /// result does not depend on the thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`TreeError::InstanceCountMismatch`] when the assignment and
@@ -57,23 +64,46 @@ impl NodeAggregates {
             Some(t) => t.grid(),
             None => TimeGrid::new(1, 1),
         };
+
+        // Group instances by hosting rack (ascending instance id per rack).
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); topology.len()];
+        for i in 0..instance_traces.len() {
+            members[assignment.rack_of(i)?.index()].push(i);
+        }
+
         let mut traces: Vec<PowerTrace> = (0..topology.len())
             .map(|_| PowerTrace::zeros(grid))
             .collect();
 
-        for (i, trace) in instance_traces.iter().enumerate() {
-            let rack = assignment.rack_of(i)?;
-            traces[rack.index()].try_add_assign(trace)?;
+        // Rack sums, one rack per parallel task.
+        let racks = topology.nodes_at_level(Level::Rack);
+        let rack_traces = par_map(racks, 4, |_, &rack| -> Result<PowerTrace, TreeError> {
+            let agg = NodeAggregate::from_traces(
+                grid,
+                members[rack.index()].iter().map(|&i| &instance_traces[i]),
+            )?;
+            Ok(agg.to_trace()?)
+        });
+        for (&rack, trace) in racks.iter().zip(rack_traces) {
+            traces[rack.index()] = trace?;
         }
 
-        // Parents have smaller ids than children (BFS construction), so one
-        // reverse pass pushes every aggregate up to its parent.
-        for idx in (1..topology.len()).rev() {
-            let node = topology.node(NodeId::new(idx))?;
-            if let Some(parent) = node.parent() {
-                let child = traces[idx].clone();
-                traces[parent.index()].try_add_assign(&child)?;
+        // Upward pass, deepest internal level first; each node sums its
+        // children in ascending id order.
+        let mut level = Some(Level::Rpp);
+        while let Some(current) = level {
+            let nodes = topology.nodes_at_level(current);
+            let sums = par_map(nodes, 4, |_, &id| -> Result<PowerTrace, TreeError> {
+                let children = topology.node(id)?.children();
+                let agg =
+                    NodeAggregate::from_traces(grid, children.iter().map(|c| &traces[c.index()]))?;
+                Ok(agg.to_trace()?)
+            });
+            let sums: Vec<PowerTrace> = sums.into_iter().collect::<Result<_, _>>()?;
+            for (&id, trace) in nodes.iter().zip(sums) {
+                traces[id.index()] = trace;
             }
+            level = current.parent();
         }
 
         Ok(Self { traces })
@@ -85,7 +115,9 @@ impl NodeAggregates {
     ///
     /// Returns [`TreeError::UnknownNode`] for ids outside the topology.
     pub fn trace(&self, node: NodeId) -> Result<&PowerTrace, TreeError> {
-        self.traces.get(node.index()).ok_or(TreeError::UnknownNode(node))
+        self.traces
+            .get(node.index())
+            .ok_or(TreeError::UnknownNode(node))
     }
 
     /// Peak aggregate power at `node`.

@@ -53,7 +53,11 @@ impl Assignment {
         let capacity = topology.rack_capacity();
         for (rack, assigned) in counts {
             if assigned > capacity {
-                return Err(TreeError::RackOverCapacity { rack, assigned, capacity });
+                return Err(TreeError::RackOverCapacity {
+                    rack,
+                    assigned,
+                    capacity,
+                });
             }
         }
         Ok(Self { rack_of })
@@ -88,7 +92,10 @@ impl Assignment {
     ///
     /// Returns [`TreeError::UnknownInstance`] for an out-of-range index.
     pub fn rack_of(&self, i: usize) -> Result<NodeId, TreeError> {
-        self.rack_of.get(i).copied().ok_or(TreeError::UnknownInstance(i))
+        self.rack_of
+            .get(i)
+            .copied()
+            .ok_or(TreeError::UnknownInstance(i))
     }
 
     /// The full instance → rack slice.

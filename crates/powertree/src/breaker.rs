@@ -107,14 +107,24 @@ impl BreakerModel {
                 } else if let Some(start) = run_start.take() {
                     let duration = i - start;
                     if duration >= self.sustain_samples {
-                        trips.push(TripEvent { node: node.id(), start, duration, peak_watts: run_peak });
+                        trips.push(TripEvent {
+                            node: node.id(),
+                            start,
+                            duration,
+                            peak_watts: run_peak,
+                        });
                     }
                 }
             }
             if let Some(start) = run_start {
                 let duration = trace.len() - start;
                 if duration >= self.sustain_samples {
-                    trips.push(TripEvent { node: node.id(), start, duration, peak_watts: run_peak });
+                    trips.push(TripEvent {
+                        node: node.id(),
+                        start,
+                        duration,
+                        peak_watts: run_peak,
+                    });
                 }
             }
         }

@@ -53,7 +53,11 @@ impl fmt::Display for TreeError {
                 f,
                 "assignment covers {assignment} instances but {traces} traces were supplied"
             ),
-            TreeError::RackOverCapacity { rack, assigned, capacity } => write!(
+            TreeError::RackOverCapacity {
+                rack,
+                assigned,
+                capacity,
+            } => write!(
                 f,
                 "rack {rack} assigned {assigned} instances, above its capacity of {capacity}"
             ),

@@ -74,13 +74,17 @@ impl HeadroomReport {
     ///
     /// Returns [`TreeError::UnknownNode`] for unknown nodes.
     pub fn node(&self, node: NodeId) -> Result<&NodeHeadroom, TreeError> {
-        self.entries.get(node.index()).ok_or(TreeError::UnknownNode(node))
+        self.entries
+            .get(node.index())
+            .ok_or(TreeError::UnknownNode(node))
     }
 
     /// Total headroom at one level, watts (clamped at zero per node: an
     /// over-committed node contributes no usable headroom elsewhere).
     pub fn usable_at_level(&self, level: Level) -> f64 {
-        self.at_level(level).map(|e| e.headroom_watts.max(0.0)).sum()
+        self.at_level(level)
+            .map(|e| e.headroom_watts.max(0.0))
+            .sum()
     }
 
     /// The node with the least headroom at a level — the fragmentation

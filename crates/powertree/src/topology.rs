@@ -133,7 +133,13 @@ impl TopologyBuilder {
     /// [`TreeError::ZeroRackCapacity`] for a zero rack capacity.
     pub fn build(&self) -> Result<PowerTopology, TreeError> {
         let shape = self.shape;
-        for level in [Level::Datacenter, Level::Suite, Level::Msb, Level::Sb, Level::Rpp] {
+        for level in [
+            Level::Datacenter,
+            Level::Suite,
+            Level::Msb,
+            Level::Sb,
+            Level::Rpp,
+        ] {
             if shape.fan_out(level) == 0 {
                 return Err(TreeError::ZeroFanOut(level));
             }
@@ -207,7 +213,12 @@ impl TopologyBuilder {
             by_level[node.level.depth()].push(node.id);
         }
 
-        Ok(PowerTopology { nodes, root, shape, by_level })
+        Ok(PowerTopology {
+            nodes,
+            root,
+            shape,
+            by_level,
+        })
     }
 }
 
@@ -255,7 +266,11 @@ impl PowerTopology {
     ///
     /// Same as [`TopologyBuilder::build`].
     pub fn from_shape(shape: TopologyShape, name: impl Into<String>) -> Result<Self, TreeError> {
-        TopologyBuilder { shape, name: name.into() }.build()
+        TopologyBuilder {
+            shape,
+            name: name.into(),
+        }
+        .build()
     }
 
     /// The shape this topology was built from.
@@ -517,7 +532,10 @@ mod tests {
     fn zero_fan_out_is_rejected() {
         let err = PowerTopology::builder().suites(0).build().unwrap_err();
         assert_eq!(err, TreeError::ZeroFanOut(Level::Datacenter));
-        let err = PowerTopology::builder().rack_capacity(0).build().unwrap_err();
+        let err = PowerTopology::builder()
+            .rack_capacity(0)
+            .build()
+            .unwrap_err();
         assert_eq!(err, TreeError::ZeroRackCapacity);
     }
 

@@ -18,11 +18,7 @@ fn small_topology() -> PowerTopology {
 }
 
 fn instance_traces(n: usize, len: usize) -> impl Strategy<Value = Vec<PowerTrace>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..100.0, len..=len),
-        n..=n,
-    )
-    .prop_map(|vs| {
+    prop::collection::vec(prop::collection::vec(0.0f64..100.0, len..=len), n..=n).prop_map(|vs| {
         vs.into_iter()
             .map(|v| PowerTrace::new(v, 10).expect("valid samples"))
             .collect()

@@ -92,7 +92,7 @@ pub fn plan_conversion_capacity(
                 continue;
             }
             let h = headroom[rack.index()];
-            if best.is_none_or(|(_, bh)| h > bh) {
+            if best.map_or(true, |(_, bh)| h > bh) {
                 best = Some((idx, h));
             }
         }
@@ -132,7 +132,9 @@ pub fn throttle_funded_capacity(
             "batch_peak_watts_per_server must be positive",
         ));
     }
-    if !(throttle_power_factor.is_finite() && throttle_power_factor > 0.0 && throttle_power_factor <= 1.0)
+    if !(throttle_power_factor.is_finite()
+        && throttle_power_factor > 0.0
+        && throttle_power_factor <= 1.0)
     {
         return Err(ReshapeError::InvalidParameter(
             "throttle_power_factor must lie in (0, 1]",

@@ -118,9 +118,7 @@ impl Default for ThrottleBoostPolicy {
 impl ReshapePolicy for ThrottleBoostPolicy {
     fn decide(&mut self, observation: &StepObservation) -> StepDecision {
         let base_load = observation.base_lc_load();
-        let phase = self
-            .conversion
-            .update_phase(base_load, observation.l_conv);
+        let phase = self.conversion.update_phase(base_load, observation.l_conv);
         match phase {
             Phase::BatchHeavy => {
                 // Boost only in deep off-peak, compensating throttling losses.
@@ -250,7 +248,10 @@ mod tests {
 
         // Without e_th there is nothing to fund: no throttling.
         let mut p = ThrottleBoostPolicy::default();
-        let o = StepObservation { throttle_funded: 0, ..observation(900.0) };
+        let o = StepObservation {
+            throttle_funded: 0,
+            ..observation(900.0)
+        };
         let d = p.decide(&o);
         assert_eq!(d.batch_dvfs, DvfsState::Nominal);
     }

@@ -9,10 +9,10 @@
 //! [`DriftMonitor`] re-evaluates the per-level sums of peaks, and — when
 //! flagged — a bounded remapping pass repairs the placement.
 
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use so_core::{remap, DriftMonitor, RemapConfig};
 use so_powertree::{Assignment, Level, NodeAggregates, PowerTopology};
-use rand::Rng;
 use so_workloads::rng::{normal, stream_rng};
 use so_workloads::{Fleet, InstanceSpec};
 
@@ -174,7 +174,10 @@ pub fn operate(
             swaps,
         });
     }
-    Ok(LongRunReport { initial_sum_of_peaks, weeks })
+    Ok(LongRunReport {
+        initial_sum_of_peaks,
+        weeks,
+    })
 }
 
 #[cfg(test)]
@@ -201,7 +204,10 @@ mod tests {
     #[test]
     fn report_covers_every_week() {
         let (fleet, topo, placement) = setup();
-        let config = LongRunConfig { weeks: 3, ..LongRunConfig::default() };
+        let config = LongRunConfig {
+            weeks: 3,
+            ..LongRunConfig::default()
+        };
         let report = operate(&fleet, &topo, &placement, &config).unwrap();
         assert_eq!(report.weeks.len(), 3);
         assert!(report.initial_sum_of_peaks > 0.0);
@@ -228,7 +234,10 @@ mod tests {
             "managed placement fell behind: {:?}",
             report.mean_managed_advantage()
         );
-        assert!(report.weeks.iter().any(|w| w.flagged), "heavy drift never flagged");
+        assert!(
+            report.weeks.iter().any(|w| w.flagged),
+            "heavy drift never flagged"
+        );
     }
 
     #[test]

@@ -155,7 +155,13 @@ pub fn run_scenario(
     config: &PipelineConfig,
 ) -> Result<ScenarioOutcome, ReshapeError> {
     let fleet = scenario.generate_fleet(n_instances)?;
-    run_fleet(scenario.name.clone(), &fleet, scenario.baseline_mixing, topology, config)
+    run_fleet(
+        scenario.name.clone(),
+        &fleet,
+        scenario.baseline_mixing,
+        topology,
+        config,
+    )
 }
 
 /// Runs the pipeline on an already-generated fleet.
@@ -209,13 +215,8 @@ pub fn run_fleet(
         .map(|&r| agg_before.peak(r))
         .sum::<Result<f64, _>>()?;
     let per_server_charge = (rpp_budget_total / fleet.len() as f64).max(1.0);
-    let extra_conversion = plan_conversion_capacity(
-        topology,
-        &after,
-        &agg_after,
-        &budgets,
-        per_server_charge,
-    )?;
+    let extra_conversion =
+        plan_conversion_capacity(topology, &after, &agg_after, &budgets, per_server_charge)?;
 
     let base_lc = fleet.instances_of_kind(WorkKind::LatencyCritical).len();
     let base_batch = fleet.instances_of_kind(WorkKind::Batch).len();
@@ -234,8 +235,7 @@ pub fn run_fleet(
     // 4. Offered loads: the training week sizes L_conv; the test week runs
     //    the policies. Post-optimization traffic grows with capacity.
     let grid = fleet.grid();
-    let design_peak_qps =
-        base_lc as f64 * config.qps_per_server * config.design_peak_load;
+    let design_peak_qps = base_lc as f64 * config.qps_per_server * config.design_peak_load;
     let train_load = OfferedLoad::diurnal(grid, design_peak_qps, 0.0, config.load_seed ^ 1);
     let l_conv = learn_conversion_threshold(
         &train_load,
@@ -243,15 +243,18 @@ pub fn run_fleet(
         config.qps_per_server,
         config.l_conv_quantile,
     )?;
-    let pre_load =
-        OfferedLoad::diurnal(grid, design_peak_qps, config.load_noise_sd, config.load_seed);
+    let pre_load = OfferedLoad::diurnal(
+        grid,
+        design_peak_qps,
+        config.load_noise_sd,
+        config.load_seed,
+    );
     // Traffic grows in proportion to the whole machine count ("we are able
     // to host up to 13% more machines ... to trade for up to 13% LC
     // throughput"), not to the LC sub-fleet alone.
     let fleet_size = fleet.len() as f64;
     let growth_conv = (fleet_size + extra_conversion as f64) / fleet_size;
-    let growth_th =
-        (fleet_size + (extra_conversion + extra_throttle_funded) as f64) / fleet_size;
+    let growth_th = (fleet_size + (extra_conversion + extra_throttle_funded) as f64) / fleet_size;
     let conv_load = pre_load.scaled(growth_conv);
     let th_load = pre_load.scaled(growth_th);
 
@@ -271,7 +274,11 @@ pub fn run_fleet(
         batch_backlog_factor: 0.15,
     };
 
-    let pre = simulate(&make_config(0, 0), &pre_load, &mut StaticPolicy { as_lc: true })?;
+    let pre = simulate(
+        &make_config(0, 0),
+        &pre_load,
+        &mut StaticPolicy { as_lc: true },
+    )?;
     let budget_watts = pre.peak_power() / config.budget_peak_utilization;
 
     let lc_only = simulate(
@@ -291,10 +298,7 @@ pub fn run_fleet(
     )?;
 
     // Off-peak mask from the clean diurnal shape.
-    let activity = PowerTrace::new(
-        so_workloads::activity_series(grid),
-        grid.step_minutes(),
-    )?;
+    let activity = PowerTrace::new(so_workloads::activity_series(grid), grid.step_minutes())?;
     let off_peak = off_peak_mask(&activity, 0.5)?;
 
     Ok(ScenarioOutcome {
@@ -349,11 +353,17 @@ mod tests {
     fn pipeline_improves_both_throughputs() {
         let scenario = DcScenario::dc2();
         let topo = fitting_topology(160, 12).unwrap();
-        let outcome =
-            run_scenario(&scenario, 160, &topo, &PipelineConfig::default()).unwrap();
+        let outcome = run_scenario(&scenario, 160, &topo, &PipelineConfig::default()).unwrap();
 
-        assert!(outcome.rpp_peak_reduction > 0.0, "rpp reduction {}", outcome.rpp_peak_reduction);
-        assert!(outcome.extra_conversion > 0, "no conversion servers unlocked");
+        assert!(
+            outcome.rpp_peak_reduction > 0.0,
+            "rpp reduction {}",
+            outcome.rpp_peak_reduction
+        );
+        assert!(
+            outcome.extra_conversion > 0,
+            "no conversion servers unlocked"
+        );
 
         let lc_gain = outcome.lc_improvement(&outcome.conversion);
         let batch_gain = outcome.batch_improvement(&outcome.conversion);
@@ -362,7 +372,10 @@ mod tests {
 
         // LC-only pins the extra servers to LC: batch sees nothing.
         let lc_only_batch = outcome.batch_improvement(&outcome.lc_only);
-        assert!(lc_only_batch.abs() < 1e-9, "lc-only batch gain {lc_only_batch}");
+        assert!(
+            lc_only_batch.abs() < 1e-9,
+            "lc-only batch gain {lc_only_batch}"
+        );
 
         // Throttle+boost reaches at least the conversion LC gain.
         let tb_lc = outcome.lc_improvement(&outcome.throttle_boost);
@@ -373,10 +386,13 @@ mod tests {
     fn pipeline_reduces_slack() {
         let scenario = DcScenario::dc1();
         let topo = fitting_topology(120, 12).unwrap();
-        let outcome =
-            run_scenario(&scenario, 120, &topo, &PipelineConfig::default()).unwrap();
-        let avg = outcome.avg_slack_reduction(&outcome.throttle_boost).unwrap();
-        let off_peak = outcome.off_peak_slack_reduction(&outcome.throttle_boost).unwrap();
+        let outcome = run_scenario(&scenario, 120, &topo, &PipelineConfig::default()).unwrap();
+        let avg = outcome
+            .avg_slack_reduction(&outcome.throttle_boost)
+            .unwrap();
+        let off_peak = outcome
+            .off_peak_slack_reduction(&outcome.throttle_boost)
+            .unwrap();
         assert!(avg > 0.0, "avg slack reduction {avg}");
         assert!(off_peak > 0.0, "off-peak slack reduction {off_peak}");
     }
@@ -387,8 +403,7 @@ mod tests {
         // under the budget (tiny noise-driven excursions tolerated).
         for scenario in DcScenario::all() {
             let topo = fitting_topology(160, 12).unwrap();
-            let outcome =
-                run_scenario(&scenario, 160, &topo, &PipelineConfig::default()).unwrap();
+            let outcome = run_scenario(&scenario, 160, &topo, &PipelineConfig::default()).unwrap();
             let peak = outcome.throttle_boost.peak_power();
             assert!(
                 peak <= outcome.budget_watts * 1.01,

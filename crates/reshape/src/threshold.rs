@@ -31,10 +31,14 @@ pub fn learn_conversion_threshold(
         return Err(ReshapeError::InvalidParameter("base_lc must be positive"));
     }
     if !(qps_per_server.is_finite() && qps_per_server > 0.0) {
-        return Err(ReshapeError::InvalidParameter("qps_per_server must be positive"));
+        return Err(ReshapeError::InvalidParameter(
+            "qps_per_server must be positive",
+        ));
     }
     if !(0.0..=1.0).contains(&quantile) || quantile.is_nan() {
-        return Err(ReshapeError::InvalidParameter("quantile must lie in [0, 1]"));
+        return Err(ReshapeError::InvalidParameter(
+            "quantile must lie in [0, 1]",
+        ));
     }
 
     let capacity = base_lc as f64 * qps_per_server;

@@ -115,11 +115,7 @@ pub fn route(offered_qps: f64, slots: &[ServerSlot], l_conv: f64) -> RoutingOutc
 /// # Panics
 ///
 /// Same as [`route`].
-pub fn route_guard_first(
-    offered_qps: f64,
-    slots: &[ServerSlot],
-    l_conv: f64,
-) -> RoutingOutcome {
+pub fn route_guard_first(offered_qps: f64, slots: &[ServerSlot], l_conv: f64) -> RoutingOutcome {
     assert!(!slots.is_empty(), "routing needs at least one server");
     assert!(
         l_conv.is_finite() && l_conv > 0.0 && l_conv <= 1.0,
@@ -150,7 +146,12 @@ pub fn route_guard_first(
         }
         over_guard_count = loads.iter().filter(|&&l| l > l_conv + 1e-12).count();
     }
-    RoutingOutcome { loads, served_qps: served, dropped_qps: dropped, over_guard_count }
+    RoutingOutcome {
+        loads,
+        served_qps: served,
+        dropped_qps: dropped,
+        over_guard_count,
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A CPU frequency/voltage operating point for Batch servers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum DvfsState {
     /// Reduced frequency: lower power, lower throughput.
     Throttled,
@@ -19,7 +18,6 @@ pub enum DvfsState {
     /// Elevated frequency: higher power, higher throughput.
     Boosted,
 }
-
 
 impl DvfsState {
     /// Multiplier on a server's power draw at this operating point.

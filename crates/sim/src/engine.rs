@@ -59,7 +59,9 @@ impl SimConfig {
     /// constraint.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.base_lc == 0 {
-            return Err(SimError::InvalidConfig("at least one base LC server is required"));
+            return Err(SimError::InvalidConfig(
+                "at least one base LC server is required",
+            ));
         }
         if !(self.qps_per_server.is_finite() && self.qps_per_server > 0.0) {
             return Err(SimError::InvalidConfig("qps_per_server must be positive"));
@@ -71,7 +73,9 @@ impl SimConfig {
             return Err(SimError::InvalidConfig("power budget must be positive"));
         }
         if !(self.batch_utilization.is_finite() && (0.0..=1.0).contains(&self.batch_utilization)) {
-            return Err(SimError::InvalidConfig("batch utilization must lie in [0, 1]"));
+            return Err(SimError::InvalidConfig(
+                "batch utilization must lie in [0, 1]",
+            ));
         }
         if !(self.conversion_batch_efficiency.is_finite()
             && (0.0..=1.0).contains(&self.conversion_batch_efficiency))
@@ -159,13 +163,16 @@ impl Telemetry {
 
     /// Peak total power, watts.
     pub fn peak_power(&self) -> f64 {
-        self.total_power.iter().copied().fold(f64::MIN, f64::max)
+        so_powertrace::peak_of_samples(&self.total_power)
     }
 
     /// Steps on which the mean per-LC-server load exceeded `l_conv`
     /// (QoS-endangered steps).
     pub fn qos_risk_steps(&self, l_conv: f64) -> usize {
-        self.per_lc_server_load.iter().filter(|&&l| l > l_conv + 1e-9).count()
+        self.per_lc_server_load
+            .iter()
+            .filter(|&&l| l > l_conv + 1e-9)
+            .count()
     }
 
     /// The total-power series as a [`PowerTrace`].
@@ -186,7 +193,11 @@ impl Telemetry {
         for step in 0..self.len() {
             let now = self.conversion_as_lc[step] + self.throttle_funded_as_lc[step];
             if step > 0 && now != prev {
-                events.push(ConversionEvent { step, lc_before: prev, lc_after: now });
+                events.push(ConversionEvent {
+                    step,
+                    lc_before: prev,
+                    lc_after: now,
+                });
             }
             prev = now;
         }
@@ -262,7 +273,9 @@ pub fn simulate(
 
         let lc_power = lc_active as f64 * config.lc_power.power(lc_load, DvfsState::Nominal);
         let batch_power = (config.base_batch + working_opportunistic) as f64
-            * config.batch_power.power(config.batch_utilization, decision.batch_dvfs)
+            * config
+                .batch_power
+                .power(config.batch_utilization, decision.batch_dvfs)
             + idle_opportunistic as f64 * config.lc_power.power(0.0, DvfsState::Nominal);
 
         telemetry.per_lc_server_load.push(lc_load);
@@ -271,7 +284,9 @@ pub fn simulate(
         telemetry.batch_throughput.push(batch_work);
         telemetry.total_power.push(lc_power + batch_power);
         telemetry.conversion_as_lc.push(decision.conversion_as_lc);
-        telemetry.throttle_funded_as_lc.push(decision.throttle_funded_as_lc);
+        telemetry
+            .throttle_funded_as_lc
+            .push(decision.throttle_funded_as_lc);
         telemetry.batch_dvfs.push(decision.batch_dvfs);
 
         prev_lc_load = lc_load;

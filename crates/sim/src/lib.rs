@@ -33,8 +33,8 @@
 mod balancer;
 mod dvfs;
 mod engine;
-mod latency;
 mod error;
+mod latency;
 mod policy;
 mod power;
 

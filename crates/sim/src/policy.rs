@@ -89,8 +89,16 @@ pub struct StaticPolicy {
 impl ReshapePolicy for StaticPolicy {
     fn decide(&mut self, observation: &StepObservation) -> StepDecision {
         StepDecision {
-            conversion_as_lc: if self.as_lc { observation.conversion } else { 0 },
-            throttle_funded_as_lc: if self.as_lc { observation.throttle_funded } else { 0 },
+            conversion_as_lc: if self.as_lc {
+                observation.conversion
+            } else {
+                0
+            },
+            throttle_funded_as_lc: if self.as_lc {
+                observation.throttle_funded
+            } else {
+                0
+            },
             batch_dvfs: DvfsState::Nominal,
         }
     }

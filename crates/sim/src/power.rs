@@ -26,10 +26,16 @@ impl ServerPowerModel {
     /// Panics unless `0 <= idle_watts <= peak_watts` and both are finite.
     pub fn new(idle_watts: f64, peak_watts: f64) -> Self {
         assert!(
-            idle_watts.is_finite() && peak_watts.is_finite() && 0.0 <= idle_watts && idle_watts <= peak_watts,
+            idle_watts.is_finite()
+                && peak_watts.is_finite()
+                && 0.0 <= idle_watts
+                && idle_watts <= peak_watts,
             "power model requires 0 <= idle <= peak"
         );
-        Self { idle_watts, peak_watts }
+        Self {
+            idle_watts,
+            peak_watts,
+        }
     }
 
     /// A typical latency-critical web server (90 W idle, 300 W peak).

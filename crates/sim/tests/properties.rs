@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use so_powertrace::TimeGrid;
 use so_sim::{
-    default_config, simulate, DvfsState, ReshapePolicy, StaticPolicy, StepDecision,
-    StepObservation,
+    default_config, simulate, DvfsState, ReshapePolicy, StaticPolicy, StepDecision, StepObservation,
 };
 use so_workloads::OfferedLoad;
 

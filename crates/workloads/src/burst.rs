@@ -32,7 +32,12 @@ impl BurstSpec {
     /// A burst covering `duration` samples starting at `start`, scaling
     /// the service's dynamic power by `intensity`.
     pub fn new(service: ServiceClass, start: usize, duration: usize, intensity: f64) -> Self {
-        Self { service, start, duration, intensity }
+        Self {
+            service,
+            start,
+            duration,
+            intensity,
+        }
     }
 }
 
@@ -105,7 +110,9 @@ mod tests {
 
         let original = f.test_traces();
         // Frontend rises inside the window (if it had any dynamic power).
-        let in_window: f64 = (10..15).map(|t| bursty[0].samples()[t] - original[0].samples()[t]).sum();
+        let in_window: f64 = (10..15)
+            .map(|t| bursty[0].samples()[t] - original[0].samples()[t])
+            .sum();
         assert!(in_window > 0.0, "burst had no effect");
         // Outside the window, unchanged.
         assert_eq!(bursty[0].samples()[0], original[0].samples()[0]);

@@ -27,11 +27,17 @@ impl fmt::Display for WorkloadError {
         match self {
             WorkloadError::EmptyMix => write!(f, "scenario mix must name at least one service"),
             WorkloadError::InvalidFraction { service, fraction } => {
-                write!(f, "mix fraction {fraction} for service {service} must be positive and finite")
+                write!(
+                    f,
+                    "mix fraction {fraction} for service {service} must be positive and finite"
+                )
             }
             WorkloadError::ZeroInstances => write!(f, "fleet must contain at least one instance"),
             WorkloadError::ZeroTrainWeeks => {
-                write!(f, "at least one training week is required to average traces")
+                write!(
+                    f,
+                    "at least one training week is required to average traces"
+                )
             }
         }
     }
@@ -45,7 +51,10 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let err = WorkloadError::InvalidFraction { service: "db", fraction: -0.5 };
+        let err = WorkloadError::InvalidFraction {
+            service: "db",
+            fraction: -0.5,
+        };
         assert!(err.to_string().contains("db"));
         assert!(err.to_string().contains("-0.5"));
     }

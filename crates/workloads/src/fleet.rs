@@ -52,7 +52,12 @@ impl Fleet {
             );
             test.push(spec.weekly_trace(grid, train_weeks));
         }
-        Ok(Self { specs, grid, averaged, test })
+        Ok(Self {
+            specs,
+            grid,
+            averaged,
+            test,
+        })
     }
 
     /// Builds a fleet from externally collected traces (e.g. real power
@@ -75,10 +80,7 @@ impl Fleet {
         averaged: Vec<PowerTrace>,
         test: Vec<PowerTrace>,
     ) -> Result<Self, WorkloadError> {
-        if services.is_empty()
-            || services.len() != averaged.len()
-            || services.len() != test.len()
-        {
+        if services.is_empty() || services.len() != averaged.len() || services.len() != test.len() {
             return Err(WorkloadError::ZeroInstances);
         }
         let grid = averaged[0].grid();
@@ -94,7 +96,12 @@ impl Fleet {
             .enumerate()
             .map(|(i, service)| InstanceSpec::nominal(service, i as u64))
             .collect();
-        Ok(Self { specs, grid, averaged, test })
+        Ok(Self {
+            specs,
+            grid,
+            averaged,
+            test,
+        })
     }
 
     /// Number of instances.
@@ -229,11 +236,15 @@ mod tests {
         let f = small_fleet();
         assert_eq!(
             f.services(),
-            vec![ServiceClass::Frontend, ServiceClass::Db, ServiceClass::Hadoop]
-                .into_iter()
-                .collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .collect::<Vec<_>>()
+            vec![
+                ServiceClass::Frontend,
+                ServiceClass::Db,
+                ServiceClass::Hadoop
+            ]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
         );
         assert_eq!(f.instances_of(ServiceClass::Frontend), vec![0, 1]);
         assert_eq!(f.instances_of_kind(WorkKind::LatencyCritical), vec![0, 1]);
@@ -265,9 +276,7 @@ mod tests {
     fn from_traces_builds_an_external_fleet() {
         let grid = TimeGrid::days(1, 120);
         let averaged: Vec<PowerTrace> = (0..3)
-            .map(|i| {
-                PowerTrace::from_fn(grid, move |t| 100.0 + (i * t) as f64 % 50.0)
-            })
+            .map(|i| PowerTrace::from_fn(grid, move |t| 100.0 + (i * t) as f64 % 50.0))
             .collect();
         let test = averaged.clone();
         let services = vec![

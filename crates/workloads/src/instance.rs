@@ -195,12 +195,18 @@ mod tests {
     #[test]
     fn amplitude_scale_raises_peak_more_than_base() {
         let spec = InstanceSpec::nominal(ServiceClass::Frontend, 1);
-        let big = InstanceSpec { amplitude_scale: 2.0, ..spec };
+        let big = InstanceSpec {
+            amplitude_scale: 2.0,
+            ..spec
+        };
         let night = 4.0 * 60.0;
         let noon = 12.5 * 60.0;
         let night_gain = big.power_at(night) - spec.power_at(night);
         let noon_gain = big.power_at(noon) - spec.power_at(noon);
-        assert!(noon_gain > 2.0 * night_gain, "noon {noon_gain} vs night {night_gain}");
+        assert!(
+            noon_gain > 2.0 * night_gain,
+            "noon {noon_gain} vs night {night_gain}"
+        );
         assert!(noon_gain > 50.0);
     }
 

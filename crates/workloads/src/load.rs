@@ -35,7 +35,10 @@ impl OfferedLoad {
     ///
     /// Panics if `peak_qps` is not positive and finite.
     pub fn diurnal(grid: TimeGrid, peak_qps: f64, noise_sd: f64, seed: u64) -> Self {
-        assert!(peak_qps.is_finite() && peak_qps > 0.0, "peak qps must be positive");
+        assert!(
+            peak_qps.is_finite() && peak_qps > 0.0,
+            "peak qps must be positive"
+        );
         let activity = activity_series(grid);
         let max = activity.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
         let mut rng = stream_rng(seed, 0x10AD);
@@ -93,7 +96,10 @@ impl OfferedLoad {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative"
+        );
         Self {
             qps: self.qps.iter().map(|q| q * factor).collect(),
             step_minutes: self.step_minutes,

@@ -82,7 +82,11 @@ pub fn profile_services(fleet: &Fleet) -> Result<Vec<ServiceProfile>, TraceError
             .map(|p| (p - mean_peak) * (p - mean_peak))
             .sum::<f64>()
             / peaks.len() as f64;
-        let cv = if mean_peak > 0.0 { var.sqrt() / mean_peak } else { 0.0 };
+        let cv = if mean_peak > 0.0 {
+            var.sqrt() / mean_peak
+        } else {
+            0.0
+        };
 
         profiles.push(ServiceProfile {
             service,
@@ -124,13 +128,21 @@ mod tests {
         let hadoop = by_service(ServiceClass::Hadoop);
 
         // Web peaks in the day, db at night, hadoop is barely seasonal.
-        assert!((10.0..16.0).contains(&web.peak_hour()), "web peak {}", web.peak_hour());
+        assert!(
+            (10.0..16.0).contains(&web.peak_hour()),
+            "web peak {}",
+            web.peak_hour()
+        );
         assert!(
             db.peak_hour() < 6.0 || db.peak_hour() > 22.0,
             "db peak {}",
             db.peak_hour()
         );
-        assert!(hadoop.seasonality < 0.3, "hadoop seasonality {}", hadoop.seasonality);
+        assert!(
+            hadoop.seasonality < 0.3,
+            "hadoop seasonality {}",
+            hadoop.seasonality
+        );
         assert!(web.seasonality > 0.6, "web seasonality {}", web.seasonality);
 
         // Heterogeneity exists (amplitude skew).

@@ -225,7 +225,11 @@ mod tests {
     fn presets_have_normalizable_mixes() {
         for sc in DcScenario::all() {
             let total: f64 = sc.mix.iter().map(|(_, f)| f).sum();
-            assert!((0.9..=1.1).contains(&total), "{} mix sums to {total}", sc.name);
+            assert!(
+                (0.9..=1.1).contains(&total),
+                "{} mix sums to {total}",
+                sc.name
+            );
         }
     }
 
@@ -241,7 +245,10 @@ mod tests {
         let fleet = sc.generate_fleet(500).unwrap();
         let frontend = fleet.instances_of(ServiceClass::Frontend).len() as f64 / 500.0;
         let expected = sc.mix[0].1 / sc.mix.iter().map(|(_, f)| f).sum::<f64>();
-        assert!((frontend - expected).abs() < 0.01, "frontend share {frontend} vs {expected}");
+        assert!(
+            (frontend - expected).abs() < 0.01,
+            "frontend share {frontend} vs {expected}"
+        );
     }
 
     #[test]

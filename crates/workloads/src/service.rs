@@ -207,15 +207,22 @@ mod tests {
     #[test]
     fn every_service_has_consistent_power_range() {
         for s in ServiceClass::ALL {
-            assert!(s.base_watts() < s.peak_watts(), "{s} base must be below peak");
+            assert!(
+                s.base_watts() < s.peak_watts(),
+                "{s} base must be below peak"
+            );
             assert!(s.base_watts() > 0.0);
         }
     }
 
     #[test]
     fn kinds_cover_lc_and_batch() {
-        let lc = ServiceClass::ALL.iter().filter(|s| s.kind() == WorkKind::LatencyCritical);
-        let batch = ServiceClass::ALL.iter().filter(|s| s.kind() == WorkKind::Batch);
+        let lc = ServiceClass::ALL
+            .iter()
+            .filter(|s| s.kind() == WorkKind::LatencyCritical);
+        let batch = ServiceClass::ALL
+            .iter()
+            .filter(|s| s.kind() == WorkKind::Batch);
         assert!(lc.count() >= 3);
         assert!(batch.count() >= 3);
     }

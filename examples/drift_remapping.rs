@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &drifted,
         &topo,
         &mut assignment,
-        RemapConfig { max_swaps: 64, ..RemapConfig::default() },
+        RemapConfig {
+            max_swaps: 64,
+            ..RemapConfig::default()
+        },
     )?;
     println!(
         "remap: {} swaps accepted; worst node score {:.3} -> {:.3}",

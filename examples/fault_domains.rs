@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shards += 1;
         }
     }
-    println!("{} frontend shards of 4 replicas, {} racks", shards, topo.racks().len());
+    println!(
+        "{} frontend shards of 4 replicas, {} racks",
+        shards,
+        topo.racks().len()
+    );
 
     let placer = SmoothPlacer::default();
     let unconstrained = placer.place(&fleet, &topo)?;

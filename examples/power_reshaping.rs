@@ -12,12 +12,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = run_scenario(&scenario, 240, &topo, &PipelineConfig::default())?;
 
     println!("datacenter {} — reshaping summary", outcome.name);
-    println!("  base fleet: {} LC + {} Batch servers", outcome.base_lc, outcome.base_batch);
+    println!(
+        "  base fleet: {} LC + {} Batch servers",
+        outcome.base_lc, outcome.base_batch
+    );
     println!(
         "  placement unlocked {} conversion servers; throttling funds {} more",
         outcome.extra_conversion, outcome.extra_throttle_funded
     );
-    println!("  learned conversion threshold L_conv = {:.2}", outcome.l_conv);
+    println!(
+        "  learned conversion threshold L_conv = {:.2}",
+        outcome.l_conv
+    );
 
     println!("\nthroughput vs the pre-optimization week:");
     for (name, run) in [
@@ -33,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\npower-budget utilization (energy slack vs the {:.0} W budget):", outcome.budget_watts);
+    println!(
+        "\npower-budget utilization (energy slack vs the {:.0} W budget):",
+        outcome.budget_watts
+    );
     for (name, run) in [
         ("server conversion", &outcome.conversion),
         ("conversion + throttle/boost", &outcome.throttle_boost),
@@ -48,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A day in the life of the conversion servers: sample Tuesday.
     println!("\nTuesday, hour by hour (conversion run):");
-    println!("  {:>5} {:>10} {:>12} {:>12}", "hour", "LC load", "conv as LC", "batch work");
+    println!(
+        "  {:>5} {:>10} {:>12} {:>12}",
+        "hour", "LC load", "conv as LC", "batch work"
+    );
     let steps_per_day = outcome.conversion.len() / 7;
     let day_start = steps_per_day; // Tuesday
     let steps_per_hour = (steps_per_day / 24).max(1);

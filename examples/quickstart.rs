@@ -11,9 +11,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // test week per server.
     let scenario = DcScenario::dc2();
     let fleet = scenario.generate_fleet(240)?;
-    println!("fleet: {} instances across {} services", fleet.len(), fleet.services().len());
+    println!(
+        "fleet: {} instances across {} services",
+        fleet.len(),
+        fleet.services().len()
+    );
     let (top_service, top_share) = fleet.power_share_by_service()[0];
-    println!("largest power consumer: {top_service} ({:.1}% of fleet power)", 100.0 * top_share);
+    println!(
+        "largest power consumer: {top_service} ({:.1}% of fleet power)",
+        100.0 * top_share
+    );
 
     // A four-level OCP-style power tree: 1 suite × 2 MSBs × 2 SBs × 2 RPPs
     // × 4 racks of 10 servers.
@@ -43,9 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let after = NodeAggregates::compute(&topo, &smooth, test)?;
 
     println!("\nsum of aggregate peaks per level (test week):");
-    println!("{:<8} {:>12} {:>12} {:>10}", "level", "grouped", "smooth", "reduction");
-    for level in [Level::Datacenter, Level::Suite, Level::Msb, Level::Sb, Level::Rpp, Level::Rack]
-    {
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "level", "grouped", "smooth", "reduction"
+    );
+    for level in [
+        Level::Datacenter,
+        Level::Suite,
+        Level::Msb,
+        Level::Sb,
+        Level::Rpp,
+        Level::Rack,
+    ] {
         let b = before.sum_of_peaks(&topo, level);
         let a = after.sum_of_peaks(&topo, level);
         println!(
@@ -73,6 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         total / n as f64
     };
-    println!("\nmean rack asynchrony score: grouped {:.3} -> smooth {:.3}", rack_scores(&grouped), rack_scores(&smooth));
+    println!(
+        "\nmean rack asynchrony score: grouped {:.3} -> smooth {:.3}",
+        rack_scores(&grouped),
+        rack_scores(&smooth)
+    );
     Ok(())
 }

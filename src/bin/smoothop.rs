@@ -96,9 +96,17 @@ fn scenarios() -> CliResult {
 
 fn breakdown(scenario: DcScenario, n: usize) -> CliResult {
     let fleet = scenario.generate_fleet(n)?;
-    println!("{} ({} instances) — power share by service:", scenario.name, n);
+    println!(
+        "{} ({} instances) — power share by service:",
+        scenario.name, n
+    );
     for (rank, (service, share)) in fleet.power_share_by_service().iter().enumerate() {
-        println!("  {:>2}. {:<14} {:>5.1}%", rank + 1, service.to_string(), 100.0 * share);
+        println!(
+            "  {:>2}. {:<14} {:>5.1}%",
+            rank + 1,
+            service.to_string(),
+            100.0 * share
+        );
     }
     println!(
         "
@@ -138,7 +146,13 @@ fn place(scenario: DcScenario, n: usize) -> CliResult {
     for level in [Level::Suite, Level::Msb, Level::Sb, Level::Rpp, Level::Rack] {
         let b = before.sum_of_peaks(&topo, level);
         let a = after.sum_of_peaks(&topo, level);
-        println!("  {:<6} {:>8.0} W -> {:>8.0} W   ({:>5.1}%)", level.to_string(), b, a, 100.0 * (b - a) / b);
+        println!(
+            "  {:<6} {:>8.0} W -> {:>8.0} W   ({:>5.1}%)",
+            level.to_string(),
+            b,
+            a,
+            100.0 * (b - a) / b
+        );
     }
     Ok(())
 }
@@ -148,7 +162,11 @@ fn longrun(scenario: DcScenario, n: usize) -> CliResult {
     let topo = fitting_topology(n, 12)?;
     let placement = SmoothPlacer::default().place(&fleet, &topo)?;
     let report = operate(&fleet, &topo, &placement, &LongRunConfig::default())?;
-    println!("{} ({n} instances) — {} weeks of drift:", scenario.name, report.weeks.len());
+    println!(
+        "{} ({n} instances) — {} weeks of drift:",
+        scenario.name,
+        report.weeks.len()
+    );
     for w in &report.weeks {
         println!(
             "  week {:>2}: frozen {:>8.0} W, managed {:>8.0} W{}{}",
@@ -156,7 +174,11 @@ fn longrun(scenario: DcScenario, n: usize) -> CliResult {
             w.static_sum_of_peaks,
             w.managed_sum_of_peaks,
             if w.flagged { "  [flagged]" } else { "" },
-            if w.swaps > 0 { format!("  ({} swaps)", w.swaps) } else { String::new() },
+            if w.swaps > 0 {
+                format!("  ({} swaps)", w.swaps)
+            } else {
+                String::new()
+            },
         );
     }
     println!(
@@ -183,7 +205,10 @@ fn pipeline(scenario: DcScenario, n: usize) -> CliResult {
     let topo = fitting_topology(n, 12)?;
     let outcome = run_scenario(&scenario, n, &topo, &PipelineConfig::default())?;
     println!("{} ({n} instances) — reshaping pipeline:", outcome.name);
-    println!("  RPP peak reduction:   {:>5.1}%", 100.0 * outcome.rpp_peak_reduction);
+    println!(
+        "  RPP peak reduction:   {:>5.1}%",
+        100.0 * outcome.rpp_peak_reduction
+    );
     println!(
         "  extra servers:        {} conversion + {} throttle-funded (L_conv {:.2})",
         outcome.extra_conversion, outcome.extra_throttle_funded, outcome.l_conv

@@ -96,16 +96,16 @@ pub mod prelude {
         greedy_peak_placement, oblivious_placement, random_placement, ProvisioningDegrees,
     };
     pub use so_core::{
-        asynchrony_score, best_rack_for, remap, DriftMonitor, FragmentationReport,
-        PlacementConfig, PlacementConstraints, RemapConfig, ServiceTraces, SmoothPlacer,
+        asynchrony_score, best_rack_for, remap, DriftMonitor, FragmentationReport, PlacementConfig,
+        PlacementConstraints, RemapConfig, ServiceTraces, SmoothPlacer,
     };
     pub use so_powertrace::{PowerTrace, SlackProfile, TimeGrid};
     pub use so_powertree::{
         Assignment, Level, NodeAggregates, NodeId, PowerTopology, TopologyShape,
     };
     pub use so_reshape::{
-        fitting_topology, operate, run_scenario, ConversionPolicy, LongRunConfig,
-        PipelineConfig, ThrottleBoostPolicy,
+        fitting_topology, operate, run_scenario, ConversionPolicy, LongRunConfig, PipelineConfig,
+        ThrottleBoostPolicy,
     };
     pub use so_sim::{simulate, SimConfig, StaticPolicy, Telemetry};
     pub use so_workloads::{

@@ -29,12 +29,14 @@ fn claim_peak_reduction_and_dc_ordering() {
         let topo = small_topo();
         let baseline = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E)
             .expect("fleet fits");
-        let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+        let smooth = SmoothPlacer::default()
+            .place(&fleet, &topo)
+            .expect("placement succeeds");
         let test = fleet.test_traces();
         let before = NodeAggregates::compute(&topo, &baseline, test).expect("aggregation");
         let after = NodeAggregates::compute(&topo, &smooth, test).expect("aggregation");
-        let reduction = 1.0
-            - after.sum_of_peaks(&topo, Level::Rpp) / before.sum_of_peaks(&topo, Level::Rpp);
+        let reduction =
+            1.0 - after.sum_of_peaks(&topo, Level::Rpp) / before.sum_of_peaks(&topo, Level::Rpp);
         rpp_reductions.push(reduction);
 
         // The datacenter-level peak is placement-invariant.
@@ -50,7 +52,11 @@ fn claim_peak_reduction_and_dc_ordering() {
         rpp_reductions[0]
     );
     // And the DC3 gain is substantial in absolute terms.
-    assert!(rpp_reductions[2] > 0.06, "DC3 reduction {}", rpp_reductions[2]);
+    assert!(
+        rpp_reductions[2] > 0.06,
+        "DC3 reduction {}",
+        rpp_reductions[2]
+    );
 }
 
 /// Figure 11: SmoOp(u, δ) always requires at most StatProf(u, δ), and
@@ -60,17 +66,21 @@ fn claim_provisioning_dominance() {
     let scenario = DcScenario::dc3();
     let fleet = scenario.generate_fleet(240).expect("fleet generates");
     let topo = small_topo();
-    let baseline = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E)
-        .expect("fleet fits");
-    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+    let baseline =
+        oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E).expect("fleet fits");
+    let smooth = SmoothPlacer::default()
+        .place(&fleet, &topo)
+        .expect("placement succeeds");
     let test = fleet.test_traces();
 
     for (u, d) in [(0.0, 0.0), (5.0, 0.05), (10.0, 0.1)] {
-        let degrees = ProvisioningDegrees { underprovision_pct: u, overbooking: d };
+        let degrees = ProvisioningDegrees {
+            underprovision_pct: u,
+            overbooking: d,
+        };
         let statprof =
             statprof_required_budget(&topo, &baseline, test, degrees).expect("provisioning");
-        let smoop =
-            aggregate_required_budget(&topo, &smooth, test, degrees).expect("provisioning");
+        let smoop = aggregate_required_budget(&topo, &smooth, test, degrees).expect("provisioning");
         for level in Level::ALL {
             assert!(
                 smoop.at_level(level) <= statprof.at_level(level) + 1e-6,
@@ -82,7 +92,10 @@ fn claim_provisioning_dominance() {
         &topo,
         &baseline,
         test,
-        ProvisioningDegrees { underprovision_pct: 10.0, overbooking: 0.1 },
+        ProvisioningDegrees {
+            underprovision_pct: 10.0,
+            overbooking: 0.1,
+        },
     )
     .expect("provisioning");
     let plain = aggregate_required_budget(&topo, &smooth, test, ProvisioningDegrees::none())
@@ -104,7 +117,11 @@ fn claim_reshaping_improvements() {
         let conv_lc = outcome.lc_improvement(&outcome.conversion);
         let conv_batch = outcome.batch_improvement(&outcome.conversion);
         assert!(conv_lc > 0.0, "{}: conversion LC {conv_lc}", scenario.name);
-        assert!(conv_batch > 0.0, "{}: conversion batch {conv_batch}", scenario.name);
+        assert!(
+            conv_batch > 0.0,
+            "{}: conversion batch {conv_batch}",
+            scenario.name
+        );
 
         let tb_lc = outcome.lc_improvement(&outcome.throttle_boost);
         assert!(
@@ -140,7 +157,9 @@ fn claim_no_gain_without_heterogeneity() {
     let fleet = Fleet::generate(specs, grid, 2).expect("fleet generates");
     let topo = small_topo();
     let grouped = oblivious_placement(&fleet, &topo, 0.0, 1).expect("fleet fits");
-    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+    let smooth = SmoothPlacer::default()
+        .place(&fleet, &topo)
+        .expect("placement succeeds");
 
     let test = fleet.test_traces();
     let before = NodeAggregates::compute(&topo, &grouped, test).expect("aggregation");
@@ -161,7 +180,9 @@ fn claim_external_traces_flow_through_the_pipeline() {
     use smoothoperator::workloads::Fleet;
 
     // Synthesize "external" logs by writing a generated fleet to CSV.
-    let source = DcScenario::dc2().generate_fleet(48).expect("fleet generates");
+    let source = DcScenario::dc2()
+        .generate_fleet(48)
+        .expect("fleet generates");
     let mut averaged = Vec::new();
     let mut test = Vec::new();
     let mut services = Vec::new();
@@ -185,11 +206,15 @@ fn claim_external_traces_flow_through_the_pipeline() {
         .rack_capacity(6)
         .build()
         .expect("shape is valid");
-    let placement = SmoothPlacer::default().place(&external, &topo).expect("placement succeeds");
+    let placement = SmoothPlacer::default()
+        .place(&external, &topo)
+        .expect("placement succeeds");
     assert_eq!(placement.len(), 48);
 
     // The CSV round-trip is lossless, so the placement matches the one
     // derived from the original fleet.
-    let direct = SmoothPlacer::default().place(&source, &topo).expect("placement succeeds");
+    let direct = SmoothPlacer::default()
+        .place(&source, &topo)
+        .expect("placement succeeds");
     assert_eq!(placement, direct);
 }

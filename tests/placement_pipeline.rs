@@ -22,7 +22,9 @@ fn smooth_placement_beats_grouped_on_all_three_datacenters() {
         let fleet = scenario.generate_fleet(300).expect("fleet generates");
         let topo = topology();
         let grouped = oblivious_placement(&fleet, &topo, 0.0, 0xB4_5E).expect("fleet fits");
-        let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+        let smooth = SmoothPlacer::default()
+            .place(&fleet, &topo)
+            .expect("placement succeeds");
 
         let test = fleet.test_traces();
         let before = NodeAggregates::compute(&topo, &grouped, test).expect("aggregation");
@@ -51,12 +53,14 @@ fn fragmentation_ordering_matches_the_paper() {
         let topo = topology();
         let baseline = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 0xB4_5E)
             .expect("fleet fits");
-        let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+        let smooth = SmoothPlacer::default()
+            .place(&fleet, &topo)
+            .expect("placement succeeds");
         let test = fleet.test_traces();
         let before = so_core::FragmentationReport::analyze(&topo, &baseline, test)
             .expect("analysis succeeds");
-        let after = so_core::FragmentationReport::analyze(&topo, &smooth, test)
-            .expect("analysis succeeds");
+        let after =
+            so_core::FragmentationReport::analyze(&topo, &smooth, test).expect("analysis succeeds");
         let rpp = peak_reduction_by_level(&before, &after)
             .into_iter()
             .find(|(l, _)| *l == Level::Rpp)
@@ -74,11 +78,15 @@ fn fragmentation_ordering_matches_the_paper() {
 
 #[test]
 fn placement_never_overdraws_rack_budgets_sized_for_it() {
-    let fleet = DcScenario::dc2().generate_fleet(300).expect("fleet generates");
+    let fleet = DcScenario::dc2()
+        .generate_fleet(300)
+        .expect("fleet generates");
     let topo = topology();
-    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
-    let agg = NodeAggregates::compute(&topo, &smooth, fleet.test_traces())
-        .expect("aggregation succeeds");
+    let smooth = SmoothPlacer::default()
+        .place(&fleet, &topo)
+        .expect("placement succeeds");
+    let agg =
+        NodeAggregates::compute(&topo, &smooth, fleet.test_traces()).expect("aggregation succeeds");
     // Budgets at the default 6 kW per rack comfortably cover 10 servers
     // peaking below 350 W: the breaker model must stay silent.
     let breaker = so_powertree::BreakerModel::default();
@@ -87,7 +95,9 @@ fn placement_never_overdraws_rack_budgets_sized_for_it() {
 
 #[test]
 fn remapping_improves_a_perturbed_smooth_placement() {
-    let fleet = DcScenario::dc3().generate_fleet(120).expect("fleet generates");
+    let fleet = DcScenario::dc3()
+        .generate_fleet(120)
+        .expect("fleet generates");
     let topo = PowerTopology::builder()
         .suites(1)
         .msbs_per_suite(1)
@@ -107,21 +117,32 @@ fn remapping_improves_a_perturbed_smooth_placement() {
         &fleet,
         &topo,
         &mut assignment,
-        RemapConfig { max_swaps: 48, ..RemapConfig::default() },
+        RemapConfig {
+            max_swaps: 48,
+            ..RemapConfig::default()
+        },
     )
     .expect("remap succeeds");
-    assert!(!report.swaps.is_empty(), "expected the remapper to find swaps");
+    assert!(
+        !report.swaps.is_empty(),
+        "expected the remapper to find swaps"
+    );
     assert!(report.final_worst_score >= report.initial_worst_score);
 
     let after = NodeAggregates::compute(&topo, &assignment, fleet.test_traces())
         .expect("aggregation succeeds")
         .sum_of_peaks(&topo, Level::Rack);
-    assert!(after < before, "remap should lower rack sum-of-peaks: {after} vs {before}");
+    assert!(
+        after < before,
+        "remap should lower rack sum-of-peaks: {after} vs {before}"
+    );
 }
 
 #[test]
 fn asynchrony_scores_rise_from_grouped_to_smooth() {
-    let fleet = DcScenario::dc3().generate_fleet(160).expect("fleet generates");
+    let fleet = DcScenario::dc3()
+        .generate_fleet(160)
+        .expect("fleet generates");
     let topo = PowerTopology::builder()
         .suites(1)
         .msbs_per_suite(2)
@@ -132,7 +153,9 @@ fn asynchrony_scores_rise_from_grouped_to_smooth() {
         .build()
         .expect("shape is valid");
     let grouped = oblivious_placement(&fleet, &topo, 0.0, 1).expect("fleet fits");
-    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+    let smooth = SmoothPlacer::default()
+        .place(&fleet, &topo)
+        .expect("placement succeeds");
 
     let traces = fleet.averaged_traces();
     let score_of = |assignment: &Assignment| -> f64 {

@@ -16,9 +16,11 @@ fn setup() -> (Fleet, PowerTopology, Assignment, Assignment) {
         .rack_capacity(10)
         .build()
         .expect("shape is valid");
-    let grouped = oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 1)
-        .expect("fleet fits");
-    let smooth = SmoothPlacer::default().place(&fleet, &topo).expect("placement succeeds");
+    let grouped =
+        oblivious_placement(&fleet, &topo, scenario.baseline_mixing, 1).expect("fleet fits");
+    let smooth = SmoothPlacer::default()
+        .place(&fleet, &topo)
+        .expect("placement succeeds");
     (fleet, topo, grouped, smooth)
 }
 
@@ -27,11 +29,13 @@ fn smoop_dominates_statprof_at_equal_degrees() {
     let (fleet, topo, grouped, smooth) = setup();
     let test = fleet.test_traces();
     for (u, d) in [(0.0, 0.0), (1.0, 0.01), (5.0, 0.05), (10.0, 0.1)] {
-        let degrees = ProvisioningDegrees { underprovision_pct: u, overbooking: d };
+        let degrees = ProvisioningDegrees {
+            underprovision_pct: u,
+            overbooking: d,
+        };
         let statprof =
             statprof_required_budget(&topo, &grouped, test, degrees).expect("provisioning");
-        let smoop =
-            aggregate_required_budget(&topo, &smooth, test, degrees).expect("provisioning");
+        let smoop = aggregate_required_budget(&topo, &smooth, test, degrees).expect("provisioning");
         for level in Level::ALL {
             assert!(
                 smoop.at_level(level) <= statprof.at_level(level) + 1e-6,
@@ -51,12 +55,14 @@ fn smoop_plain_beats_most_aggressive_statprof_at_leaves() {
         &topo,
         &grouped,
         test,
-        ProvisioningDegrees { underprovision_pct: 10.0, overbooking: 0.1 },
+        ProvisioningDegrees {
+            underprovision_pct: 10.0,
+            overbooking: 0.1,
+        },
     )
     .expect("provisioning");
-    let smoop_plain =
-        aggregate_required_budget(&topo, &smooth, test, ProvisioningDegrees::none())
-            .expect("provisioning");
+    let smoop_plain = aggregate_required_budget(&topo, &smooth, test, ProvisioningDegrees::none())
+        .expect("provisioning");
     for level in [Level::Sb, Level::Rpp] {
         assert!(
             smoop_plain.at_level(level) <= statprof_aggressive.at_level(level),
@@ -73,11 +79,17 @@ fn underprovisioning_and_overbooking_are_monotone() {
     let test = fleet.test_traces();
     let mut last_dc = f64::INFINITY;
     for (u, d) in [(0.0, 0.0), (1.0, 0.01), (5.0, 0.05), (10.0, 0.1)] {
-        let degrees = ProvisioningDegrees { underprovision_pct: u, overbooking: d };
+        let degrees = ProvisioningDegrees {
+            underprovision_pct: u,
+            overbooking: d,
+        };
         let report =
             statprof_required_budget(&topo, &grouped, test, degrees).expect("provisioning");
         let dc = report.at_level(Level::Datacenter);
-        assert!(dc <= last_dc, "StatProf({u},{d}) DC requirement rose: {dc} > {last_dc}");
+        assert!(
+            dc <= last_dc,
+            "StatProf({u},{d}) DC requirement rose: {dc} > {last_dc}"
+        );
         last_dc = dc;
     }
 }
@@ -98,7 +110,10 @@ fn requirements_grow_toward_the_leaves() {
     let mut prev = 0.0;
     for level in Level::ALL {
         let r = report.at_level(level);
-        assert!(r + 1e-6 >= prev, "{level} requirement {r} below parent {prev}");
+        assert!(
+            r + 1e-6 >= prev,
+            "{level} requirement {r} below parent {prev}"
+        );
         prev = r;
     }
 }

@@ -21,7 +21,10 @@ fn conversion_improves_both_lc_and_batch() {
     // LC-only matches conversion's LC gain (same extra traffic, enough
     // servers) but leaves batch flat.
     let lc_only_batch = outcome.batch_improvement(&outcome.lc_only);
-    assert!(lc_only_batch.abs() < 1e-9, "lc-only batch gain {lc_only_batch}");
+    assert!(
+        lc_only_batch.abs() < 1e-9,
+        "lc-only batch gain {lc_only_batch}"
+    );
 }
 
 #[test]

@@ -54,20 +54,29 @@ fn scenario_validation_is_surfaced() {
     let mut scenario = DcScenario::dc1();
     scenario.mix[0].1 = f64::NAN;
     let err = scenario.generate_fleet(10).unwrap_err();
-    assert!(matches!(err, workloads::WorkloadError::InvalidFraction { .. }));
+    assert!(matches!(
+        err,
+        workloads::WorkloadError::InvalidFraction { .. }
+    ));
     assert!(err.to_string().contains("must be positive"));
 }
 
 #[test]
 fn clustering_validates_inputs_through_the_placer_path() {
     // k-means invariants surface from the cluster crate directly.
-    let err = cluster::kmeans(&[vec![1.0], vec![f64::NAN]], cluster::KMeansConfig::new(1))
-        .unwrap_err();
-    assert!(matches!(err, cluster::ClusterError::NonFiniteCoordinate { index: 1 }));
+    let err =
+        cluster::kmeans(&[vec![1.0], vec![f64::NAN]], cluster::KMeansConfig::new(1)).unwrap_err();
+    assert!(matches!(
+        err,
+        cluster::ClusterError::NonFiniteCoordinate { index: 1 }
+    ));
 
     let err = cluster::tsne(
         &[vec![1.0], vec![2.0]],
-        cluster::TsneConfig { perplexity: 5.0, ..cluster::TsneConfig::default() },
+        cluster::TsneConfig {
+            perplexity: 5.0,
+            ..cluster::TsneConfig::default()
+        },
     )
     .unwrap_err();
     assert!(err.to_string().contains("perplexity"));
