@@ -178,6 +178,80 @@ impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Boxes a strategy for [`Union`]; used by [`prop_oneof!`].
+#[doc(hidden)]
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Weighted choice among strategies sharing a value type; the engine
+/// behind [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty or every weight is zero.
+    pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is below the total weight")
+    }
+}
+
+/// Chooses among strategies, optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
 
 /// Collection strategies.
 pub mod collection {
@@ -334,8 +408,8 @@ macro_rules! prop_assume {
 /// Everything a property-test file usually imports.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
-    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError, Union};
 
     /// Upstream proptest re-exports the crate root as `prop` from its
     /// prelude, enabling `prop::collection::vec`.
@@ -371,6 +445,14 @@ mod tests {
         fn assume_skips(n in 0usize..10) {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(v in prop::collection::vec(
+            prop_oneof![1 => Just(1u8), 1 => Just(2u8), 3 => Just(3u8)],
+            64..=64,
+        )) {
+            prop_assert!(v.iter().all(|&x| (1..=3).contains(&x)));
         }
     }
 

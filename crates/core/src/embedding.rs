@@ -7,6 +7,7 @@
 //! that clusters poorly.
 
 use so_parallel::par_map;
+use so_powertrace::PowerTrace;
 use so_workloads::Fleet;
 
 use crate::error::CoreError;
@@ -31,7 +32,23 @@ pub fn score_vectors(
     members: &[usize],
     straces: &ServiceTraces,
 ) -> Result<Vec<Vec<f64>>, CoreError> {
-    let traces = fleet.averaged_traces();
+    score_vectors_from_traces(fleet.averaged_traces(), members, straces)
+}
+
+/// Computes the asynchrony-score vector of every member instance against
+/// the given S-traces, from an explicit trace slice (one trace per
+/// instance). This is the degraded-data entry point: callers that
+/// completed partial telemetry via [`crate::degraded::complete_traces`]
+/// embed the completed traces without needing a [`Fleet`].
+///
+/// # Errors
+///
+/// Propagates trace errors (grid mismatches).
+pub fn score_vectors_from_traces(
+    traces: &[PowerTrace],
+    members: &[usize],
+    straces: &ServiceTraces,
+) -> Result<Vec<Vec<f64>>, CoreError> {
     par_map(members, ROW_GRAIN, |_, &i| {
         straces
             .traces()

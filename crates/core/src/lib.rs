@@ -15,7 +15,12 @@
 //! * [`remap`] — differential-score swap repair under workload drift
 //!   (§3.6);
 //! * [`FragmentationReport`] — sums of peaks and node scores per level
-//!   (the measurements behind Figures 9 and 10).
+//!   (the measurements behind Figures 9 and 10);
+//! * [`degraded`] — degraded-mode operation: partial (masked) telemetry
+//!   is completed from service-level priors before placement, remapping
+//!   ([`remap_degraded`]) or analysis
+//!   ([`FragmentationReport::analyze_degraded`]), with per-instance
+//!   provenance in a [`DegradedReport`].
 //!
 //! # Examples
 //!
@@ -47,6 +52,7 @@
 mod admission;
 mod analysis;
 mod constraints;
+pub mod degraded;
 mod embedding;
 mod error;
 mod monitor;
@@ -58,11 +64,16 @@ mod straces;
 pub use admission::{admission_decisions, best_rack_for, AdmissionDecision};
 pub use analysis::{peak_reduction_by_level, FragmentationReport, LevelFragmentation};
 pub use constraints::PlacementConstraints;
-pub use embedding::{pairwise_score_vectors, score_vectors};
+pub use degraded::{
+    complete_traces, complete_with_derived_priors, service_priors, DegradedReport, TraceSource,
+};
+pub use embedding::{pairwise_score_vectors, score_vectors, score_vectors_from_traces};
 pub use error::CoreError;
 pub use monitor::{DriftMonitor, DriftReport, LevelDrift};
 pub use placement::{PlacementConfig, SmoothPlacer};
-pub use remap::{remap, worst_node, RemapConfig, RemapReport, SwapRecord};
+pub use remap::{
+    remap, remap_degraded, remap_traces, worst_node, RemapConfig, RemapReport, SwapRecord,
+};
 pub use score::{
     asynchrony_score, averaged_peer_trace, differential_score, instance_to_service_score,
     pairwise_score,

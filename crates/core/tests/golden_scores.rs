@@ -1,0 +1,116 @@
+//! Golden regression tests for the scoring layer: tiny hand-computed
+//! examples asserted *exactly*. Every expected value below is derived by
+//! hand from Eq. 6 (asynchrony score) and §3.6 (differential score); the
+//! arithmetic involved (small-integer sums, division) is exact in IEEE
+//! doubles, so any drift — a refactor changing evaluation order, an
+//! accidental epsilon, a changed peak definition — fails loudly.
+
+use so_core::{
+    asynchrony_score, averaged_peer_trace, differential_score, pairwise_score, CoreError,
+};
+use so_powertrace::{NodeAggregate, PowerTrace, TimeGrid};
+
+fn trace(samples: &[f64]) -> PowerTrace {
+    PowerTrace::new(samples.to_vec(), 10).unwrap()
+}
+
+#[test]
+fn golden_two_trace_asynchrony_score() {
+    // a = [3,1,2], b = [1,3,2]: peaks 3 and 3; aggregate [4,4,4] peaks 4.
+    // A_M = (3 + 3) / 4 = 1.5 exactly.
+    let a = trace(&[3.0, 1.0, 2.0]);
+    let b = trace(&[1.0, 3.0, 2.0]);
+    assert_eq!(asynchrony_score([&a, &b]).unwrap(), 1.5);
+    // The pairwise form is the same quantity.
+    assert_eq!(pairwise_score(&a, &b).unwrap(), 1.5);
+    // Order never matters.
+    assert_eq!(asynchrony_score([&b, &a]).unwrap(), 1.5);
+}
+
+#[test]
+fn golden_three_trace_asynchrony_score() {
+    // t0 = [4,0], t1 = [0,4], t2 = [2,2]: peaks 4 + 4 + 2 = 10; aggregate
+    // [6,6] peaks 6. A_M = 10/6.
+    let t0 = trace(&[4.0, 0.0]);
+    let t1 = trace(&[0.0, 4.0]);
+    let t2 = trace(&[2.0, 2.0]);
+    assert_eq!(asynchrony_score([&t0, &t1, &t2]).unwrap(), 10.0 / 6.0);
+}
+
+#[test]
+fn golden_score_extremes() {
+    // Perfect complementarity scores exactly |M|.
+    let up = trace(&[4.0, 0.0]);
+    let down = trace(&[0.0, 4.0]);
+    assert_eq!(asynchrony_score([&up, &down]).unwrap(), 2.0);
+    // Perfect synchrony scores exactly 1, even across scales.
+    let double = up.scale(2.0);
+    assert_eq!(asynchrony_score([&up, &double]).unwrap(), 1.0);
+    // A single trace is trivially synchronous with itself.
+    assert_eq!(asynchrony_score([&up]).unwrap(), 1.0);
+}
+
+#[test]
+fn golden_differential_scores() {
+    // Node N = {t0, t1, t2} as above.
+    let traces = vec![trace(&[4.0, 0.0]), trace(&[0.0, 4.0]), trace(&[2.0, 2.0])];
+    let members = vec![0, 1, 2];
+
+    // Peers of t0: mean([0,4], [2,2]) = [1,3].
+    let peers0 = averaged_peer_trace(&traces, &members, 0).unwrap();
+    assert_eq!(peers0.samples(), &[1.0, 3.0]);
+    // AD_{0,N} = (peak(t0) + peak(peers)) / peak(sum) = (4 + 3) / 5 = 1.4.
+    assert_eq!(differential_score(&traces[0], &peers0).unwrap(), 1.4);
+
+    // Peers of t2: mean([4,0], [0,4]) = [2,2] — identical shape to t2, so
+    // AD_{2,N} = (2 + 2) / 4 = 1.0: t2 gains nothing from this node.
+    let peers2 = averaged_peer_trace(&traces, &members, 2).unwrap();
+    assert_eq!(peers2.samples(), &[2.0, 2.0]);
+    assert_eq!(differential_score(&traces[2], &peers2).unwrap(), 1.0);
+
+    // t0 fits its node better than t2 does: AD_0 > AD_2, so a remap pass
+    // would try to move t2 out first.
+}
+
+#[test]
+fn golden_peer_mean_matches_incremental_aggregate() {
+    // The O(T) incremental path (NodeAggregate::mean_excluding) must give
+    // bit-identical peers to the direct mean — remap correctness rests on
+    // this equivalence.
+    let traces = vec![trace(&[4.0, 0.0]), trace(&[0.0, 4.0]), trace(&[2.0, 2.0])];
+    let members = vec![0, 1, 2];
+    let agg = NodeAggregate::from_traces(TimeGrid::new(10, 2), traces.iter()).unwrap();
+    for &i in &members {
+        let direct = averaged_peer_trace(&traces, &members, i).unwrap();
+        let incremental = agg.mean_excluding(&traces[i]).unwrap();
+        assert_eq!(direct.samples(), incremental.samples());
+    }
+}
+
+#[test]
+fn adversarial_score_inputs_error_cleanly() {
+    // Empty set: an error, not NaN.
+    assert_eq!(
+        asynchrony_score(std::iter::empty::<&PowerTrace>()).unwrap_err(),
+        CoreError::EmptySet
+    );
+    // All-zero aggregate: the documented degenerate best case |M|, not a
+    // 0/0 NaN.
+    let z = trace(&[0.0, 0.0, 0.0]);
+    assert_eq!(asynchrony_score([&z, &z]).unwrap(), 2.0);
+    // Mixing zero and non-zero traces stays finite and exact:
+    // (0 + 5) / 5 = 1.
+    let t = trace(&[5.0, 1.0, 0.0]);
+    assert_eq!(asynchrony_score([&z, &t]).unwrap(), 1.0);
+    // Mismatched grids surface as trace errors, not panics.
+    let short = trace(&[1.0, 2.0]);
+    assert!(matches!(
+        asynchrony_score([&t, &short]),
+        Err(CoreError::Trace(_))
+    ));
+    // A lonely instance has no peers: clean EmptySet.
+    assert_eq!(
+        averaged_peer_trace(&[trace(&[1.0])], &[0], 0).unwrap_err(),
+        CoreError::EmptySet
+    );
+}

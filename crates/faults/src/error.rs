@@ -1,0 +1,54 @@
+//! Error type for fault specifications and schedules.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing or validating a fault specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A `--faults` spec string could not be parsed.
+    Parse {
+        /// The offending `key=value` fragment (or the whole spec).
+        fragment: String,
+        /// What went wrong with it.
+        reason: &'static str,
+    },
+    /// A parsed specification violates a numeric constraint.
+    InvalidSpec(&'static str),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Parse { fragment, reason } => {
+                write!(f, "bad fault spec fragment {fragment:?}: {reason}")
+            }
+            FaultError::InvalidSpec(what) => write!(f, "invalid fault spec: {what}"),
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let parse = FaultError::Parse {
+            fragment: "dropout=x".to_string(),
+            reason: "not a number",
+        };
+        assert!(parse.to_string().contains("dropout=x"));
+        assert!(parse.to_string().contains("not a number"));
+        let invalid = FaultError::InvalidSpec("rates must lie in [0, 1]");
+        assert!(invalid.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultError>();
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for fault scheduling: schedules are a pure
+//! function of `(spec, n_steps, n_instances)` — reproducible across
+//! regeneration, thread configurations, and instance evaluation order.
+
+use proptest::prelude::*;
+use so_faults::{FaultSchedule, FaultSpec};
+use so_parallel::serial_scope;
+
+fn spec_strategy() -> impl Strategy<Value = FaultSpec> {
+    (
+        0u64..1_000,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0usize..4,
+        1usize..12,
+        1usize..6,
+    )
+        .prop_map(
+            |(seed, dropout, stuck, crash, trips, mean_steps, trip_steps)| FaultSpec {
+                seed,
+                dropout_rate: dropout,
+                stuck_rate: stuck,
+                crash_rate: crash,
+                trips,
+                mean_fault_steps: mean_steps,
+                trip_steps,
+                trip_severity: 0.3,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Regenerating from the same spec and dimensions gives the same
+    /// events, bit for bit.
+    #[test]
+    fn schedules_are_reproducible(
+        spec in spec_strategy(),
+        n_steps in 1usize..96,
+        n_instances in 0usize..24,
+    ) {
+        let a = FaultSchedule::generate(&spec, n_steps, n_instances);
+        let b = FaultSchedule::generate(&spec, n_steps, n_instances);
+        prop_assert_eq!(a.events(), b.events());
+        prop_assert_eq!(a.timeline(), b.timeline());
+    }
+
+    /// A serial-forced generation matches the default configuration: the
+    /// schedule never depends on how many threads the process may use.
+    #[test]
+    fn schedules_ignore_thread_configuration(
+        spec in spec_strategy(),
+        n_steps in 1usize..96,
+        n_instances in 0usize..24,
+    ) {
+        let normal = FaultSchedule::generate(&spec, n_steps, n_instances);
+        let serial =
+            serial_scope(|| FaultSchedule::generate(&spec, n_steps, n_instances));
+        prop_assert_eq!(normal.events(), serial.events());
+    }
+
+    /// Every generated event lies inside the simulated horizon with a
+    /// positive duration, and severities are sane.
+    #[test]
+    fn events_are_well_formed(
+        spec in spec_strategy(),
+        n_steps in 1usize..96,
+        n_instances in 0usize..24,
+    ) {
+        let schedule = FaultSchedule::generate(&spec, n_steps, n_instances);
+        for e in schedule.events() {
+            prop_assert!(e.start < n_steps);
+            prop_assert!(e.steps >= 1);
+            prop_assert!(e.end() <= n_steps);
+            prop_assert!(e.severity.is_finite() && e.severity >= 0.0 && e.severity <= 1.0);
+        }
+        let timeline = schedule.timeline();
+        prop_assert_eq!(timeline.len(), n_steps);
+        for t in 0..n_steps {
+            prop_assert!((0.0..=1.0).contains(&timeline.dropout_frac[t]));
+            prop_assert!((0.0..=1.0).contains(&timeline.stuck_frac[t]));
+            prop_assert!((0.0..=1.0).contains(&timeline.crashed_frac[t]));
+            prop_assert!((0.0..=1.0).contains(&timeline.trip_derate[t]));
+        }
+    }
+
+    /// An instance's events never change when unrelated instances are
+    /// added to the fleet: per-(instance, kind) streams make the schedule
+    /// extension-stable, the property that keeps serial and parallel
+    /// simulations aligned.
+    #[test]
+    fn schedules_are_extension_stable(
+        spec in spec_strategy(),
+        n_steps in 1usize..64,
+        small in 1usize..12,
+        extra in 1usize..12,
+    ) {
+        let a = FaultSchedule::generate(&spec, n_steps, small);
+        let b = FaultSchedule::generate(&spec, n_steps, small + extra);
+        for i in 0..small {
+            let of_a: Vec<_> = a.events_for(i).collect();
+            let of_b: Vec<_> = b.events_for(i).collect();
+            prop_assert_eq!(of_a, of_b);
+        }
+    }
+}

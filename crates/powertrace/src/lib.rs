@@ -16,7 +16,11 @@
 //!   §2.2;
 //! * [`NodeAggregate`] — an incrementally maintained aggregate trace with a
 //!   cached peak, so remapping evaluates candidate swaps in `O(T)` instead
-//!   of re-summing a whole power node.
+//!   of re-summing a whole power node;
+//! * [`TraceSanitizer`] — detection and repair of degraded raw telemetry
+//!   (NaN/negative samples, sensor spikes, gaps) with a [`RepairReport`];
+//! * [`MaskedTrace`] — a partial trace with a validity mask, fillable from
+//!   a service-level prior for degraded-mode placement.
 //!
 //! # Examples
 //!
@@ -43,7 +47,9 @@ mod decompose;
 mod error;
 mod grid;
 pub mod io;
+mod mask;
 mod metrics;
+mod sanitize;
 mod slack;
 mod stats;
 mod trace;
@@ -53,7 +59,9 @@ pub use bands::PercentileBands;
 pub use decompose::SeasonalDecomposition;
 pub use error::TraceError;
 pub use grid::{TimeGrid, MINUTES_PER_DAY, MINUTES_PER_WEEK};
+pub use mask::MaskedTrace;
 pub use metrics::{peak_of_sum, peak_reduction, sum_of_peaks};
+pub use sanitize::{GapPolicy, RepairReport, SanitizeConfig, TraceSanitizer};
 pub use slack::{off_peak_mask, slack_reduction, SlackProfile};
 pub use stats::{Ecdf, TraceSummary};
 pub use trace::PowerTrace;

@@ -1,0 +1,264 @@
+//! Adversarial inputs into the trace substrate: NaN, negatives, infinities,
+//! all-zero and single-sample traces, and aggregate add/remove churn. Every
+//! case must produce a clean error or a well-defined finite value — never a
+//! NaN, never a panic.
+
+use proptest::prelude::*;
+use so_powertrace::{
+    GapPolicy, MaskedTrace, NodeAggregate, PowerTrace, SanitizeConfig, TimeGrid, TraceError,
+    TraceSanitizer,
+};
+
+// ---------------------------------------------------------------------------
+// PowerTrace construction and peak
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nan_sample_is_rejected_with_location() {
+    let err = PowerTrace::new(vec![1.0, f64::NAN, 3.0], 10).unwrap_err();
+    match err {
+        TraceError::InvalidSample { index, value } => {
+            assert_eq!(index, 1);
+            assert!(value.is_nan());
+        }
+        other => panic!("expected InvalidSample, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_and_infinite_samples_are_rejected() {
+    assert!(matches!(
+        PowerTrace::new(vec![0.0, -0.5], 10),
+        Err(TraceError::InvalidSample { index: 1, .. })
+    ));
+    assert!(matches!(
+        PowerTrace::new(vec![f64::INFINITY], 10),
+        Err(TraceError::InvalidSample { index: 0, .. })
+    ));
+    assert!(matches!(
+        PowerTrace::new(vec![f64::NEG_INFINITY], 10),
+        Err(TraceError::InvalidSample { index: 0, .. })
+    ));
+}
+
+#[test]
+fn empty_and_zero_step_are_clean_errors() {
+    assert_eq!(PowerTrace::new(vec![], 10).unwrap_err(), TraceError::Empty);
+    assert_eq!(
+        PowerTrace::new(vec![1.0], 0).unwrap_err(),
+        TraceError::ZeroStep
+    );
+}
+
+#[test]
+fn all_zero_trace_has_finite_zero_peak() {
+    let t = PowerTrace::new(vec![0.0; 8], 10).unwrap();
+    assert_eq!(t.peak(), 0.0);
+    assert_eq!(t.peak_index(), 0);
+    assert!(t.peak().is_finite());
+}
+
+#[test]
+fn single_sample_trace_peak_is_the_sample() {
+    let t = PowerTrace::new(vec![7.25], 10).unwrap();
+    assert_eq!(t.peak(), 7.25);
+    assert_eq!(t.peak_index(), 0);
+    let sum = PowerTrace::sum_of([&t]).unwrap();
+    assert_eq!(sum.peak(), 7.25);
+    let mean = PowerTrace::mean_of([&t]).unwrap();
+    assert_eq!(mean.peak(), 7.25);
+}
+
+// ---------------------------------------------------------------------------
+// NodeAggregate add/remove churn
+// ---------------------------------------------------------------------------
+
+#[test]
+fn aggregate_add_remove_round_trips_to_empty() {
+    let grid = TimeGrid::new(10, 4);
+    let a = PowerTrace::new(vec![1.5, 2.5, 0.0, 4.0], 10).unwrap();
+    let b = PowerTrace::new(vec![0.5, 0.0, 3.0, 1.0], 10).unwrap();
+    let mut agg = NodeAggregate::new(grid);
+    agg.add(&a).unwrap();
+    agg.add(&b).unwrap();
+    assert_eq!(agg.count(), 2);
+    agg.remove(&a).unwrap();
+    agg.remove(&b).unwrap();
+    assert!(agg.is_empty());
+    // Floating-point residue never turns the empty aggregate's peak
+    // negative or NaN, and to_trace stays constructible.
+    assert!(agg.peak().is_finite());
+    let t = agg.to_trace().unwrap();
+    assert!(t.samples().iter().all(|v| v.is_finite() && *v >= 0.0));
+}
+
+#[test]
+fn aggregate_remove_from_empty_is_a_clean_error() {
+    let grid = TimeGrid::new(10, 2);
+    let t = PowerTrace::new(vec![1.0, 2.0], 10).unwrap();
+    let mut agg = NodeAggregate::new(grid);
+    assert_eq!(agg.remove(&t).unwrap_err(), TraceError::Empty);
+}
+
+#[test]
+fn aggregate_rejects_mismatched_grids() {
+    let grid = TimeGrid::new(10, 2);
+    let wrong_len = PowerTrace::new(vec![1.0, 2.0, 3.0], 10).unwrap();
+    let wrong_step = PowerTrace::new(vec![1.0, 2.0], 30).unwrap();
+    let mut agg = NodeAggregate::new(grid);
+    assert!(matches!(
+        agg.add(&wrong_len),
+        Err(TraceError::LengthMismatch { .. })
+    ));
+    assert!(matches!(
+        agg.add(&wrong_step),
+        Err(TraceError::StepMismatch { .. })
+    ));
+}
+
+#[test]
+fn mean_excluding_needs_two_members() {
+    let grid = TimeGrid::new(10, 2);
+    let t = PowerTrace::new(vec![1.0, 2.0], 10).unwrap();
+    let mut agg = NodeAggregate::new(grid);
+    agg.add(&t).unwrap();
+    assert_eq!(agg.mean_excluding(&t).unwrap_err(), TraceError::Empty);
+}
+
+// ---------------------------------------------------------------------------
+// Sanitizer and mask edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sanitizer_survives_all_garbage_input() {
+    let garbage = vec![f64::NAN, f64::INFINITY, -3.0, f64::NEG_INFINITY];
+    let s = TraceSanitizer::default();
+    let (trace, report) = s.sanitize(&garbage, 10).unwrap();
+    assert!(report.all_invalid);
+    assert_eq!(trace.samples(), &[0.0; 4]);
+    // Drop policy on all-garbage input has nothing left: clean error.
+    let dropper = TraceSanitizer::new(SanitizeConfig {
+        gap_policy: GapPolicy::Drop,
+        ..SanitizeConfig::default()
+    })
+    .unwrap();
+    assert_eq!(
+        dropper.sanitize(&garbage, 10).unwrap_err(),
+        TraceError::Empty
+    );
+}
+
+#[test]
+fn masked_trace_with_no_valid_samples_still_reports_coverage() {
+    let m = MaskedTrace::from_samples(&[f64::NAN, -1.0], 10).unwrap();
+    assert_eq!(m.observed(), 0);
+    assert_eq!(m.coverage(), 0.0);
+    assert_eq!(m.observed_mean(), None);
+    assert!(matches!(
+        m.to_trace(),
+        Err(TraceError::MaskedSamples { masked: 2, len: 2 })
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Properties: the sanitizer is idempotent and never raises the peak
+// ---------------------------------------------------------------------------
+
+/// Raw telemetry: mixes plausible values with NaN, infinities, negatives,
+/// and absurd spikes.
+fn hostile_samples(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => 0.0f64..1_000.0,
+            1 => Just(f64::NAN),
+            1 => Just(f64::INFINITY),
+            1 => Just(f64::NEG_INFINITY),
+            1 => -1_000.0f64..0.0,
+            1 => 1.0e9f64..1.0e12,
+        ],
+        len..=len,
+    )
+}
+
+fn any_policy() -> impl Strategy<Value = GapPolicy> {
+    prop_oneof![
+        Just(GapPolicy::Interpolate),
+        Just(GapPolicy::HoldLast),
+        Just(GapPolicy::Zero),
+        Just(GapPolicy::Drop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sanitizing a sanitized trace changes nothing (and the output is
+    /// always a fully valid trace).
+    #[test]
+    fn sanitizer_is_idempotent(
+        samples in hostile_samples(24),
+        policy in any_policy(),
+    ) {
+        let s = TraceSanitizer::new(SanitizeConfig {
+            gap_policy: policy,
+            ..SanitizeConfig::default()
+        })
+        .unwrap();
+        let first = s.sanitize(&samples, 10);
+        let Ok((trace, _)) = first else {
+            // Drop policy may legitimately empty the trace; nothing more
+            // to check.
+            prop_assert_eq!(policy, GapPolicy::Drop);
+            return Ok(());
+        };
+        prop_assert!(trace.samples().iter().all(|v| v.is_finite() && *v >= 0.0));
+        let (again, report) = s.sanitize(trace.samples(), 10).unwrap();
+        prop_assert!(report.is_clean(), "second pass flagged {report:?}");
+        prop_assert_eq!(again.samples(), trace.samples());
+    }
+
+    /// The sanitized peak never exceeds the largest plausible (finite,
+    /// non-negative) input sample: repairs only ever lower power.
+    #[test]
+    fn sanitizer_never_raises_the_peak(
+        samples in hostile_samples(24),
+        policy in any_policy(),
+    ) {
+        let s = TraceSanitizer::new(SanitizeConfig {
+            gap_policy: policy,
+            ..SanitizeConfig::default()
+        })
+        .unwrap();
+        if let Ok((trace, _)) = s.sanitize(&samples, 10) {
+            let plausible_peak = samples
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .fold(0.0f64, f64::max);
+            prop_assert!(
+                trace.peak() <= plausible_peak + 1e-9,
+                "peak {} exceeds best input {}",
+                trace.peak(),
+                plausible_peak
+            );
+        }
+    }
+
+    /// Completing a masked trace from any valid prior yields a valid trace
+    /// that preserves the observed samples bit-for-bit.
+    #[test]
+    fn fill_preserves_observed_samples(
+        samples in hostile_samples(16),
+        prior in prop::collection::vec(0.0f64..500.0, 16..=16),
+    ) {
+        let m = MaskedTrace::from_samples(&samples, 10).unwrap();
+        let p = PowerTrace::new(prior, 10).unwrap();
+        let filled = m.fill_with(&p).unwrap();
+        for t in 0..m.len() {
+            prop_assert!(filled.samples()[t].is_finite() && filled.samples()[t] >= 0.0);
+            if m.valid()[t] {
+                prop_assert_eq!(filled.samples()[t], m.samples()[t]);
+            }
+        }
+    }
+}

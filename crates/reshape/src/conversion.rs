@@ -171,6 +171,7 @@ mod tests {
             qps_per_server: 100.0,
             l_conv: 0.8,
             prev_lc_load: 0.0,
+            sensor_ok: true,
         }
     }
 

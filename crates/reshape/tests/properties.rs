@@ -18,6 +18,7 @@ fn observation(offered: f64, base_lc: usize, conv: usize, th: usize) -> StepObse
         qps_per_server: 100.0,
         l_conv: 0.8,
         prev_lc_load: 0.0,
+        sensor_ok: true,
     }
 }
 

@@ -5,6 +5,7 @@
 //! per-LC-server load, LC and Batch throughput, and the total power draw.
 
 use serde::{Deserialize, Serialize};
+use so_faults::{FaultEvent, FaultSchedule};
 use so_powertrace::{PowerTrace, SlackProfile, TimeGrid, TraceError};
 use so_workloads::OfferedLoad;
 
@@ -124,6 +125,15 @@ pub struct Telemetry {
     pub throttle_funded_as_lc: Vec<usize>,
     /// Batch DVFS state each step.
     pub batch_dvfs: Vec<DvfsState>,
+    /// The offered QPS the *policy* observed each step — equal to the
+    /// true offered load except under sensor faults.
+    pub observed_qps: Vec<f64>,
+    /// Whether the telemetry feeding the policy was trustworthy each step
+    /// (no sensor dropout or stuck readings active).
+    pub sensor_ok: Vec<bool>,
+    /// Every fault event of the injected schedule (empty for fault-free
+    /// runs).
+    pub fault_events: Vec<FaultEvent>,
 }
 
 impl Telemetry {
@@ -138,7 +148,15 @@ impl Telemetry {
             conversion_as_lc: Vec::with_capacity(n),
             throttle_funded_as_lc: Vec::with_capacity(n),
             batch_dvfs: Vec::with_capacity(n),
+            observed_qps: Vec::with_capacity(n),
+            sensor_ok: Vec::with_capacity(n),
+            fault_events: Vec::new(),
         }
+    }
+
+    /// Steps on which the policy ran on degraded telemetry.
+    pub fn degraded_steps(&self) -> usize {
+        self.sensor_ok.iter().filter(|&&ok| !ok).count()
     }
 
     /// Number of simulated steps.
@@ -226,30 +244,89 @@ pub fn simulate(
     load: &OfferedLoad,
     policy: &mut dyn ReshapePolicy,
 ) -> Result<Telemetry, SimError> {
+    let schedule = FaultSchedule::empty(load.len(), 1);
+    simulate_with_faults(config, load, policy, &schedule)
+}
+
+/// Runs the simulation under an injected fault schedule.
+///
+/// Fault semantics, per step:
+///
+/// * **sensor dropout / stuck sensors** degrade only what the policy
+///   *observes*: dropped sensors read as zero load and stuck sensors
+///   repeat the previous step's reading, so `observed_qps` under-reports
+///   while routing still serves the true offered load.
+///   [`StepObservation::sensor_ok`] is lowered so fault-aware policies
+///   (e.g. [`FailSafe`](crate::policy::FailSafe)) can hold a safe
+///   decision;
+/// * **instance crashes** remove the crashed fraction of the base LC
+///   fleet from service (capacity and power);
+/// * **breaker trips** de-energize a `severity` fraction of the fleet
+///   uniformly: per-server LC capacity, batch throughput, and power all
+///   scale by `1 − severity` while the trip is active (§5's transient
+///   trips, survived without operator action).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for bad configurations or when the
+/// schedule covers a different number of steps than the load, and
+/// [`SimError::EmptyLoad`] for an empty load series.
+pub fn simulate_with_faults(
+    config: &SimConfig,
+    load: &OfferedLoad,
+    policy: &mut dyn ReshapePolicy,
+    schedule: &FaultSchedule,
+) -> Result<Telemetry, SimError> {
     config.validate()?;
     if load.is_empty() {
         return Err(SimError::EmptyLoad);
     }
+    if schedule.n_steps() != load.len() {
+        return Err(SimError::InvalidConfig(
+            "fault schedule must cover exactly the load series",
+        ));
+    }
 
     let n = load.len();
+    let timeline = schedule.timeline();
     let mut telemetry = Telemetry::with_capacity(n, load.step_minutes());
+    telemetry.fault_events = schedule.events().to_vec();
     let mut prev_lc_load = 0.0f64;
+    let mut prev_offered = 0.0f64;
 
     for t in 0..n {
         let offered = load.qps_at(t);
+        let dropout = timeline.dropout_frac[t].min(1.0);
+        let stuck = timeline.stuck_frac[t].min(1.0 - dropout);
+        let crashed = timeline.crashed_frac[t];
+        // Fraction of fleet capacity still energized under active trips.
+        let energized = (1.0 - timeline.trip_derate[t]).max(f64::EPSILON);
+
+        let sensor_ok = dropout + stuck == 0.0;
+        // Dropped sensors report nothing (reads as zero load); stuck
+        // sensors repeat the previous step's reading.
+        let observed = offered * (1.0 - dropout - stuck) + prev_offered * stuck;
+
         let observation = StepObservation {
             t,
-            offered_qps: offered,
+            offered_qps: observed,
             base_lc: config.base_lc,
             conversion: config.conversion,
             throttle_funded: config.throttle_funded,
             qps_per_server: config.qps_per_server,
             l_conv: config.l_conv,
             prev_lc_load,
+            sensor_ok,
         };
         let decision = clamp_decision(policy.decide(&observation), config);
 
-        let lc_active = config.base_lc + decision.conversion_as_lc + decision.throttle_funded_as_lc;
+        // Crashed instances leave the base LC fleet entirely (at least one
+        // server always survives — the balancer needs a slot to route to).
+        let crashed_lc = ((crashed * config.base_lc as f64).round() as usize)
+            .min(config.base_lc.saturating_sub(1));
+        let lc_active = config.base_lc - crashed_lc
+            + decision.conversion_as_lc
+            + decision.throttle_funded_as_lc;
         let opportunistic_batch = (config.conversion - decision.conversion_as_lc)
             + (config.throttle_funded - decision.throttle_funded_as_lc);
         // Only as many opportunistic servers as the batch backlog feeds
@@ -259,24 +336,28 @@ pub fn simulate(
         let working_opportunistic = opportunistic_batch.min(backlog_slots);
         let idle_opportunistic = opportunistic_batch - working_opportunistic;
 
-        // Route the offered load through the guarded-level balancer (all
-        // servers share one capacity class in this aggregate model).
-        let slots = vec![ServerSlot::new(config.qps_per_server); lc_active];
+        // Route the *true* offered load through the guarded-level balancer
+        // (all servers share one capacity class in this aggregate model);
+        // an active trip derates every server's usable capacity.
+        let slots = vec![ServerSlot::new(config.qps_per_server * energized); lc_active];
         let routing = route(offered, &slots, config.l_conv);
         let served = routing.served_qps;
         let dropped = routing.dropped_qps;
         let lc_load = routing.loads[0];
 
-        let batch_work = (config.base_batch as f64
-            + working_opportunistic as f64 * config.conversion_batch_efficiency)
+        let batch_work = energized
+            * (config.base_batch as f64
+                + working_opportunistic as f64 * config.conversion_batch_efficiency)
             * decision.batch_dvfs.throughput_factor();
 
-        let lc_power = lc_active as f64 * config.lc_power.power(lc_load, DvfsState::Nominal);
-        let batch_power = (config.base_batch + working_opportunistic) as f64
-            * config
-                .batch_power
-                .power(config.batch_utilization, decision.batch_dvfs)
-            + idle_opportunistic as f64 * config.lc_power.power(0.0, DvfsState::Nominal);
+        let lc_power =
+            energized * lc_active as f64 * config.lc_power.power(lc_load, DvfsState::Nominal);
+        let batch_power = energized
+            * ((config.base_batch + working_opportunistic) as f64
+                * config
+                    .batch_power
+                    .power(config.batch_utilization, decision.batch_dvfs)
+                + idle_opportunistic as f64 * config.lc_power.power(0.0, DvfsState::Nominal));
 
         telemetry.per_lc_server_load.push(lc_load);
         telemetry.lc_served_qps.push(served);
@@ -288,8 +369,11 @@ pub fn simulate(
             .throttle_funded_as_lc
             .push(decision.throttle_funded_as_lc);
         telemetry.batch_dvfs.push(decision.batch_dvfs);
+        telemetry.observed_qps.push(observed);
+        telemetry.sensor_ok.push(sensor_ok);
 
         prev_lc_load = lc_load;
+        prev_offered = offered;
     }
     Ok(telemetry)
 }
@@ -426,6 +510,162 @@ mod tests {
         assert_eq!(events[0].step, 3);
         assert_eq!(events[0].lc_before, 0);
         assert_eq!(events[0].lc_after, 2);
+    }
+
+    #[test]
+    fn fault_free_run_reports_clean_telemetry() {
+        let config = default_config(10, 5, 0, 0, 10_000.0);
+        let t = simulate(&config, &load(), &mut StaticPolicy { as_lc: true }).unwrap();
+        assert!(t.sensor_ok.iter().all(|&ok| ok));
+        assert_eq!(t.degraded_steps(), 0);
+        assert!(t.fault_events.is_empty());
+        // The policy observed exactly the true offered load.
+        let l = load();
+        for step in 0..t.len() {
+            assert_eq!(t.observed_qps[step], l.qps_at(step));
+        }
+    }
+
+    #[test]
+    fn dropout_degrades_observations_but_not_reality() {
+        use so_faults::FaultSpec;
+        let spec = FaultSpec::parse("seed=5,dropout=1,stuck=0,crash=0,trips=0").unwrap();
+        let schedule = FaultSchedule::generate(&spec, 168, 1);
+        let config = default_config(10, 5, 0, 0, 10_000.0);
+        let faulty = simulate_with_faults(
+            &config,
+            &load(),
+            &mut StaticPolicy { as_lc: true },
+            &schedule,
+        )
+        .unwrap();
+        assert!(faulty.degraded_steps() > 0);
+        assert!(!faulty.fault_events.is_empty());
+        // With the whole (single-instance) population dropped out, the
+        // policy observes zero load during the fault window...
+        let degraded_step = faulty.sensor_ok.iter().position(|&ok| !ok).unwrap();
+        assert_eq!(faulty.observed_qps[degraded_step], 0.0);
+        // ...but serving follows the true load: identical to a clean run
+        // under a static policy (which ignores observations).
+        let clean = simulate(&config, &load(), &mut StaticPolicy { as_lc: true }).unwrap();
+        assert_eq!(faulty.lc_served_qps, clean.lc_served_qps);
+        assert_eq!(faulty.total_power, clean.total_power);
+    }
+
+    #[test]
+    fn breaker_trip_derates_capacity_and_power() {
+        use so_faults::{FaultKind, FaultSpec};
+        let spec = FaultSpec::parse(
+            "seed=9,dropout=0,stuck=0,crash=0,trips=1,trip-steps=5,trip-severity=0.5",
+        )
+        .unwrap();
+        let schedule = FaultSchedule::generate(&spec, 168, 1);
+        let config = default_config(10, 5, 0, 0, 10_000.0);
+        let faulty = simulate_with_faults(
+            &config,
+            &load(),
+            &mut StaticPolicy { as_lc: true },
+            &schedule,
+        )
+        .unwrap();
+        let clean = simulate(&config, &load(), &mut StaticPolicy { as_lc: true }).unwrap();
+        let trip = schedule
+            .events_of(FaultKind::BreakerTrip)
+            .next()
+            .copied()
+            .unwrap();
+        for step in trip.start..trip.end() {
+            assert!(
+                faulty.total_power[step] < clean.total_power[step],
+                "step {step} should draw less power during the trip"
+            );
+            assert!(faulty.batch_throughput[step] < clean.batch_throughput[step]);
+            // Sensors are fine during a trip — only capacity is derated.
+            assert!(faulty.sensor_ok[step]);
+        }
+        for step in 0..168 {
+            if !trip.active_at(step) {
+                assert_eq!(faulty.total_power[step], clean.total_power[step]);
+            }
+        }
+    }
+
+    #[test]
+    fn crashes_reduce_serving_capacity() {
+        use so_faults::FaultSpec;
+        let spec =
+            FaultSpec::parse("seed=3,dropout=0,stuck=0,crash=1,trips=0,mean-steps=20").unwrap();
+        let schedule = FaultSchedule::generate(&spec, 168, 1);
+        // 5 servers × 100 qps barely misses the 1000-qps peak already;
+        // crashing the whole base fleet (bar the last survivor) must drop
+        // strictly more queries than the clean run.
+        let config = default_config(5, 0, 0, 0, 10_000.0);
+        let faulty = simulate_with_faults(
+            &config,
+            &load(),
+            &mut StaticPolicy { as_lc: true },
+            &schedule,
+        )
+        .unwrap();
+        let clean = simulate(&config, &load(), &mut StaticPolicy { as_lc: true }).unwrap();
+        let faulty_dropped: f64 = faulty.lc_dropped_qps.iter().sum();
+        let clean_dropped: f64 = clean.lc_dropped_qps.iter().sum();
+        assert!(faulty_dropped > clean_dropped);
+    }
+
+    #[test]
+    fn mismatched_schedule_is_rejected() {
+        let config = default_config(10, 5, 0, 0, 10_000.0);
+        let schedule = FaultSchedule::empty(99, 1);
+        let err = simulate_with_faults(
+            &config,
+            &load(),
+            &mut StaticPolicy { as_lc: true },
+            &schedule,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn fail_safe_policy_survives_dropout_without_conversion_flap() {
+        use crate::policy::FailSafe;
+        use so_faults::FaultSpec;
+
+        // A load-following policy: converts when the observed load
+        // exceeds the guard, releases otherwise.
+        #[derive(Debug, Default, Clone, Copy)]
+        struct Follower;
+        impl ReshapePolicy for Follower {
+            fn decide(&mut self, o: &StepObservation) -> StepDecision {
+                let needs = o.base_lc_load() > o.l_conv;
+                StepDecision {
+                    conversion_as_lc: if needs { o.conversion } else { 0 },
+                    throttle_funded_as_lc: 0,
+                    batch_dvfs: DvfsState::Nominal,
+                }
+            }
+        }
+
+        let spec =
+            FaultSpec::parse("seed=8,dropout=1,stuck=0,crash=0,trips=0,mean-steps=30").unwrap();
+        let schedule = FaultSchedule::generate(&spec, 168, 1);
+        let config = default_config(8, 5, 4, 0, 10_000.0);
+
+        // Naked follower: during the dropout it sees zero load and
+        // releases its conversion servers even if the true load is high.
+        let naked = simulate_with_faults(&config, &load(), &mut Follower, &schedule).unwrap();
+        // FailSafe holds the last trustworthy decision through the window.
+        let safe = simulate_with_faults(&config, &load(), &mut FailSafe::new(Follower), &schedule)
+            .unwrap();
+
+        let window: Vec<usize> = (0..168).filter(|&t| !safe.sensor_ok[t]).collect();
+        assert!(!window.is_empty());
+        for &t in &window {
+            assert_eq!(naked.conversion_as_lc[t], 0, "naked follower flaps at {t}");
+        }
+        // The wrapped policy never serves less than the naked one.
+        assert!(safe.total_lc_served() >= naked.total_lc_served());
     }
 
     #[test]

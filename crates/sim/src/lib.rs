@@ -8,6 +8,11 @@
 //!
 //! * [`simulate`] — steps a [`SimConfig`] over an offered load, consulting
 //!   a [`ReshapePolicy`] each step;
+//! * [`simulate_with_faults`] — the same run under a deterministic
+//!   `so-faults` schedule (sensor dropout, stuck sensors, crashes,
+//!   breaker trips), with degraded telemetry surfaced to the policy via
+//!   [`StepObservation::sensor_ok`] and a [`FailSafe`] wrapper that holds
+//!   the last trustworthy decision;
 //! * [`Telemetry`] — the recorded series behind Figures 12–14;
 //! * [`ServerPowerModel`] / [`DvfsState`] — the power/performance models.
 //!
@@ -40,8 +45,11 @@ mod power;
 
 pub use balancer::{route, route_guard_first, RoutingOutcome, ServerSlot};
 pub use dvfs::DvfsState;
-pub use engine::{default_config, one_week_grid, simulate, ConversionEvent, SimConfig, Telemetry};
+pub use engine::{
+    default_config, one_week_grid, simulate, simulate_with_faults, ConversionEvent, SimConfig,
+    Telemetry,
+};
 pub use error::SimError;
 pub use latency::LatencyModel;
-pub use policy::{ReshapePolicy, StaticPolicy, StepDecision, StepObservation};
+pub use policy::{FailSafe, ReshapePolicy, StaticPolicy, StepDecision, StepObservation};
 pub use power::ServerPowerModel;

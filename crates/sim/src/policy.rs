@@ -30,6 +30,11 @@ pub struct StepObservation {
     /// Mean per-LC-server load observed on the previous step (1.0 = fully
     /// utilized), 0.0 on the first step.
     pub prev_lc_load: f64,
+    /// Whether the telemetry behind this observation is trustworthy.
+    /// `false` when sensor faults (dropout, stuck readings) degrade
+    /// `offered_qps` this step; fault-aware policies should then fall back
+    /// to a safe decision instead of chasing a phantom load change.
+    pub sensor_ok: bool,
 }
 
 impl StepObservation {
@@ -104,6 +109,52 @@ impl ReshapePolicy for StaticPolicy {
     }
 }
 
+/// Wraps any policy with a degraded-telemetry guard: while
+/// [`StepObservation::sensor_ok`] is `false`, the wrapper repeats the
+/// last decision made on trustworthy data instead of consulting the
+/// inner policy, so a sensor dropout (which reads as a phantom load
+/// collapse) cannot trigger a mass LC→Batch conversion.
+///
+/// Before any trustworthy step has been seen, the wrapper fails safe by
+/// running every conversion server as LC — over-provisioning QoS is the
+/// recoverable mistake.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailSafe<P> {
+    /// The wrapped policy; consulted only on trustworthy steps.
+    pub inner: P,
+    last_good: Option<StepDecision>,
+}
+
+impl<P> FailSafe<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        Self {
+            inner,
+            last_good: None,
+        }
+    }
+
+    /// The decision held from the last trustworthy step, if any.
+    pub fn last_good(&self) -> Option<StepDecision> {
+        self.last_good
+    }
+}
+
+impl<P: ReshapePolicy> ReshapePolicy for FailSafe<P> {
+    fn decide(&mut self, observation: &StepObservation) -> StepDecision {
+        if observation.sensor_ok {
+            let decision = self.inner.decide(observation);
+            self.last_good = Some(decision);
+            return decision;
+        }
+        self.last_good.unwrap_or(StepDecision {
+            conversion_as_lc: observation.conversion,
+            throttle_funded_as_lc: observation.throttle_funded,
+            batch_dvfs: DvfsState::Nominal,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +169,7 @@ mod tests {
             qps_per_server: 100.0,
             l_conv: 0.8,
             prev_lc_load: 0.0,
+            sensor_ok: true,
         }
     }
 
@@ -139,6 +191,33 @@ mod tests {
 
         let mut batch = StaticPolicy { as_lc: false };
         let d = batch.decide(&o);
+        assert_eq!(d, StepDecision::all_batch());
+    }
+
+    #[test]
+    fn fail_safe_holds_last_good_decision() {
+        let mut policy = FailSafe::new(StaticPolicy { as_lc: false });
+        let good = observation();
+        let degraded = StepObservation {
+            sensor_ok: false,
+            // A dropout reads as a phantom load collapse.
+            offered_qps: 0.0,
+            ..good
+        };
+
+        // Before any trustworthy step: fail safe toward LC.
+        let d = policy.decide(&degraded);
+        assert_eq!(d.conversion_as_lc, 4);
+        assert_eq!(d.throttle_funded_as_lc, 2);
+        assert_eq!(policy.last_good(), None);
+
+        // A trustworthy step records the inner decision...
+        let d = policy.decide(&good);
+        assert_eq!(d, StepDecision::all_batch());
+        assert_eq!(policy.last_good(), Some(d));
+
+        // ...which is then held through degraded steps.
+        let d = policy.decide(&degraded);
         assert_eq!(d, StepDecision::all_batch());
     }
 }

@@ -3,11 +3,22 @@
 use std::error::Error;
 use std::fmt;
 
+use so_powertrace::TraceError;
+
 /// Error produced when constructing scenarios or fleets.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadError {
     /// A scenario must name at least one service.
     EmptyMix,
+    /// An instance spec carried a non-finite or out-of-range parameter.
+    InvalidSpec {
+        /// Which parameter was invalid.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A trace-level operation failed while synthesizing the fleet.
+    Trace(TraceError),
     /// A mix fraction was non-positive or not finite.
     InvalidFraction {
         /// Name of the offending service.
@@ -32,6 +43,10 @@ impl fmt::Display for WorkloadError {
                     "mix fraction {fraction} for service {service} must be positive and finite"
                 )
             }
+            WorkloadError::InvalidSpec { field, value } => {
+                write!(f, "instance spec field {field} has invalid value {value}")
+            }
+            WorkloadError::Trace(e) => write!(f, "trace synthesis failed: {e}"),
             WorkloadError::ZeroInstances => write!(f, "fleet must contain at least one instance"),
             WorkloadError::ZeroTrainWeeks => {
                 write!(
@@ -43,7 +58,20 @@ impl fmt::Display for WorkloadError {
     }
 }
 
-impl Error for WorkloadError {}
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for WorkloadError {
+    fn from(e: TraceError) -> Self {
+        WorkloadError::Trace(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -57,5 +85,19 @@ mod tests {
         };
         assert!(err.to_string().contains("db"));
         assert!(err.to_string().contains("-0.5"));
+
+        let err = WorkloadError::InvalidSpec {
+            field: "amplitude_scale",
+            value: f64::NAN,
+        };
+        assert!(err.to_string().contains("amplitude_scale"));
+    }
+
+    #[test]
+    fn trace_errors_convert_and_keep_their_source() {
+        use std::error::Error as _;
+        let err = WorkloadError::from(TraceError::Empty);
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("trace synthesis failed"));
     }
 }

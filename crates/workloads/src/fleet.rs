@@ -30,8 +30,11 @@ impl Fleet {
     ///
     /// # Errors
     ///
-    /// Returns [`WorkloadError::ZeroInstances`] for an empty spec list and
-    /// [`WorkloadError::ZeroTrainWeeks`] when `train_weeks` is zero.
+    /// Returns [`WorkloadError::ZeroInstances`] for an empty spec list,
+    /// [`WorkloadError::ZeroTrainWeeks`] when `train_weeks` is zero,
+    /// [`WorkloadError::InvalidSpec`] for a spec with non-finite or
+    /// negative parameters, and [`WorkloadError::Trace`] when trace
+    /// synthesis fails.
     pub fn generate(
         specs: Vec<InstanceSpec>,
         grid: TimeGrid,
@@ -46,10 +49,9 @@ impl Fleet {
         let mut averaged = Vec::with_capacity(specs.len());
         let mut test = Vec::with_capacity(specs.len());
         for spec in &specs {
+            spec.validate()?;
             let weeks = spec.weekly_traces(grid, train_weeks);
-            averaged.push(
-                PowerTrace::mean_of(weeks.iter()).expect("train_weeks >= 1 traces on one grid"),
-            );
+            averaged.push(PowerTrace::mean_of(weeks.iter())?);
             test.push(spec.weekly_trace(grid, train_weeks));
         }
         Ok(Self {
@@ -220,6 +222,26 @@ mod tests {
             InstanceSpec::nominal(ServiceClass::Hadoop, 4),
         ];
         Fleet::generate(specs, grid, 2).unwrap()
+    }
+
+    #[test]
+    fn generate_rejects_malformed_specs_cleanly() {
+        let grid = TimeGrid::one_week(120);
+        let specs = vec![
+            InstanceSpec::nominal(ServiceClass::Frontend, 1),
+            InstanceSpec {
+                amplitude_scale: f64::INFINITY,
+                ..InstanceSpec::nominal(ServiceClass::Db, 2)
+            },
+        ];
+        let err = Fleet::generate(specs, grid, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            WorkloadError::InvalidSpec {
+                field: "amplitude_scale",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use so_powertrace::{PowerTrace, TimeGrid, MINUTES_PER_DAY};
 
 use crate::activity::{backup_window, office_hours, user_activity};
+use crate::error::WorkloadError;
 use crate::rng::{normal, stream_rng};
 use crate::service::{DiurnalShape, ServiceClass};
 
@@ -39,6 +40,30 @@ impl InstanceSpec {
             base_scale: 1.0,
             seed,
         }
+    }
+
+    /// Validates the spec's numeric parameters: the phase shift must be
+    /// finite, and both scales finite and non-negative. A spec that fails
+    /// this check would drive the trace synthesizer to non-finite power
+    /// values (e.g. an infinite amplitude makes the noise model's standard
+    /// deviation infinite), which the substrate rejects with a panic — so
+    /// fleet generation checks here first and returns an error instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidSpec`] naming the offending field.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let checks = [
+            ("phase_shift_minutes", self.phase_shift_minutes, false),
+            ("amplitude_scale", self.amplitude_scale, true),
+            ("base_scale", self.base_scale, true),
+        ];
+        for (field, value, must_be_non_negative) in checks {
+            if !value.is_finite() || (must_be_non_negative && value < 0.0) {
+                return Err(WorkloadError::InvalidSpec { field, value });
+            }
+        }
+        Ok(())
     }
 
     /// Noise-free utilization in `[0, 1]` of this instance's service shape
@@ -99,6 +124,19 @@ impl InstanceSpec {
             let minute = week_offset + grid.minute_of(i) as f64;
             self.power_at(minute) + ar + normal(&mut rng, 0.0, white_sd)
         })
+    }
+
+    /// Checked variant of [`weekly_trace`](Self::weekly_trace): validates
+    /// the spec first so malformed parameters surface as a
+    /// [`WorkloadError`] instead of a panic deep inside trace synthesis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidSpec`] for non-finite or negative
+    /// spec parameters.
+    pub fn try_weekly_trace(&self, grid: TimeGrid, week: u32) -> Result<PowerTrace, WorkloadError> {
+        self.validate()?;
+        Ok(self.weekly_trace(grid, week))
     }
 
     /// Generates `weeks` consecutive weekly traces.
@@ -219,6 +257,42 @@ mod tests {
                 assert!((0.0..=1.0).contains(&u), "{service} utilization {u}");
             }
         }
+    }
+
+    #[test]
+    fn invalid_specs_error_instead_of_panicking() {
+        let grid = TimeGrid::one_week(60);
+        let bad_amplitude = InstanceSpec {
+            amplitude_scale: f64::NAN,
+            ..InstanceSpec::nominal(ServiceClass::Frontend, 1)
+        };
+        let err = bad_amplitude.try_weekly_trace(grid, 0).unwrap_err();
+        match err {
+            WorkloadError::InvalidSpec { field, value } => {
+                assert_eq!(field, "amplitude_scale");
+                assert!(value.is_nan());
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        let bad_phase = InstanceSpec {
+            phase_shift_minutes: f64::INFINITY,
+            ..InstanceSpec::nominal(ServiceClass::Db, 2)
+        };
+        assert!(matches!(
+            bad_phase.validate(),
+            Err(WorkloadError::InvalidSpec {
+                field: "phase_shift_minutes",
+                ..
+            })
+        ));
+        let negative_base = InstanceSpec {
+            base_scale: -0.1,
+            ..InstanceSpec::nominal(ServiceClass::Cache, 3)
+        };
+        assert!(negative_base.validate().is_err());
+        assert!(InstanceSpec::nominal(ServiceClass::Hadoop, 4)
+            .try_weekly_trace(grid, 0)
+            .is_ok());
     }
 
     #[test]

@@ -12,11 +12,20 @@
 use std::process::ExitCode;
 
 use smoothoperator::prelude::*;
+use so_faults::{FaultKind, FaultSchedule, FaultSpec};
 use so_powertree::NodeAggregates;
-use so_reshape::{operate, run_scenario, LongRunConfig};
+use so_reshape::{operate, run_scenario, LongRunConfig, ThrottleBoostPolicy};
+use so_sim::{default_config, one_week_grid, simulate_with_faults, FailSafe};
+use so_workloads::OfferedLoad;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, faults) = match split_faults_flag(std::env::args().skip(1).collect()) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("scenarios") => scenarios(),
         Some("breakdown") => with_scenario(&args, breakdown),
@@ -24,6 +33,7 @@ fn main() -> ExitCode {
         Some("pipeline") => with_scenario(&args, pipeline),
         Some("longrun") => with_scenario(&args, longrun),
         Some("dot") => with_scenario(&args, dot),
+        Some("simulate") => with_scenario(&args, |scenario, n| simulate_cmd(scenario, n, &faults)),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -51,11 +61,18 @@ fn print_usage() {
     println!("  smoothop pipeline  <dc> [n]       full reshaping pipeline (Figures 12-14)");
     println!("  smoothop longrun   <dc> [n]       weeks of drift + monitored remapping");
     println!("  smoothop dot       <dc> [n]       graphviz dot of the placed topology");
+    println!("  smoothop simulate  <dc> [n]       one week of runtime reshaping");
     println!();
     println!("  <dc> ∈ {{dc1, dc2, dc3}}; n = fleet size, default 240");
+    println!();
+    println!("OPTIONS:");
+    println!("  --faults <spec>   inject faults into `simulate`; <spec> is comma-separated");
+    println!("                    key=value pairs (seed, dropout, stuck, crash, trips,");
+    println!("                    mean-steps, trip-steps, trip-severity), or `none`.");
+    println!("                    Example: --faults seed=7,dropout=0.2,trips=1");
 }
 
-fn with_scenario(args: &[String], f: fn(DcScenario, usize) -> CliResult) -> CliResult {
+fn with_scenario(args: &[String], f: impl FnOnce(DcScenario, usize) -> CliResult) -> CliResult {
     let dc = args
         .get(1)
         .ok_or("missing datacenter argument (dc1|dc2|dc3)")?;
@@ -75,6 +92,96 @@ fn with_scenario(args: &[String], f: fn(DcScenario, usize) -> CliResult) -> CliR
         return Err("fleet size must be positive".into());
     }
     f(scenario, n)
+}
+
+/// Extracts `--faults <spec>` / `--faults=<spec>` from the argument list,
+/// returning the remaining positional arguments and the parsed spec
+/// (default: no faults).
+fn split_faults_flag(args: Vec<String>) -> Result<(Vec<String>, FaultSpec), String> {
+    let mut positional = Vec::with_capacity(args.len());
+    let mut spec = FaultSpec::none();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let raw = if arg == "--faults" {
+            iter.next().ok_or_else(|| {
+                "--faults requires a spec (try `--faults help=`... or `none`)".to_string()
+            })?
+        } else if let Some(rest) = arg.strip_prefix("--faults=") {
+            rest.to_string()
+        } else {
+            positional.push(arg);
+            continue;
+        };
+        spec = FaultSpec::parse(&raw).map_err(|e| e.to_string())?;
+        spec.validate().map_err(|e| e.to_string())?;
+    }
+    Ok((positional, spec))
+}
+
+fn simulate_cmd(scenario: DcScenario, n: usize, faults: &FaultSpec) -> CliResult {
+    // Size the simulated cluster from the fleet: half the servers serve LC
+    // at peak, half run batch, with reshaping pools on top (§4.2 roles).
+    let base_lc = (n / 2).max(1);
+    let base_batch = (n - base_lc).max(1);
+    let conversion = (n / 10).max(1);
+    let throttle_funded = (n / 20).max(1);
+    let config = default_config(base_lc, base_batch, conversion, throttle_funded, f64::MAX);
+
+    let load = OfferedLoad::diurnal(
+        one_week_grid(60),
+        base_lc as f64 * config.qps_per_server * config.l_conv * 1.15,
+        0.05,
+        scenario.name.len() as u64, // stable per-scenario seed
+    );
+    let schedule = FaultSchedule::generate(faults, load.len(), base_lc);
+    let mut policy = FailSafe::new(ThrottleBoostPolicy::default());
+    let telemetry = simulate_with_faults(&config, &load, &mut policy, &schedule)?;
+
+    println!(
+        "{} — one simulated week ({} LC + {} batch + {} conv + {} e_th servers):",
+        scenario.name, base_lc, base_batch, conversion, throttle_funded
+    );
+    println!(
+        "  LC served:      {:>12.0} qps-steps ({:.2}% dropped)",
+        telemetry.total_lc_served(),
+        100.0 * telemetry.lc_dropped_qps.iter().sum::<f64>() / telemetry.total_lc_served().max(1.0)
+    );
+    println!(
+        "  batch work:     {:>12.0} normalized-server-steps",
+        telemetry.total_batch_work()
+    );
+    println!("  peak power:     {:>12.0} W", telemetry.peak_power());
+    println!(
+        "  QoS-risk steps: {:>12} of {}",
+        telemetry.qos_risk_steps(config.l_conv),
+        telemetry.len()
+    );
+    if faults.is_none() {
+        println!("  faults:         none injected (pass --faults <spec> to inject)");
+    } else {
+        println!(
+            "  faults:         {} events injected, {} of {} steps degraded",
+            telemetry.fault_events.len(),
+            telemetry.degraded_steps(),
+            telemetry.len()
+        );
+        for kind in [
+            FaultKind::SensorDropout,
+            FaultKind::StuckSensor,
+            FaultKind::InstanceCrash,
+            FaultKind::BreakerTrip,
+        ] {
+            let count = telemetry
+                .fault_events
+                .iter()
+                .filter(|e| e.kind == kind)
+                .count();
+            if count > 0 {
+                println!("    {:<16} {count}", kind.label());
+            }
+        }
+    }
+    Ok(())
 }
 
 fn scenarios() -> CliResult {
