@@ -113,6 +113,8 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
     let mut centroids = plus_plus_init(points, config.k, &mut rng);
     let mut labels = vec![0usize; points.len()];
     let mut iterations = 0;
+    let mut final_movement = f64::INFINITY;
+    let mut converged = false;
 
     for iter in 0..config.max_iters.max(1) {
         iterations = iter + 1;
@@ -148,7 +150,9 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
             movement += euclidean_sq(&centroids[c], &new).sqrt();
             centroids[c] = new;
         }
+        final_movement = movement;
         if movement <= config.tol {
+            converged = true;
             break;
         }
     }
@@ -182,6 +186,18 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
     }
 
     let inertia = inertia_of(points, &labels, &centroids);
+    // Commutative metrics only: k-means runs concurrently inside the
+    // placement recursion, and counters/histograms stay thread-count
+    // independent where a gauge or span would not.
+    if so_telemetry::enabled() {
+        so_telemetry::counter_add("so_kmeans_runs_total", &[], 1);
+        so_telemetry::counter_add("so_kmeans_points_total", &[], points.len() as u64);
+        if converged {
+            so_telemetry::counter_add("so_kmeans_converged_total", &[], 1);
+        }
+        so_telemetry::observe("so_kmeans_iterations", &[], iterations as f64);
+        so_telemetry::observe("so_kmeans_final_movement", &[], final_movement);
+    }
     Ok(Clustering {
         labels,
         centroids,

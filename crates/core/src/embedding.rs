@@ -49,6 +49,12 @@ pub fn score_vectors_from_traces(
     members: &[usize],
     straces: &ServiceTraces,
 ) -> Result<Vec<Vec<f64>>, CoreError> {
+    // Counters only: the placement recursion calls this concurrently, and
+    // commutative integer adds stay thread-count independent.
+    if so_telemetry::enabled() {
+        so_telemetry::counter_add("so_embedding_runs_total", &[], 1);
+        so_telemetry::counter_add("so_embedding_rows_total", &[], members.len() as u64);
+    }
     par_map(members, ROW_GRAIN, |_, &i| {
         straces
             .traces()
@@ -71,6 +77,10 @@ pub fn pairwise_score_vectors(
     fleet: &Fleet,
     members: &[usize],
 ) -> Result<Vec<Vec<f64>>, CoreError> {
+    if so_telemetry::enabled() {
+        so_telemetry::counter_add("so_embedding_pairwise_runs_total", &[], 1);
+        so_telemetry::counter_add("so_embedding_rows_total", &[], members.len() as u64);
+    }
     let traces = fleet.averaged_traces();
     par_map(members, ROW_GRAIN, |_, &i| {
         members

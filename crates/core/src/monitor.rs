@@ -124,10 +124,44 @@ impl DriftMonitor {
                 relative_change,
             });
         }
-        Ok(DriftReport {
+        let report = DriftReport {
             levels,
             remap_recommended,
-        })
+        };
+        record_drift_metrics(&report);
+        Ok(report)
+    }
+}
+
+/// Mirrors a [`DriftReport`] into the installed telemetry sink: one gauge
+/// triple per level plus observation/recommendation counters. Gauge keys
+/// are unique per level, so repeated observations overwrite rather than
+/// accumulate — the exported values always match the latest report.
+fn record_drift_metrics(report: &DriftReport) {
+    if !so_telemetry::enabled() {
+        return;
+    }
+    so_telemetry::counter_add("so_drift_observations_total", &[], 1);
+    if report.remap_recommended {
+        so_telemetry::counter_add("so_drift_remap_recommended_total", &[], 1);
+    }
+    for drift in &report.levels {
+        let level = drift.level.short_name();
+        so_telemetry::gauge_set(
+            "so_drift_baseline_watts",
+            &[("level", level)],
+            drift.baseline,
+        );
+        so_telemetry::gauge_set(
+            "so_drift_observed_watts",
+            &[("level", level)],
+            drift.observed,
+        );
+        so_telemetry::gauge_set(
+            "so_drift_relative_change",
+            &[("level", level)],
+            drift.relative_change,
+        );
     }
 }
 
@@ -174,6 +208,41 @@ mod tests {
         assert!(report.remap_recommended);
         for drift in &report.levels {
             assert!(drift.relative_change > 0.2, "{drift:?}");
+        }
+    }
+
+    #[test]
+    fn drift_gauges_match_the_report() {
+        let (topo, assignment, fleet) = setup();
+        let monitor =
+            DriftMonitor::baseline(&topo, &assignment, fleet.averaged_traces(), 0.05).unwrap();
+        let sink = std::sync::Arc::new(so_telemetry::RecordingSink::with_virtual_clock());
+        let report = so_telemetry::with_sink(sink.clone(), || {
+            monitor
+                .observe(&topo, &assignment, fleet.test_traces())
+                .unwrap()
+        });
+
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("so_drift_observations_total", &[]), 1);
+        assert_eq!(
+            snap.counter("so_drift_remap_recommended_total", &[]),
+            u64::from(report.remap_recommended)
+        );
+        for drift in &report.levels {
+            let level = drift.level.short_name();
+            assert_eq!(
+                snap.gauge("so_drift_baseline_watts", &[("level", level)]),
+                Some(drift.baseline)
+            );
+            assert_eq!(
+                snap.gauge("so_drift_observed_watts", &[("level", level)]),
+                Some(drift.observed)
+            );
+            assert_eq!(
+                snap.gauge("so_drift_relative_change", &[("level", level)]),
+                Some(drift.relative_change)
+            );
         }
     }
 

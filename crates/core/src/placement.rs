@@ -99,6 +99,10 @@ impl SmoothPlacer {
     /// Returns [`CoreError::CapacityExceeded`] when the fleet does not fit,
     /// and propagates clustering/trace errors.
     pub fn place(&self, fleet: &Fleet, topology: &PowerTopology) -> Result<Assignment, CoreError> {
+        // The span and gauges live at this serial entry point only; the
+        // recursion below fans out in parallel and records nothing but
+        // commutative counters.
+        let _span = so_telemetry::span("place");
         let n = fleet.len();
         let capacity = topology.server_capacity();
         if n > capacity {
@@ -121,7 +125,49 @@ impl SmoothPlacer {
             .into_iter()
             .map(|r| r.expect("recursion assigns every member to a rack"))
             .collect();
-        Ok(Assignment::new(rack_of, topology)?)
+        let assignment = Assignment::new(rack_of, topology)?;
+        self.record_placement_metrics(fleet, topology, &assignment)?;
+        Ok(assignment)
+    }
+
+    /// Records per-level fragmentation gauges for a finished placement.
+    /// Runs the (read-only) analysis only when a telemetry sink is
+    /// installed — the disabled path is a single atomic load.
+    fn record_placement_metrics(
+        &self,
+        fleet: &Fleet,
+        topology: &PowerTopology,
+        assignment: &Assignment,
+    ) -> Result<(), CoreError> {
+        if !so_telemetry::enabled() {
+            return Ok(());
+        }
+        so_telemetry::counter_add("so_placement_runs_total", &[], 1);
+        so_telemetry::counter_add("so_placement_instances_total", &[], assignment.len() as u64);
+        let report = crate::analysis::FragmentationReport::analyze(
+            topology,
+            assignment,
+            fleet.averaged_traces(),
+        )?;
+        for frag in report.levels() {
+            let level = frag.level.short_name();
+            so_telemetry::gauge_set(
+                "so_placement_sum_of_peaks_watts",
+                &[("level", level)],
+                frag.sum_of_peaks,
+            );
+            so_telemetry::gauge_set(
+                "so_placement_mean_asynchrony_score",
+                &[("level", level)],
+                frag.mean_score,
+            );
+            so_telemetry::gauge_set(
+                "so_placement_min_asynchrony_score",
+                &[("level", level)],
+                frag.min_score,
+            );
+        }
+        Ok(())
     }
 
     /// Re-places only the instances hosted in the subtree rooted at
@@ -140,6 +186,7 @@ impl SmoothPlacer {
         node: NodeId,
         base: &Assignment,
     ) -> Result<Assignment, CoreError> {
+        let _span = so_telemetry::span("place_within");
         let members = base.instances_under(topology, node)?;
         let mut rack_of: Vec<Option<NodeId>> = base.racks().iter().map(|&r| Some(r)).collect();
         if !members.is_empty() {
@@ -237,12 +284,14 @@ impl SmoothPlacer {
         let h = (q * self.config.clusters_per_child.max(1)).min(members.len());
         if members.len() < 2 * q || h < 2 {
             // Too few members to cluster meaningfully: stripe.
+            so_telemetry::counter_add("so_placement_striped_deals_total", &[], 1);
             let mut groups = vec![Vec::new(); q];
             for (rank, &i) in members.iter().enumerate() {
                 groups[rank % q].push(i);
             }
             return Ok(groups);
         }
+        so_telemetry::counter_add("so_placement_clustered_deals_total", &[], 1);
 
         let points: Vec<Vec<f64>> = members.iter().map(|&i| vectors[i].clone()).collect();
         let kconfig = KMeansConfig {

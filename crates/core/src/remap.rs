@@ -110,6 +110,10 @@ pub fn remap_traces(
     assignment: &mut Assignment,
     config: RemapConfig,
 ) -> Result<RemapReport, CoreError> {
+    // Serial orchestration point: the span, gauges, and round counter live
+    // here; the parallel scans inside `best_swap` batch commutative
+    // counters only.
+    let _span = so_telemetry::span("remap");
     let initial_worst_score = worst_node(topology, assignment, traces, config.level)?
         .map(|(_, s)| s)
         .unwrap_or(f64::INFINITY);
@@ -120,6 +124,7 @@ pub fn remap_traces(
 
     let mut swaps = Vec::new();
     'outer: while swaps.len() < config.max_swaps {
+        so_telemetry::counter_add("so_remap_rounds_total", &[], 1);
         // Rank this level's nodes by ascending asynchrony score. Peak sums
         // are recomputed from the cached per-instance peaks and aggregate
         // peaks come from the cached sums — O(nodes · |node|), no trace
@@ -140,6 +145,14 @@ pub fn remap_traces(
                     .expect("partner came from the state list");
                 states[si].replace_member(record.instance_out, record.instance_in, traces)?;
                 states[pi].replace_member(record.instance_in, record.instance_out, traces)?;
+                if so_telemetry::enabled() {
+                    so_telemetry::counter_add("so_remap_swaps_accepted_total", &[], 1);
+                    so_telemetry::observe(
+                        "so_remap_swap_gain",
+                        &[],
+                        record.gain_node + record.gain_partner,
+                    );
+                }
                 swaps.push(record);
                 continue 'outer;
             }
@@ -150,6 +163,16 @@ pub fn remap_traces(
     let final_worst_score = worst_node(topology, assignment, traces, config.level)?
         .map(|(_, s)| s)
         .unwrap_or(f64::INFINITY);
+    if so_telemetry::enabled() {
+        so_telemetry::counter_add("so_remap_runs_total", &[], 1);
+        so_telemetry::gauge_set("so_remap_initial_worst_score", &[], initial_worst_score);
+        so_telemetry::gauge_set("so_remap_final_worst_score", &[], final_worst_score);
+        so_telemetry::gauge_set(
+            "so_remap_worst_score_improvement",
+            &[],
+            final_worst_score - initial_worst_score,
+        );
+    }
     Ok(RemapReport {
         swaps,
         initial_worst_score,
@@ -337,6 +360,13 @@ fn best_swap(
             if sj == si || partner.members.len() < 2 {
                 return Ok(None);
             }
+            // Batched: one commutative add per partner, not per candidate,
+            // keeps the parallel scan free of sink contention.
+            so_telemetry::counter_add(
+                "so_remap_swap_evals_total",
+                &[],
+                partner.members.len() as u64,
+            );
             let mut best: Option<SwapRecord> = None;
             for &j in &partner.members {
                 let peers_partner = partner.agg.mean_excluding(&traces[j])?;

@@ -216,6 +216,32 @@ impl TraceSanitizer {
         }
 
         let trace = PowerTrace::new(current, step_minutes)?;
+        if so_telemetry::enabled() {
+            so_telemetry::counter_add("so_sanitize_traces_total", &[], 1);
+            so_telemetry::counter_add(
+                "so_sanitize_invalid_samples_total",
+                &[],
+                report.invalid_samples as u64,
+            );
+            so_telemetry::counter_add(
+                "so_sanitize_spike_samples_total",
+                &[],
+                report.spike_samples as u64,
+            );
+            so_telemetry::counter_add(
+                "so_sanitize_repaired_runs_total",
+                &[],
+                report.repaired_runs as u64,
+            );
+            so_telemetry::counter_add(
+                "so_sanitize_dropped_samples_total",
+                &[],
+                report.dropped_samples as u64,
+            );
+            if report.all_invalid {
+                so_telemetry::counter_add("so_sanitize_all_invalid_total", &[], 1);
+            }
+        }
         Ok((trace, report))
     }
 

@@ -154,9 +154,55 @@ impl Telemetry {
         }
     }
 
+    /// A metric snapshot of the run on the shared registry: the same
+    /// numbers the public accessors report, in exportable form. The
+    /// accessors below are thin wrappers over this snapshot, so a value
+    /// printed by an exporter is bit-identical to the accessor's return.
+    pub fn metrics(&self) -> so_telemetry::MetricsRegistry {
+        let mut reg = so_telemetry::MetricsRegistry::new();
+        reg.counter_add("so_sim_steps_total", &[], self.len() as u64);
+        reg.counter_add(
+            "so_sim_degraded_steps_total",
+            &[],
+            self.sensor_ok.iter().filter(|&&ok| !ok).count() as u64,
+        );
+        reg.counter_add(
+            "so_sim_fault_events_total",
+            &[],
+            self.fault_events.len() as u64,
+        );
+        reg.counter_add(
+            "so_sim_conversion_events_total",
+            &[],
+            self.conversion_events().len() as u64,
+        );
+        // These expressions are byte-for-byte the accessors' historical
+        // definitions; keeping them verbatim preserves bit-identity (the
+        // empty-run peak stays `f64::MIN`, as `peak_of_samples` defines).
+        reg.gauge_set(
+            "so_sim_total_lc_served",
+            &[],
+            self.lc_served_qps.iter().sum::<f64>() * self.step_minutes as f64,
+        );
+        reg.gauge_set(
+            "so_sim_total_batch_work",
+            &[],
+            self.batch_throughput.iter().sum::<f64>() * self.step_minutes as f64,
+        );
+        reg.gauge_set(
+            "so_sim_peak_power_watts",
+            &[],
+            so_powertrace::peak_of_samples(&self.total_power),
+        );
+        for &p in &self.total_power {
+            reg.observe("so_sim_step_power_watts", &[], p);
+        }
+        reg
+    }
+
     /// Steps on which the policy ran on degraded telemetry.
     pub fn degraded_steps(&self) -> usize {
-        self.sensor_ok.iter().filter(|&&ok| !ok).count()
+        self.metrics().counter("so_sim_degraded_steps_total", &[]) as usize
     }
 
     /// Number of simulated steps.
@@ -171,17 +217,23 @@ impl Telemetry {
 
     /// Total LC queries served (QPS · step, arbitrary units).
     pub fn total_lc_served(&self) -> f64 {
-        self.lc_served_qps.iter().sum::<f64>() * self.step_minutes as f64
+        self.metrics()
+            .gauge("so_sim_total_lc_served", &[])
+            .expect("metrics() always sets this gauge")
     }
 
     /// Total Batch work completed.
     pub fn total_batch_work(&self) -> f64 {
-        self.batch_throughput.iter().sum::<f64>() * self.step_minutes as f64
+        self.metrics()
+            .gauge("so_sim_total_batch_work", &[])
+            .expect("metrics() always sets this gauge")
     }
 
     /// Peak total power, watts.
     pub fn peak_power(&self) -> f64 {
-        so_powertrace::peak_of_samples(&self.total_power)
+        self.metrics()
+            .gauge("so_sim_peak_power_watts", &[])
+            .expect("metrics() always sets this gauge")
     }
 
     /// Steps on which the mean per-LC-server load exceeded `l_conv`
@@ -277,6 +329,8 @@ pub fn simulate_with_faults(
     policy: &mut dyn ReshapePolicy,
     schedule: &FaultSchedule,
 ) -> Result<Telemetry, SimError> {
+    // The whole run is serial, so spans and counters are both safe here.
+    let _span = so_telemetry::span("sim");
     config.validate()?;
     if load.is_empty() {
         return Err(SimError::EmptyLoad);
@@ -285,6 +339,14 @@ pub fn simulate_with_faults(
         return Err(SimError::InvalidConfig(
             "fault schedule must cover exactly the load series",
         ));
+    }
+    if so_telemetry::enabled() {
+        so_telemetry::counter_add("so_sim_runs_total", &[], 1);
+        so_telemetry::counter_add(
+            "so_sim_fault_events_total",
+            &[],
+            schedule.events().len() as u64,
+        );
     }
 
     let n = load.len();
@@ -359,6 +421,36 @@ pub fn simulate_with_faults(
                     .power(config.batch_utilization, decision.batch_dvfs)
                 + idle_opportunistic as f64 * config.lc_power.power(0.0, DvfsState::Nominal));
 
+        if so_telemetry::enabled() {
+            let step_power = lc_power + batch_power;
+            so_telemetry::counter_add("so_sim_steps_total", &[], 1);
+            so_telemetry::counter_add(
+                "so_sim_dvfs_steps_total",
+                &[("state", dvfs_label(decision.batch_dvfs))],
+                1,
+            );
+            if decision.conversion_as_lc > 0 {
+                so_telemetry::counter_add("so_sim_conversion_lc_steps_total", &[], 1);
+            }
+            if decision.throttle_funded_as_lc > 0 {
+                so_telemetry::counter_add("so_sim_throttle_funded_lc_steps_total", &[], 1);
+            }
+            if !sensor_ok {
+                so_telemetry::counter_add("so_sim_degraded_steps_total", &[], 1);
+            }
+            if dropped > 0.0 {
+                so_telemetry::counter_add("so_sim_dropped_load_steps_total", &[], 1);
+            }
+            so_telemetry::observe("so_sim_step_power_watts", &[], step_power);
+            if config.power_budget_watts.is_finite() {
+                so_telemetry::observe(
+                    "so_sim_step_headroom_watts",
+                    &[],
+                    config.power_budget_watts - step_power,
+                );
+            }
+        }
+
         telemetry.per_lc_server_load.push(lc_load);
         telemetry.lc_served_qps.push(served);
         telemetry.lc_dropped_qps.push(dropped);
@@ -376,6 +468,15 @@ pub fn simulate_with_faults(
         prev_offered = offered;
     }
     Ok(telemetry)
+}
+
+/// Canonical label value for a DVFS state in exported metrics.
+fn dvfs_label(state: DvfsState) -> &'static str {
+    match state {
+        DvfsState::Throttled => "throttled",
+        DvfsState::Nominal => "nominal",
+        DvfsState::Boosted => "boosted",
+    }
 }
 
 fn clamp_decision(decision: StepDecision, config: &SimConfig) -> StepDecision {

@@ -1,0 +1,66 @@
+//! Wall-clock and deterministic virtual time sources.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The time source a [`RecordingSink`](crate::RecordingSink) stamps
+/// events with.
+///
+/// * [`TelemetryClock::wall`] measures real elapsed milliseconds since
+///   the clock was created — the right choice for production profiling.
+/// * [`TelemetryClock::deterministic`] is a virtual clock: every reading
+///   advances a counter by exactly one millisecond-tick. Instrumented
+///   runs that read the clock in a deterministic order (the contract for
+///   spans and events, which are only emitted from serial orchestration
+///   points) therefore produce bit-identical timestamps on every run and
+///   every machine — the property the exporter golden tests pin down.
+#[derive(Debug)]
+pub enum TelemetryClock {
+    /// Real elapsed time since construction.
+    Wall(Instant),
+    /// Deterministic tick counter: each reading returns the current tick
+    /// and advances by one.
+    Virtual(AtomicU64),
+}
+
+impl TelemetryClock {
+    /// A wall clock starting at zero now.
+    pub fn wall() -> Self {
+        TelemetryClock::Wall(Instant::now())
+    }
+
+    /// A deterministic virtual clock starting at tick zero.
+    pub fn deterministic() -> Self {
+        TelemetryClock::Virtual(AtomicU64::new(0))
+    }
+
+    /// Milliseconds since the clock's origin. Virtual clocks advance one
+    /// tick per reading.
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            TelemetryClock::Wall(origin) => origin.elapsed().as_millis() as u64,
+            TelemetryClock::Virtual(tick) => tick.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_ticks_once_per_reading() {
+        let clock = TelemetryClock::deterministic();
+        assert_eq!(clock.now_ms(), 0);
+        assert_eq!(clock.now_ms(), 1);
+        assert_eq!(clock.now_ms(), 2);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = TelemetryClock::wall();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,226 @@
+//! Exporters: JSON-lines event logs and Prometheus text-format
+//! snapshots.
+//!
+//! Both formats are hand-rolled (the crate is dependency-free) and
+//! deterministic: events export in emission order, metrics in the
+//! registry's canonical key order, and floats render through Rust's
+//! shortest-roundtrip `Display` — the same bits always produce the same
+//! text, which is what the golden tests pin.
+
+use crate::registry::{MetricsRegistry, BUCKET_BOUNDS};
+use crate::sink::{Event, FieldValue};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format_f64(v)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Shortest-roundtrip float formatting (`Display` omits the fractional
+/// part for integral floats; Prometheus and JSON both accept that).
+fn format_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Renders recorded events as JSON-lines: one event object per line.
+///
+/// ```text
+/// {"ts_ms":0,"kind":"span_start","path":"place"}
+/// {"ts_ms":5,"kind":"span_end","path":"place","duration_ms":4}
+/// ```
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&format!(
+            "{{\"ts_ms\":{},\"kind\":\"{}\",\"path\":\"{}\"",
+            event.ts_ms,
+            event.kind.label(),
+            json_escape(&event.path)
+        ));
+        if let Some(d) = event.duration_ms {
+            out.push_str(&format!(",\"duration_ms\":{d}"));
+        }
+        if !event.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (key, value)) in event.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let rendered = match value {
+                    FieldValue::U64(v) => v.to_string(),
+                    FieldValue::F64(v) => json_f64(*v),
+                    FieldValue::Str(v) => format!("\"{}\"", json_escape(v)),
+                    FieldValue::Bool(v) => v.to_string(),
+                };
+                out.push_str(&format!("\"{}\":{rendered}", json_escape(key)));
+            }
+            out.push('}');
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders a metric snapshot in the Prometheus text exposition format:
+/// counters, then gauges, then histograms, each in canonical key order
+/// with one `# TYPE` header per metric name.
+pub fn registry_to_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+
+    let mut last_name = String::new();
+    for (key, value) in registry.counters() {
+        if key.name() != last_name {
+            out.push_str(&format!("# TYPE {} counter\n", key.name()));
+            last_name = key.name().to_string();
+        }
+        out.push_str(&format!(
+            "{}{} {}\n",
+            key.name(),
+            key.label_block(None),
+            value
+        ));
+    }
+
+    last_name.clear();
+    for (key, value) in registry.gauges() {
+        if key.name() != last_name {
+            out.push_str(&format!("# TYPE {} gauge\n", key.name()));
+            last_name = key.name().to_string();
+        }
+        out.push_str(&format!(
+            "{}{} {}\n",
+            key.name(),
+            key.label_block(None),
+            format_f64(value)
+        ));
+    }
+
+    last_name.clear();
+    for (key, hist) in registry.histograms() {
+        if key.name() != last_name {
+            out.push_str(&format!("# TYPE {} histogram\n", key.name()));
+            last_name = key.name().to_string();
+        }
+        let mut cumulative = 0u64;
+        for (i, &count) in hist.bucket_counts().iter().enumerate() {
+            cumulative += count;
+            let le = if i < BUCKET_BOUNDS.len() {
+                format_f64(BUCKET_BOUNDS[i])
+            } else {
+                "+Inf".to_string()
+            };
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                key.name(),
+                key.label_block(Some(("le", &le))),
+                cumulative
+            ));
+        }
+        out.push_str(&format!(
+            "{}_sum{} {}\n",
+            key.name(),
+            key.label_block(None),
+            format_f64(hist.sum())
+        ));
+        out.push_str(&format!(
+            "{}_count{} {}\n",
+            key.name(),
+            key.label_block(None),
+            hist.count()
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::EventKind;
+
+    #[test]
+    fn jsonl_escapes_and_orders() {
+        let events = vec![
+            Event {
+                ts_ms: 0,
+                kind: EventKind::SpanStart,
+                path: "a\"b".to_string(),
+                duration_ms: None,
+                fields: Vec::new(),
+            },
+            Event {
+                ts_ms: 1,
+                kind: EventKind::Point,
+                path: "a\"b/p".to_string(),
+                duration_ms: None,
+                fields: vec![
+                    ("n".to_string(), FieldValue::U64(3)),
+                    ("x".to_string(), FieldValue::F64(f64::NAN)),
+                ],
+            },
+        ];
+        let text = events_to_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"ts_ms\":0,\"kind\":\"span_start\",\"path\":\"a\\\"b\"}"
+        );
+        assert!(lines[1].contains("\"fields\":{\"n\":3,\"x\":null}"));
+    }
+
+    #[test]
+    fn prometheus_renders_all_metric_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("c_total", &[("k", "v")], 7);
+        reg.gauge_set("g", &[], 2.5);
+        reg.observe("h", &[], 0.5);
+        reg.observe("h", &[], 2.0);
+        let text = registry_to_prometheus(&reg);
+        assert!(text.contains("# TYPE c_total counter\nc_total{k=\"v\"} 7\n"));
+        assert!(text.contains("# TYPE g gauge\ng 2.5\n"));
+        // 0.5 lands in the le="0.5"? No — bounds are decades: le="1".
+        assert!(text.contains("h_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("h_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("h_sum 2.5\n"));
+        assert!(text.contains("h_count 2\n"));
+    }
+
+    #[test]
+    fn bucket_lines_are_cumulative() {
+        let mut reg = MetricsRegistry::new();
+        for v in [0.5, 0.5, 5.0, 5e7] {
+            reg.observe("h", &[], v);
+        }
+        let text = registry_to_prometheus(&reg);
+        let last: u64 = text
+            .lines()
+            .filter(|l| l.starts_with("h_bucket{le=\"+Inf\"}"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .next()
+            .unwrap();
+        assert_eq!(last, 4, "+Inf bucket carries the total count");
+    }
+}

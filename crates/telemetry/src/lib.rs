@@ -1,0 +1,66 @@
+//! Unified telemetry for the SmoothOperator workspace.
+//!
+//! SmoothOperator is operationally a *monitoring* system — the paper's
+//! framework "continuously records the I-traces and the S-traces and
+//! dynamically re-evaluates the severity of the fragmentation problem"
+//! (§3.6). This crate is the reproduction's equivalent nervous system:
+//! every hot path (embedding, k-means, placement recursion, remapping,
+//! the runtime simulator, trace sanitization) reports counters, gauges,
+//! histograms, and timed spans through one process-global
+//! [`TelemetrySink`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** The default sink is [`NoopSink`] and
+//!    no sink is installed; every recording entry point first checks one
+//!    relaxed atomic load ([`enabled`]) and returns without allocating.
+//!    Placement/remap/simulation outputs are bit-identical whether or not
+//!    the instrumentation code is compiled in.
+//! 2. **Determinism.** A [`RecordingSink`] driven by the
+//!    [virtual clock](TelemetryClock::deterministic) produces identical
+//!    metric snapshots no matter how many worker threads run: counters
+//!    and histogram buckets are commutative integer adds, histogram sums
+//!    accumulate in fixed-point micro-units, and gauges are only ever set
+//!    from serial orchestration points (or under distinct keys). This
+//!    matches the `so-parallel` reduction discipline — parallel shards
+//!    merge in canonical order via [`MetricsRegistry::merge_from`].
+//! 3. **No dependencies.** Exporters are hand-rolled: JSON-lines events
+//!    ([`export::events_to_jsonl`]) and Prometheus text-format snapshots
+//!    ([`export::registry_to_prometheus`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use so_telemetry::{self as telemetry, RecordingSink};
+//!
+//! let sink = Arc::new(RecordingSink::with_virtual_clock());
+//! telemetry::with_sink(sink.clone(), || {
+//!     let _span = telemetry::span("demo");
+//!     telemetry::counter_add("so_demo_total", &[], 2);
+//!     telemetry::gauge_set("so_demo_level", &[("level", "rack")], 1.5);
+//!     telemetry::observe("so_demo_watts", &[], 120.0);
+//! });
+//! let snapshot = sink.snapshot();
+//! assert_eq!(snapshot.counter("so_demo_total", &[]), 2);
+//! assert!(sink.prometheus().contains("so_demo_level{level=\"rack\"} 1.5"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+pub mod export;
+mod registry;
+mod report;
+mod sink;
+mod span;
+
+pub use clock::TelemetryClock;
+pub use registry::{Histogram, MetricKey, MetricsRegistry, BUCKET_BOUNDS};
+pub use report::render_report;
+pub use sink::{
+    counter_add, enabled, gauge_set, install, observe, point, uninstall, with_sink, Event,
+    EventKind, FieldValue, NoopSink, RecordingSink, TelemetrySink,
+};
+pub use span::{span, SpanGuard};

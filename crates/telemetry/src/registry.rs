@@ -1,0 +1,298 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+
+/// Upper bounds of the fixed histogram buckets (an implicit `+Inf`
+/// overflow bucket follows the last bound).
+///
+/// One decade per bucket from a microsecond/micro-watt up to a megawatt
+/// covers every quantity the workspace observes — wall times in
+/// milliseconds, per-step power in watts, score gains around one — with
+/// bounded memory and without per-histogram configuration. Fixed bounds
+/// keep merged shards structurally identical by construction.
+pub const BUCKET_BOUNDS: [f64; 13] = [
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6,
+];
+
+/// A metric identity: name plus canonically sorted label pairs.
+///
+/// Two call sites naming the same labels in different orders address the
+/// same metric, and `Ord` on the key pins the export order — exporters
+/// iterate the registry's `BTreeMap`s, so snapshots are reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting labels canonically by label name.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted label pairs.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    /// Renders `{k="v",..}` (empty string when unlabeled), optionally
+    /// with an extra trailing pair (the exporter's `le` bucket label).
+    pub(crate) fn label_block(&self, extra: Option<(&str, &str)>) -> String {
+        if self.labels.is_empty() && extra.is_none() {
+            return String::new();
+        }
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        if let Some((k, v)) = extra {
+            pairs.push(format!("{k}=\"{v}\""));
+        }
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// A fixed-bucket histogram.
+///
+/// Bucket counts are plain integer increments and the running sum
+/// accumulates in fixed-point micro-units, so observations arriving from
+/// parallel workers in any order produce the same histogram — the
+/// determinism-across-thread-counts contract. Non-finite observations
+/// land in the overflow bucket and are excluded from the sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_micros: i64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; BUCKET_BOUNDS.len() + 1],
+            total: 0,
+            sum_micros: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        if value.is_finite() {
+            // Saturating: one absurd observation (e.g. an effectively
+            // unbounded budget headroom) must not wrap the run's sum.
+            self.sum_micros = self.sum_micros.saturating_add((value * 1e6).round() as i64);
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of finite observations (micro-unit fixed-point resolution).
+    pub fn sum(&self) -> f64 {
+        self.sum_micros as f64 / 1e6
+    }
+
+    /// Mean of finite observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum() / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts; the last entry is the `+Inf` overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (acc, v) in self.counts.iter_mut().zip(&other.counts) {
+            *acc += v;
+        }
+        self.total += other.total;
+        self.sum_micros += other.sum_micros;
+    }
+}
+
+/// An in-memory collection of counters, gauges, and histograms.
+///
+/// All maps are `BTreeMap`s keyed by [`MetricKey`], so iteration — and
+/// therefore every export — happens in one canonical order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self
+            .counters
+            .entry(MetricKey::new(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), value);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&MetricKey::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// A recorded histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&MetricKey::new(name, labels))
+    }
+
+    /// All counters in canonical key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All gauges in canonical key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All histograms in canonical key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    /// Merges another registry (a per-worker shard) into this one:
+    /// counters add, histograms merge bucket-wise, and gauges take the
+    /// other registry's value. Merging shards **in canonical shard
+    /// order** makes the combined registry independent of how the shards
+    /// were scheduled — the same discipline `so-parallel` uses for its
+    /// chunked floating-point reductions.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (key, &delta) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += delta;
+        }
+        for (key, &value) in &other.gauges {
+            self.gauges.insert(key.clone(), value);
+        }
+        for (key, hist) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// Folds per-worker shards into one registry, in the order given.
+    pub fn merge_shards(shards: impl IntoIterator<Item = MetricsRegistry>) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for shard in shards {
+            merged.merge_from(&shard);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let a = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.label_block(None), "{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("c", &[], 2);
+        reg.counter_add("c", &[], 3);
+        assert_eq!(reg.counter("c", &[]), 5);
+        assert_eq!(reg.counter("missing", &[]), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let mut h = Histogram::default();
+        for v in [0.5e-6, 0.5, 5.0, 1e9, f64::NAN] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 5);
+        // NaN and 1e9 both land in the overflow bucket.
+        assert_eq!(h.bucket_counts()[BUCKET_BOUNDS.len()], 2);
+        // The sum skips the non-finite observation.
+        assert!((h.sum() - (0.5e-6 + 0.5 + 5.0 + 1e9)).abs() < 1.0);
+    }
+
+    #[test]
+    fn shard_merge_is_order_independent_for_commutative_metrics() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", &[], 1);
+        a.observe("h", &[], 0.5);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", &[], 2);
+        b.observe("h", &[], 50.0);
+
+        let ab = MetricsRegistry::merge_shards([a.clone(), b.clone()]);
+        let ba = MetricsRegistry::merge_shards([b, a]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c", &[]), 3);
+        assert_eq!(ab.histogram("h", &[]).unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Human-readable run reports rendered from a metric snapshot.
+
+use crate::registry::MetricsRegistry;
+
+/// The report section a metric belongs to: the first component of its
+/// name after the `so_` prefix (`so_placement_runs_total` → section
+/// `placement`; names without the prefix group under `other`).
+fn section_of(name: &str) -> &str {
+    let rest = name.strip_prefix("so_").unwrap_or(name);
+    match rest.split('_').next() {
+        Some(head) if !head.is_empty() => head,
+        _ => "other",
+    }
+}
+
+fn key_line(name: &str, labels: String) -> String {
+    format!("{name}{labels}")
+}
+
+/// Renders a metric snapshot as a human-readable run summary, grouped
+/// into per-subsystem sections (placement, remap, sim, drift, …) in
+/// deterministic order. This is what `smoothop report` prints.
+pub fn render_report(registry: &MetricsRegistry) -> String {
+    if registry.is_empty() {
+        return "telemetry run report: no metrics recorded\n".to_string();
+    }
+
+    // (section, rendered line) triples, collected then grouped.
+    let mut lines: Vec<(String, String)> = Vec::new();
+    for (key, value) in registry.counters() {
+        lines.push((
+            section_of(key.name()).to_string(),
+            format!(
+                "{:<56} {value}",
+                key_line(key.name(), key.label_block(None))
+            ),
+        ));
+    }
+    for (key, value) in registry.gauges() {
+        lines.push((
+            section_of(key.name()).to_string(),
+            format!(
+                "{:<56} {value:.4}",
+                key_line(key.name(), key.label_block(None))
+            ),
+        ));
+    }
+    for (key, hist) in registry.histograms() {
+        lines.push((
+            section_of(key.name()).to_string(),
+            format!(
+                "{:<56} count={} sum={:.3} mean={:.3}",
+                key_line(key.name(), key.label_block(None)),
+                hist.count(),
+                hist.sum(),
+                hist.mean()
+            ),
+        ));
+    }
+
+    let mut sections: Vec<String> = lines.iter().map(|(s, _)| s.clone()).collect();
+    sections.sort();
+    sections.dedup();
+
+    let mut out = String::from("telemetry run report\n====================\n");
+    for section in sections {
+        out.push_str(&format!("\n[{section}]\n"));
+        for (s, line) in &lines {
+            if *s == section {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_groups_by_subsystem() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("so_remap_swaps_accepted_total", &[], 4);
+        reg.gauge_set(
+            "so_placement_sum_of_peaks_watts",
+            &[("level", "rack")],
+            10.5,
+        );
+        reg.observe("so_sim_step_power_watts", &[], 120.0);
+        let text = render_report(&reg);
+        let placement = text.find("[placement]").unwrap();
+        let remap = text.find("[remap]").unwrap();
+        let sim = text.find("[sim]").unwrap();
+        assert!(placement < remap && remap < sim, "sections sort: {text}");
+        assert!(text.contains("so_remap_swaps_accepted_total"));
+        assert!(text.contains("level=\"rack\""));
+        assert!(text.contains("count=1"));
+    }
+
+    #[test]
+    fn empty_registry_reports_cleanly() {
+        assert!(render_report(&MetricsRegistry::new()).contains("no metrics recorded"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the metrics registry.
+
+use proptest::prelude::*;
+use so_telemetry::{Histogram, MetricsRegistry};
+
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            -1.0e9f64..1.0e9,
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(0.0),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    /// Every observation lands in exactly one bucket: the per-bucket
+    /// counts always sum to the sample count, NaN and infinities
+    /// included (they land in the overflow bucket).
+    #[test]
+    fn bucket_counts_sum_to_sample_count(values in observations()) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.observe(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), values.len() as u64);
+    }
+
+    /// Merging shards preserves the invariant and matches observing the
+    /// concatenated stream directly.
+    #[test]
+    fn merged_shards_match_direct_observation(a in observations(), b in observations()) {
+        let mut direct = MetricsRegistry::new();
+        for &v in a.iter().chain(&b) {
+            direct.observe("h", &[], v);
+        }
+
+        let mut shard_a = MetricsRegistry::new();
+        for &v in &a {
+            shard_a.observe("h", &[], v);
+        }
+        let mut shard_b = MetricsRegistry::new();
+        for &v in &b {
+            shard_b.observe("h", &[], v);
+        }
+        let merged = MetricsRegistry::merge_shards([shard_a, shard_b]);
+
+        let n = (a.len() + b.len()) as u64;
+        let dh = direct.histogram("h", &[]);
+        let mh = merged.histogram("h", &[]);
+        match (dh, mh) {
+            (Some(dh), Some(mh)) => {
+                prop_assert_eq!(dh, mh);
+                prop_assert_eq!(mh.bucket_counts().iter().sum::<u64>(), n);
+            }
+            (None, None) => prop_assert_eq!(n, 0),
+            _ => prop_assert!(false, "one side recorded, the other did not"),
+        }
+    }
+}

@@ -5,41 +5,70 @@
 //! smoothop breakdown <dc> [n]       per-service power shares (Figure 5)
 //! smoothop place     <dc> [n]       placement vs historical layout (Figure 10)
 //! smoothop pipeline  <dc> [n]       full reshaping pipeline (Figures 12-14)
+//! smoothop report    <dc> [n]       instrumented run + telemetry summary
 //! ```
 //!
 //! `<dc>` is `dc1`, `dc2`, or `dc3`; `n` is the fleet size (default 240).
+//! `--metrics-out <path>` / `--trace-out <path>` attach a recording
+//! telemetry sink to any command and write a Prometheus snapshot / a
+//! JSON-lines event log on exit.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use smoothoperator::prelude::*;
 use so_faults::{FaultKind, FaultSchedule, FaultSpec};
 use so_powertree::NodeAggregates;
 use so_reshape::{operate, run_scenario, LongRunConfig, ThrottleBoostPolicy};
 use so_sim::{default_config, one_week_grid, simulate_with_faults, FailSafe};
+use so_telemetry::RecordingSink;
 use so_workloads::OfferedLoad;
 
 fn main() -> ExitCode {
-    let (args, faults) = match split_faults_flag(std::env::args().skip(1).collect()) {
+    let (args, flags) = match split_flags(std::env::args().skip(1).collect()) {
         Ok(split) => split,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let result = match args.first().map(String::as_str) {
+    let command = args.first().map(String::as_str);
+
+    // A recording sink is attached when any command asked for exported
+    // telemetry, and always for `report` (whose output *is* the metrics).
+    let wants_sink =
+        flags.metrics_out.is_some() || flags.trace_out.is_some() || command == Some("report");
+    let sink = if wants_sink {
+        let sink = Arc::new(RecordingSink::with_wall_clock());
+        so_telemetry::install(sink.clone());
+        Some(sink)
+    } else {
+        None
+    };
+
+    let faults = &flags.faults;
+    let result = match command {
         Some("scenarios") => scenarios(),
         Some("breakdown") => with_scenario(&args, breakdown),
         Some("place") => with_scenario(&args, place),
         Some("pipeline") => with_scenario(&args, pipeline),
         Some("longrun") => with_scenario(&args, longrun),
         Some("dot") => with_scenario(&args, dot),
-        Some("simulate") => with_scenario(&args, |scenario, n| simulate_cmd(scenario, n, &faults)),
+        Some("simulate") => with_scenario(&args, |scenario, n| simulate_cmd(scenario, n, faults)),
+        Some("report") => with_scenario(&args, |scenario, n| {
+            report_cmd(
+                scenario,
+                n,
+                sink.as_ref().expect("report always installs a sink"),
+            )
+        }),
         Some("help") | None => {
             print_usage();
             Ok(())
         }
         Some(other) => Err(format!("unknown command `{other}` (try `smoothop help`)").into()),
     };
+    let result = result.and_then(|()| write_telemetry(sink, &flags));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -47,6 +76,26 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Detaches the recording sink (if one was installed) and writes the
+/// requested export files.
+fn write_telemetry(sink: Option<Arc<RecordingSink>>, flags: &CliFlags) -> CliResult {
+    let Some(sink) = sink else {
+        return Ok(());
+    };
+    so_telemetry::uninstall();
+    if let Some(path) = &flags.metrics_out {
+        std::fs::write(path, sink.prometheus())
+            .map_err(|e| format!("cannot write metrics to `{path}`: {e}"))?;
+        eprintln!("wrote Prometheus metrics snapshot to {path}");
+    }
+    if let Some(path) = &flags.trace_out {
+        std::fs::write(path, sink.jsonl())
+            .map_err(|e| format!("cannot write trace events to `{path}`: {e}"))?;
+        eprintln!("wrote JSON-lines span/event log to {path}");
+    }
+    Ok(())
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -62,14 +111,19 @@ fn print_usage() {
     println!("  smoothop longrun   <dc> [n]       weeks of drift + monitored remapping");
     println!("  smoothop dot       <dc> [n]       graphviz dot of the placed topology");
     println!("  smoothop simulate  <dc> [n]       one week of runtime reshaping");
+    println!("  smoothop report    <dc> [n]       instrumented place+drift+remap+simulate run,");
+    println!("                                    printed as a telemetry summary");
     println!();
     println!("  <dc> ∈ {{dc1, dc2, dc3}}; n = fleet size, default 240");
     println!();
     println!("OPTIONS:");
-    println!("  --faults <spec>   inject faults into `simulate`; <spec> is comma-separated");
-    println!("                    key=value pairs (seed, dropout, stuck, crash, trips,");
-    println!("                    mean-steps, trip-steps, trip-severity), or `none`.");
-    println!("                    Example: --faults seed=7,dropout=0.2,trips=1");
+    println!("  --faults <spec>       inject faults into `simulate`; <spec> is comma-separated");
+    println!("                        key=value pairs (seed, dropout, stuck, crash, trips,");
+    println!("                        mean-steps, trip-steps, trip-severity), or `none`.");
+    println!("                        Example: --faults seed=7,dropout=0.2,trips=1");
+    println!("  --metrics-out <path>  write a Prometheus text snapshot of all metrics");
+    println!("                        recorded during the command");
+    println!("  --trace-out <path>    write the recorded span/point events as JSON lines");
 }
 
 fn with_scenario(args: &[String], f: impl FnOnce(DcScenario, usize) -> CliResult) -> CliResult {
@@ -94,28 +148,49 @@ fn with_scenario(args: &[String], f: impl FnOnce(DcScenario, usize) -> CliResult
     f(scenario, n)
 }
 
-/// Extracts `--faults <spec>` / `--faults=<spec>` from the argument list,
-/// returning the remaining positional arguments and the parsed spec
-/// (default: no faults).
-fn split_faults_flag(args: Vec<String>) -> Result<(Vec<String>, FaultSpec), String> {
+/// Global flags shared by every subcommand.
+struct CliFlags {
+    faults: FaultSpec,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+/// Extracts `--faults`, `--metrics-out`, and `--trace-out` (in both
+/// `--flag value` and `--flag=value` spellings) from the argument list,
+/// returning the remaining positional arguments and the parsed flags.
+fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
     let mut positional = Vec::with_capacity(args.len());
-    let mut spec = FaultSpec::none();
+    let mut flags = CliFlags {
+        faults: FaultSpec::none(),
+        metrics_out: None,
+        trace_out: None,
+    };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        let raw = if arg == "--faults" {
-            iter.next().ok_or_else(|| {
-                "--faults requires a spec (try `--faults help=`... or `none`)".to_string()
-            })?
-        } else if let Some(rest) = arg.strip_prefix("--faults=") {
-            rest.to_string()
+        let value_of = |flag: &str, arg: &str, iter: &mut dyn Iterator<Item = String>| {
+            if arg == flag {
+                iter.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+                    .map(Some)
+            } else if let Some(rest) = arg.strip_prefix(&format!("{flag}=")) {
+                Ok(Some(rest.to_string()))
+            } else {
+                Ok(None)
+            }
+        };
+        if let Some(raw) = value_of("--faults", &arg, &mut iter)? {
+            let spec = FaultSpec::parse(&raw).map_err(|e| e.to_string())?;
+            spec.validate().map_err(|e| e.to_string())?;
+            flags.faults = spec;
+        } else if let Some(path) = value_of("--metrics-out", &arg, &mut iter)? {
+            flags.metrics_out = Some(path);
+        } else if let Some(path) = value_of("--trace-out", &arg, &mut iter)? {
+            flags.trace_out = Some(path);
         } else {
             positional.push(arg);
-            continue;
-        };
-        spec = FaultSpec::parse(&raw).map_err(|e| e.to_string())?;
-        spec.validate().map_err(|e| e.to_string())?;
+        }
     }
-    Ok((positional, spec))
+    Ok((positional, flags))
 }
 
 fn simulate_cmd(scenario: DcScenario, n: usize, faults: &FaultSpec) -> CliResult {
@@ -181,6 +256,57 @@ fn simulate_cmd(scenario: DcScenario, n: usize, faults: &FaultSpec) -> CliResult
             }
         }
     }
+    Ok(())
+}
+
+/// Runs an instrumented end-to-end pass — placement, fragmentation
+/// analysis, drift observation, remapping, and one simulated week — and
+/// prints the recorded metrics as a grouped run report.
+fn report_cmd(scenario: DcScenario, n: usize, sink: &RecordingSink) -> CliResult {
+    let fleet = scenario.generate_fleet(n)?;
+    let topo = fitting_topology(n, 12)?;
+
+    // Placement (records spans, per-level fragmentation gauges, k-means
+    // and embedding counters).
+    let mut assignment = SmoothPlacer::default().place(&fleet, &topo)?;
+
+    // Drift monitoring against the test week (records per-level gauges).
+    let monitor =
+        so_core::DriftMonitor::baseline(&topo, &assignment, fleet.averaged_traces(), 0.05)?;
+    monitor.observe(&topo, &assignment, fleet.test_traces())?;
+
+    // Remapping (records swap counters, gain histogram, score gauges).
+    so_core::remap(
+        &fleet,
+        &topo,
+        &mut assignment,
+        so_core::RemapConfig::default(),
+    )?;
+
+    // One simulated week of runtime reshaping (records per-step power and
+    // headroom histograms plus DVFS/conversion counters).
+    let base_lc = (n / 2).max(1);
+    let base_batch = (n - base_lc).max(1);
+    let config = default_config(
+        base_lc,
+        base_batch,
+        (n / 10).max(1),
+        (n / 20).max(1),
+        350.0 * n as f64,
+    );
+    let load = OfferedLoad::diurnal(
+        one_week_grid(60),
+        base_lc as f64 * config.qps_per_server * config.l_conv * 1.15,
+        0.05,
+        scenario.name.len() as u64,
+    );
+    let schedule = FaultSchedule::generate(&FaultSpec::none(), load.len(), base_lc);
+    let mut policy = FailSafe::new(ThrottleBoostPolicy::default());
+    simulate_with_faults(&config, &load, &mut policy, &schedule)?;
+
+    println!("{} ({n} instances) — instrumented run:", scenario.name);
+    println!();
+    print!("{}", so_telemetry::render_report(&sink.snapshot()));
     Ok(())
 }
 
