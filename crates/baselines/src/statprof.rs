@@ -34,7 +34,35 @@ impl ProvisioningDegrees {
         }
     }
 
-    /// Quantile to provision at.
+    /// Validates the degrees. Degenerate-but-legal settings are defined
+    /// explicitly rather than left to float coincidence:
+    ///
+    /// * `u = 0` provisions at the observed peak (the 100th percentile);
+    /// * `u = 100` provisions at the 0th percentile — the minimum sample;
+    /// * `δ = 0` applies no overbooking (the datacenter divisor is
+    ///   exactly `1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`](so_powertrace::TraceError) when `u` is
+    /// outside `[0, 100]` or NaN, or `δ` is negative or NaN.
+    pub fn validate(&self) -> Result<(), so_powertrace::TraceError> {
+        if !(0.0..=100.0).contains(&self.underprovision_pct) || self.underprovision_pct.is_nan() {
+            return Err(so_powertrace::TraceError::InvalidQuantile(
+                self.underprovision_pct,
+            ));
+        }
+        if self.overbooking.is_nan() || self.overbooking < 0.0 {
+            return Err(so_powertrace::TraceError::InvalidSample {
+                index: 0,
+                value: self.overbooking,
+            });
+        }
+        Ok(())
+    }
+
+    /// Quantile to provision at: `(100 − u) / 100`, exactly `0.0` for
+    /// `u = 100` and exactly `1.0` for `u = 0` (validated range).
     fn quantile(&self) -> f64 {
         ((100.0 - self.underprovision_pct) / 100.0).clamp(0.0, 1.0)
     }
@@ -57,15 +85,23 @@ impl ProvisioningReport {
 /// StatProf(u, δ): per-node requirement is the *sum of per-instance
 /// percentile powers*; the datacenter level is overbooked by `1/(1 + δ)`.
 ///
+/// With `(0, 0)` the datacenter requirement is exactly the fleet's
+/// sum-of-peaks; with `u = 100` every node is provisioned at the sum of
+/// its instances' minimum samples (see
+/// [`ProvisioningDegrees::validate`] for the documented degenerate
+/// cases).
+///
 /// # Errors
 ///
-/// Propagates tree/trace errors.
+/// Rejects invalid degrees ([`ProvisioningDegrees::validate`]) and
+/// propagates tree/trace errors.
 pub fn statprof_required_budget(
     topology: &PowerTopology,
     assignment: &Assignment,
     instance_traces: &[PowerTrace],
     degrees: ProvisioningDegrees,
 ) -> Result<ProvisioningReport, TreeError> {
+    degrees.validate().map_err(TreeError::Trace)?;
     if assignment.len() != instance_traces.len() {
         return Err(TreeError::InstanceCountMismatch {
             assignment: assignment.len(),
@@ -110,17 +146,20 @@ pub fn statprof_required_budget(
 /// SmoOp(u, δ): per-node requirement is the `(100 − u)`-th percentile of
 /// the node's *aggregate* trace; the datacenter level is overbooked by
 /// `1/(1 + δ)`. With `(0, 0)` this is exactly peak-of-aggregate
-/// provisioning.
+/// provisioning — the datacenter requirement equals the true aggregate
+/// peak of the whole fleet (an invariant `so-oracles` enforces).
 ///
 /// # Errors
 ///
-/// Propagates tree/trace errors.
+/// Rejects invalid degrees ([`ProvisioningDegrees::validate`]) and
+/// propagates tree/trace errors.
 pub fn aggregate_required_budget(
     topology: &PowerTopology,
     assignment: &Assignment,
     instance_traces: &[PowerTrace],
     degrees: ProvisioningDegrees,
 ) -> Result<ProvisioningReport, TreeError> {
+    degrees.validate().map_err(TreeError::Trace)?;
     let aggregates = NodeAggregates::compute(topology, assignment, instance_traces)?;
     let q = degrees.quantile();
     let required = Level::ALL
@@ -231,6 +270,90 @@ mod tests {
         assert!(over.at_level(Level::Datacenter) < none.at_level(Level::Datacenter));
         for level in [Level::Suite, Level::Msb, Level::Sb, Level::Rpp, Level::Rack] {
             assert_eq!(over.at_level(level), none.at_level(level));
+        }
+    }
+
+    #[test]
+    fn full_underprovisioning_budgets_at_minimum_samples() {
+        let t = topo();
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let traces: Vec<PowerTrace> = (0..4)
+            .map(|i| PowerTrace::new(vec![10.0 + i as f64, 50.0, 90.0], 10).unwrap())
+            .collect();
+        let degrees = ProvisioningDegrees {
+            underprovision_pct: 100.0,
+            overbooking: 0.0,
+        };
+        let statprof = statprof_required_budget(&t, &a, &traces, degrees).unwrap();
+        // u = 100 → the 0th percentile: sum of the per-instance minima.
+        let min_sum: f64 = traces.iter().map(|t| t.min()).sum();
+        assert_eq!(statprof.at_level(Level::Datacenter), min_sum);
+        // SmoOp at u = 100: minimum of each node's aggregate trace.
+        let smoop = aggregate_required_budget(&t, &a, &traces, degrees).unwrap();
+        let aggregate_min = PowerTrace::sum_of(traces.iter()).unwrap().min();
+        assert!((smoop.at_level(Level::Datacenter) - aggregate_min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_overbooking_divides_by_exactly_one() {
+        let t = topo();
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let traces = out_of_phase_traces();
+        let report =
+            statprof_required_budget(&t, &a, &traces, ProvisioningDegrees::none()).unwrap();
+        // δ = 0 is the identity, bit-for-bit: no `x / 1.0` drift.
+        let sum_of_peaks: f64 = traces.iter().map(|t| t.peak()).sum();
+        assert_eq!(report.at_level(Level::Datacenter), sum_of_peaks);
+    }
+
+    #[test]
+    fn all_zero_traces_have_zero_budgets() {
+        let t = topo();
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let traces: Vec<PowerTrace> = (0..4)
+            .map(|_| PowerTrace::new(vec![0.0; 4], 10).unwrap())
+            .collect();
+        for degrees in [
+            ProvisioningDegrees::none(),
+            ProvisioningDegrees {
+                underprovision_pct: 100.0,
+                overbooking: 0.5,
+            },
+        ] {
+            let statprof = statprof_required_budget(&t, &a, &traces, degrees).unwrap();
+            let smoop = aggregate_required_budget(&t, &a, &traces, degrees).unwrap();
+            for level in Level::ALL {
+                assert_eq!(statprof.at_level(level), 0.0);
+                assert_eq!(smoop.at_level(level), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_degrees_are_rejected() {
+        let t = topo();
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let traces = out_of_phase_traces();
+        for degrees in [
+            ProvisioningDegrees {
+                underprovision_pct: 101.0,
+                overbooking: 0.0,
+            },
+            ProvisioningDegrees {
+                underprovision_pct: -5.0,
+                overbooking: 0.0,
+            },
+            ProvisioningDegrees {
+                underprovision_pct: 0.0,
+                overbooking: -0.5,
+            },
+            ProvisioningDegrees {
+                underprovision_pct: f64::NAN,
+                overbooking: 0.0,
+            },
+        ] {
+            assert!(statprof_required_budget(&t, &a, &traces, degrees).is_err());
+            assert!(aggregate_required_budget(&t, &a, &traces, degrees).is_err());
         }
     }
 

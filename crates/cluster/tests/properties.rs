@@ -34,6 +34,36 @@ proptest! {
         prop_assert_eq!(sizes.iter().sum::<usize>(), pts.len());
     }
 
+    /// The equal-size guarantee specifically when `h` (the cluster count)
+    /// does NOT divide the instance count: sizes are `⌈n/h⌉` or `⌊n/h⌋`,
+    /// never further apart — the property the placement deal step relies
+    /// on (§3.5 "each of these clusters have the same number of
+    /// instances").
+    #[test]
+    fn balanced_sizes_when_k_does_not_divide_n(
+        (pts, k) in (2usize..6, 2usize..7)
+            .prop_flat_map(|(k, m)| {
+                // n = m·k + r with 0 < r < k, so k ∤ n by construction.
+                (1usize..k).prop_flat_map(move |r| {
+                    let n = m * k + r;
+                    (points(n, 2), Just(k))
+                })
+            })
+    ) {
+        let n = pts.len();
+        prop_assert!(n % k != 0, "strategy must not produce k | n");
+        let result = balanced_kmeans(&pts, KMeansConfig::new(k)).unwrap();
+        let sizes = result.clustering.sizes();
+        let floor = n / k;
+        for &s in &sizes {
+            prop_assert!(s == floor || s == floor + 1, "sizes {sizes:?}");
+        }
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        // Exactly n mod k clusters carry the extra member.
+        let larger = sizes.iter().filter(|&&s| s == floor + 1).count();
+        prop_assert_eq!(larger, n % k);
+    }
+
     /// Balanced k-means never has lower-or-equal inertia than plain
     /// k-means is NOT guaranteed — but it must stay finite and
     /// non-negative, and its members() must partition the points.

@@ -145,6 +145,28 @@ mod tests {
     }
 
     #[test]
+    fn singleton_set_scores_exactly_one() {
+        // |M| = 1: peak(P) / peak(P) must be exactly 1.0, not a ratio that
+        // happens to round there.
+        let t = trace(&[0.25, 3.75, 1.5]);
+        assert_eq!(asynchrony_score([&t]).unwrap(), 1.0);
+        // ... and a zero singleton scores its cardinality, 1.0 again.
+        let z = trace(&[0.0, 0.0, 0.0]);
+        assert_eq!(asynchrony_score([&z]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mixed_zero_members_do_not_disturb_bounds() {
+        // A zero trace in a non-zero set contributes 0 to both numerator
+        // and denominator; the bounds 1 ≤ A_M ≤ |M| still hold.
+        let a = trace(&[2.0, 0.0]);
+        let z = trace(&[0.0, 0.0]);
+        let score = asynchrony_score([&a, &z]).unwrap();
+        assert!((1.0..=2.0).contains(&score));
+        assert_eq!(score, 1.0);
+    }
+
+    #[test]
     fn empty_set_is_error() {
         assert_eq!(
             asynchrony_score(std::iter::empty::<&PowerTrace>()).unwrap_err(),

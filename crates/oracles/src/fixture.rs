@@ -1,0 +1,126 @@
+//! Shared fixtures for the oracle battery: a seeded synthetic fleet placed
+//! onto a fitting topology, plus trace transforms the metamorphic oracles
+//! build on.
+
+use so_core::SmoothPlacer;
+use so_powertrace::PowerTrace;
+use so_powertree::{Assignment, PowerTopology, TreeError};
+use so_workloads::{DcScenario, Fleet};
+
+use crate::OracleError;
+
+/// A topology sized to host `n` instances, shaped like the paper's trees
+/// (1 suite × 2 MSB × 2 SB × r RPP × 4 racks). Kept local so the oracle
+/// crate exercises only the layers it checks.
+///
+/// # Errors
+///
+/// Propagates topology-builder errors.
+pub fn fitting_topology(n: usize, rack_capacity: usize) -> Result<PowerTopology, TreeError> {
+    let racks_needed = n.div_ceil(rack_capacity).max(1);
+    let rpps = racks_needed.div_ceil(2 * 2 * 4).max(1);
+    PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(2)
+        .sbs_per_msb(2)
+        .rpps_per_sb(rpps)
+        .racks_per_rpp(4)
+        .rack_capacity(rack_capacity)
+        .name("oracle-fixture")
+        .build()
+}
+
+/// `trace` with its samples rotated right by `shift` steps (circular):
+/// sample `t` of the result is sample `(t − shift) mod len` of the input.
+/// Rotation permutes samples without touching their values, so peaks,
+/// quantiles, and energies are preserved *bit-for-bit* — the exactness the
+/// time-shift metamorphic oracle relies on.
+pub fn rotate_trace(trace: &PowerTrace, shift: usize) -> PowerTrace {
+    let n = trace.len();
+    let shift = shift % n;
+    let mut samples = Vec::with_capacity(n);
+    samples.extend_from_slice(&trace.samples()[n - shift..]);
+    samples.extend_from_slice(&trace.samples()[..n - shift]);
+    PowerTrace::new(samples, trace.step_minutes()).expect("rotation preserves validity")
+}
+
+/// One seeded oracle-battery fixture: a generated fleet, a topology that
+/// fits it, and the workload-aware placement of the former onto the
+/// latter.
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// The synthetic fleet under test.
+    pub fleet: Fleet,
+    /// Topology hosting the fleet.
+    pub topology: PowerTopology,
+    /// `SmoothPlacer::default()` placement of the fleet.
+    pub assignment: Assignment,
+    /// The battery seed the fixture was derived from.
+    pub seed: u64,
+}
+
+impl Fixture {
+    /// Generates a fixture: the scenario's own seed is mixed with the
+    /// battery seed so distinct battery seeds exercise distinct fleets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet-generation, topology, and placement errors.
+    pub fn generate(
+        scenario: &DcScenario,
+        instances: usize,
+        seed: u64,
+    ) -> Result<Self, OracleError> {
+        let mut scenario = scenario.clone();
+        scenario.seed ^= seed.rotate_left(17);
+        let fleet = scenario.generate_fleet(instances)?;
+        let topology = fitting_topology(instances, 12)?;
+        let assignment = SmoothPlacer::default().place(&fleet, &topology)?;
+        Ok(Self {
+            fleet,
+            topology,
+            assignment,
+            seed,
+        })
+    }
+
+    /// The fleet's averaged training traces (one per instance) — the
+    /// traces every oracle operates on.
+    pub fn traces(&self) -> &[PowerTrace] {
+        self.fleet.averaged_traces()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitting_topology_fits() {
+        for n in [1, 24, 100, 1000] {
+            let topo = fitting_topology(n, 12).unwrap();
+            assert!(topo.server_capacity() >= n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_multiset() {
+        let t = PowerTrace::new(vec![1.0, 2.0, 3.0, 4.0, 5.0], 10).unwrap();
+        let r = rotate_trace(&t, 2);
+        assert_eq!(r.samples(), &[4.0, 5.0, 1.0, 2.0, 3.0]);
+        assert_eq!(r.peak(), t.peak());
+        assert_eq!(r.min(), t.min());
+        let full = rotate_trace(&t, 5);
+        assert_eq!(full.samples(), t.samples());
+    }
+
+    #[test]
+    fn fixture_is_deterministic_per_seed() {
+        let a = Fixture::generate(&DcScenario::dc1(), 24, 3).unwrap();
+        let b = Fixture::generate(&DcScenario::dc1(), 24, 3).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.traces()[0].samples(), b.traces()[0].samples());
+        let c = Fixture::generate(&DcScenario::dc1(), 24, 4).unwrap();
+        assert_ne!(a.traces()[0].samples(), c.traces()[0].samples());
+    }
+}

@@ -1,0 +1,229 @@
+//! Invariant oracles: properties that must hold for any single run of the
+//! pipeline, checked over the fixture's placement and a handful of
+//! rng-sampled instance subsets.
+//!
+//! | oracle | property |
+//! |---|---|
+//! | `score_within_cardinality_bounds` | `1 ≤ A_M ≤ \|M\|` for every non-empty trace set |
+//! | `peak_of_sum_bounded_by_sum_of_peaks` | aggregation can only cancel peaks |
+//! | `remap_swap_gains_exceed_min_gain` | each accepted swap's gains clear `min_gain` at both nodes |
+//! | `remap_never_worsens_worst_score` | swap-based remapping never lowers the worst node's score |
+//! | `statprof_zero_degrees_is_sum_of_peaks` | `StatProf(0,0)` DC budget = fleet sum-of-peaks |
+//! | `smoop_zero_degrees_is_aggregate_peak` | `SmoOp(0,0)` DC budget = true aggregate peak |
+//! | `smoop_bounded_by_statprof` | at zero degrees, per-level `SmoOp ≤ StatProf` |
+//! | `quantile_edges_are_extremes` | `q=0` → min and `q=1` → max, exactly |
+//! | `quantile_monotone_in_q` | quantiles never decrease as `q` grows |
+//!
+//! Tolerances: score and budget comparisons allow `1e-9` relative error
+//! because the two sides accumulate floats in different orders; the
+//! quantile edge laws are exact by the documented contract of
+//! [`so_powertrace::quantile`].
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use so_baselines::{aggregate_required_budget, statprof_required_budget, ProvisioningDegrees};
+use so_core::{asynchrony_score, remap_traces, RemapConfig};
+use so_powertrace::{peak_of_sum, sum_of_peaks, PowerTrace};
+use so_powertree::Level;
+
+use crate::{Fixture, OracleError, OracleFamily, OracleReport};
+
+const FAMILY: OracleFamily = OracleFamily::Invariant;
+const REL_TOL: f64 = 1e-9;
+
+/// Runs every invariant oracle over the fixture.
+///
+/// # Errors
+///
+/// Returns [`OracleError`] when an oracle cannot be evaluated at all;
+/// failed evaluations are recorded in `report` instead.
+pub fn run(
+    fixture: &Fixture,
+    rng: &mut StdRng,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    score_bounds(fixture, rng, report)?;
+    remap_objective(fixture, report)?;
+    provisioning_identities(fixture, report)?;
+    quantile_laws(fixture, rng, report)?;
+    Ok(())
+}
+
+/// `1 ≤ A_M ≤ |M|` and `peak_of_sum ≤ sum_of_peaks`, for every hosting
+/// rack's member set, random subsets of the fleet, and the full fleet.
+fn score_bounds(
+    fixture: &Fixture,
+    rng: &mut StdRng,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let traces = fixture.traces();
+    let mut subsets: Vec<Vec<usize>> = fixture
+        .assignment
+        .by_rack()
+        .into_values()
+        .filter(|m| !m.is_empty())
+        .collect();
+    let mut indices: Vec<usize> = (0..traces.len()).collect();
+    for _ in 0..8 {
+        indices.shuffle(rng);
+        let size = rng.gen_range(1..=indices.len().min(16));
+        subsets.push(indices[..size].to_vec());
+    }
+    subsets.push((0..traces.len()).collect());
+
+    for members in &subsets {
+        let set: Vec<&PowerTrace> = members.iter().map(|&i| &traces[i]).collect();
+        let score = asynchrony_score(set.iter().copied())?;
+        let m = set.len() as f64;
+        report.check(
+            FAMILY,
+            "score_within_cardinality_bounds",
+            (1.0 - REL_TOL..=m * (1.0 + REL_TOL)).contains(&score),
+            || format!("A_M = {score} outside [1, {m}] for |M| = {m}"),
+        );
+        let sp = sum_of_peaks(set.iter().copied())?;
+        let ps = peak_of_sum(set.iter().copied())?;
+        report.check(
+            FAMILY,
+            "peak_of_sum_bounded_by_sum_of_peaks",
+            ps <= sp * (1.0 + REL_TOL) + f64::MIN_POSITIVE,
+            || format!("peak_of_sum {ps} exceeds sum_of_peaks {sp}"),
+        );
+    }
+    Ok(())
+}
+
+/// Remap swaps clear the configured minimum gain at both endpoints, and
+/// the run never worsens the worst node's asynchrony score.
+fn remap_objective(fixture: &Fixture, report: &mut OracleReport) -> Result<(), OracleError> {
+    let config = RemapConfig {
+        max_swaps: 8,
+        ..RemapConfig::default()
+    };
+    let mut assignment = fixture.assignment.clone();
+    let outcome = remap_traces(fixture.traces(), &fixture.topology, &mut assignment, config)?;
+    for swap in &outcome.swaps {
+        report.check(
+            FAMILY,
+            "remap_swap_gains_exceed_min_gain",
+            swap.gain_node >= config.min_gain - REL_TOL
+                && swap.gain_partner >= config.min_gain - REL_TOL,
+            || {
+                format!(
+                    "swap {}↔{} gains ({}, {}) below min_gain {}",
+                    swap.instance_out,
+                    swap.instance_in,
+                    swap.gain_node,
+                    swap.gain_partner,
+                    config.min_gain
+                )
+            },
+        );
+    }
+    report.check(
+        FAMILY,
+        "remap_never_worsens_worst_score",
+        outcome.final_worst_score >= outcome.initial_worst_score * (1.0 - REL_TOL),
+        || {
+            format!(
+                "worst score fell from {} to {}",
+                outcome.initial_worst_score, outcome.final_worst_score
+            )
+        },
+    );
+    Ok(())
+}
+
+/// The zero-degree provisioning identities of §5.1: `StatProf(0,0)`'s
+/// datacenter budget is the fleet's sum-of-peaks, `SmoOp(0,0)`'s is the
+/// true aggregate peak, and `SmoOp ≤ StatProf` holds per level (at zero
+/// degrees; the inequality reverses at `u = 100`, where per-instance
+/// minima sum *below* the aggregate minimum).
+fn provisioning_identities(
+    fixture: &Fixture,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let traces = fixture.traces();
+    let degrees = ProvisioningDegrees::none();
+    let statprof =
+        statprof_required_budget(&fixture.topology, &fixture.assignment, traces, degrees)?;
+    let smoop = aggregate_required_budget(&fixture.topology, &fixture.assignment, traces, degrees)?;
+
+    report.check_close(
+        FAMILY,
+        "statprof_zero_degrees_is_sum_of_peaks",
+        statprof.at_level(Level::Datacenter),
+        sum_of_peaks(traces.iter())?,
+        REL_TOL,
+    );
+    report.check_close(
+        FAMILY,
+        "smoop_zero_degrees_is_aggregate_peak",
+        smoop.at_level(Level::Datacenter),
+        peak_of_sum(traces.iter())?,
+        REL_TOL,
+    );
+    for level in Level::ALL {
+        let (s, a) = (statprof.at_level(level), smoop.at_level(level));
+        report.check(
+            FAMILY,
+            "smoop_bounded_by_statprof",
+            a <= s * (1.0 + REL_TOL) + f64::MIN_POSITIVE,
+            || format!("SmoOp(0,0) = {a} exceeds StatProf(0,0) = {s} at {level:?}"),
+        );
+    }
+    Ok(())
+}
+
+/// The documented quantile edge laws: `q = 0` returns the minimum and
+/// `q = 1` the maximum exactly, and quantiles are monotone in `q`.
+fn quantile_laws(
+    fixture: &Fixture,
+    rng: &mut StdRng,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let traces = fixture.traces();
+    for _ in 0..6 {
+        let t = &traces[rng.gen_range(0..traces.len())];
+        report.check_exact(
+            FAMILY,
+            "quantile_edges_are_extremes",
+            t.quantile(0.0)?,
+            t.min(),
+        );
+        report.check_exact(
+            FAMILY,
+            "quantile_edges_are_extremes",
+            t.quantile(1.0)?,
+            t.peak(),
+        );
+        let mut prev = t.quantile(0.0)?;
+        for step in 1..=10 {
+            let q = f64::from(step) / 10.0;
+            let v = t.quantile(q)?;
+            report.check(FAMILY, "quantile_monotone_in_q", v >= prev, || {
+                format!("quantile({q}) = {v} below quantile({}) = {prev}", q - 0.1)
+            });
+            prev = v;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use so_workloads::DcScenario;
+
+    #[test]
+    fn invariants_hold_on_a_small_fixture() {
+        let fixture = Fixture::generate(&DcScenario::dc3(), 32, 11).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut report = OracleReport::new();
+        run(&fixture, &mut rng, &mut report).unwrap();
+        assert!(report.is_clean(), "{:#?}", report.violations());
+        assert!(report.evaluations(OracleFamily::Invariant) > 20);
+    }
+}

@@ -1,0 +1,249 @@
+//! Metamorphic oracles: transform the input in a way whose effect on the
+//! output is known, and check the relation.
+//!
+//! | oracle | transform | expected relation |
+//! |---|---|---|
+//! | `score_invariant_under_permutation` | shuffle instance order | `A_M` within `1e-9` relative |
+//! | `budgets_invariant_under_permutation` | shuffle instances + their rack assignment | per-level budgets within `1e-9` relative |
+//! | `score_exact_under_pow2_scaling` | scale every trace by `2.0` | score bit-identical |
+//! | `budgets_double_under_pow2_scaling` | scale every trace by `2.0` | budgets exactly doubled |
+//! | `placement_exact_under_pow2_scaling` | scale the whole fleet by `2.0` | bit-identical placement |
+//! | `score_equivariant_under_scaling` | scale by an arbitrary factor | score within `1e-9` relative |
+//! | `budget_equivariant_under_scaling` | scale by an arbitrary factor | DC budget scales by the factor, `1e-9` relative |
+//! | `score_exact_under_time_shift` | rotate all traces by one offset | score bit-identical |
+//! | `budgets_exact_under_time_shift` | rotate all traces by one offset | budgets bit-identical |
+//!
+//! Why some relations are *exact*: multiplying by a power of two only
+//! changes f64 exponents, so every downstream sum, difference, and
+//! interpolation commutes with it bit-for-bit — asynchrony scores (ratios)
+//! are unchanged and placement decisions cannot move. A circular shift
+//! applied to every trace permutes the per-timestep sums without changing
+//! any value, so peaks and sorted-order statistics are unchanged
+//! bit-for-bit. Permutation and non-power-of-two scaling change float
+//! *accumulation order*, hence the `1e-9` relative tolerance.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use so_baselines::{aggregate_required_budget, statprof_required_budget, ProvisioningDegrees};
+use so_core::{asynchrony_score, SmoothPlacer};
+use so_powertrace::PowerTrace;
+use so_powertree::{Assignment, Level, NodeId};
+use so_workloads::Fleet;
+
+use crate::fixture::rotate_trace;
+use crate::{Fixture, OracleError, OracleFamily, OracleReport};
+
+const FAMILY: OracleFamily = OracleFamily::Metamorphic;
+const REL_TOL: f64 = 1e-9;
+
+/// Runs every metamorphic oracle over the fixture.
+///
+/// # Errors
+///
+/// Returns [`OracleError`] when an oracle cannot be evaluated at all;
+/// failed evaluations are recorded in `report` instead.
+pub fn run(
+    fixture: &Fixture,
+    rng: &mut StdRng,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    permutation(fixture, rng, report)?;
+    scaling(fixture, rng, report)?;
+    time_shift(fixture, rng, report)?;
+    Ok(())
+}
+
+fn permutation(
+    fixture: &Fixture,
+    rng: &mut StdRng,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let traces = fixture.traces();
+    let mut perm: Vec<usize> = (0..traces.len()).collect();
+    perm.shuffle(rng);
+    let permuted: Vec<PowerTrace> = perm.iter().map(|&i| traces[i].clone()).collect();
+
+    let base_score = asynchrony_score(traces.iter())?;
+    let perm_score = asynchrony_score(permuted.iter())?;
+    report.check_close(
+        FAMILY,
+        "score_invariant_under_permutation",
+        perm_score,
+        base_score,
+        REL_TOL,
+    );
+
+    // Permute the assignment alongside the traces: instance k of the
+    // permuted fleet is instance perm[k] of the original, hosted on the
+    // same rack, so every node aggregates the same multiset of traces.
+    let racks: Vec<NodeId> = perm
+        .iter()
+        .map(|&i| fixture.assignment.rack_of(i))
+        .collect::<Result<_, _>>()?;
+    let perm_assignment = Assignment::new(racks, &fixture.topology)?;
+    let degrees = ProvisioningDegrees::none();
+    let base_statprof =
+        statprof_required_budget(&fixture.topology, &fixture.assignment, traces, degrees)?;
+    let perm_statprof =
+        statprof_required_budget(&fixture.topology, &perm_assignment, &permuted, degrees)?;
+    let base_smoop =
+        aggregate_required_budget(&fixture.topology, &fixture.assignment, traces, degrees)?;
+    let perm_smoop =
+        aggregate_required_budget(&fixture.topology, &perm_assignment, &permuted, degrees)?;
+    for level in Level::ALL {
+        report.check_close(
+            FAMILY,
+            "budgets_invariant_under_permutation",
+            perm_statprof.at_level(level),
+            base_statprof.at_level(level),
+            REL_TOL,
+        );
+        report.check_close(
+            FAMILY,
+            "budgets_invariant_under_permutation",
+            perm_smoop.at_level(level),
+            base_smoop.at_level(level),
+            REL_TOL,
+        );
+    }
+    Ok(())
+}
+
+fn scaling(
+    fixture: &Fixture,
+    rng: &mut StdRng,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let traces = fixture.traces();
+    let base_score = asynchrony_score(traces.iter())?;
+    let degrees = ProvisioningDegrees::none();
+    let base_budget =
+        aggregate_required_budget(&fixture.topology, &fixture.assignment, traces, degrees)?;
+
+    // Power-of-two factor: every relation is exact.
+    let doubled: Vec<PowerTrace> = traces.iter().map(|t| t.scale(2.0)).collect();
+    report.check_exact(
+        FAMILY,
+        "score_exact_under_pow2_scaling",
+        asynchrony_score(doubled.iter())?,
+        base_score,
+    );
+    let doubled_budget =
+        aggregate_required_budget(&fixture.topology, &fixture.assignment, &doubled, degrees)?;
+    for level in Level::ALL {
+        report.check_exact(
+            FAMILY,
+            "budgets_double_under_pow2_scaling",
+            doubled_budget.at_level(level),
+            2.0 * base_budget.at_level(level),
+        );
+    }
+    let doubled_fleet = Fleet::from_traces(
+        (0..fixture.fleet.len())
+            .map(|i| fixture.fleet.service_of(i))
+            .collect(),
+        doubled,
+        fixture
+            .fleet
+            .test_traces()
+            .iter()
+            .map(|t| t.scale(2.0))
+            .collect(),
+    )
+    .expect("scaled fleet mirrors a valid fleet");
+    let doubled_assignment = SmoothPlacer::default().place(&doubled_fleet, &fixture.topology)?;
+    report.check(
+        FAMILY,
+        "placement_exact_under_pow2_scaling",
+        doubled_assignment == fixture.assignment,
+        || {
+            let first = doubled_assignment
+                .racks()
+                .iter()
+                .zip(fixture.assignment.racks())
+                .position(|(a, b)| a != b);
+            format!(
+                "placement moved under uniform 2× scaling (first differing instance: {first:?})"
+            )
+        },
+    );
+
+    // Arbitrary factor: equivariant within tolerance.
+    let factor = rng.gen_range(0.5..3.0);
+    let scaled: Vec<PowerTrace> = traces.iter().map(|t| t.scale(factor)).collect();
+    report.check_close(
+        FAMILY,
+        "score_equivariant_under_scaling",
+        asynchrony_score(scaled.iter())?,
+        base_score,
+        REL_TOL,
+    );
+    let scaled_budget =
+        aggregate_required_budget(&fixture.topology, &fixture.assignment, &scaled, degrees)?;
+    report.check_close(
+        FAMILY,
+        "budget_equivariant_under_scaling",
+        scaled_budget.at_level(Level::Datacenter),
+        factor * base_budget.at_level(Level::Datacenter),
+        REL_TOL,
+    );
+    Ok(())
+}
+
+fn time_shift(
+    fixture: &Fixture,
+    rng: &mut StdRng,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let traces = fixture.traces();
+    let shift = rng.gen_range(1..traces[0].len());
+    let shifted: Vec<PowerTrace> = traces.iter().map(|t| rotate_trace(t, shift)).collect();
+
+    report.check_exact(
+        FAMILY,
+        "score_exact_under_time_shift",
+        asynchrony_score(shifted.iter())?,
+        asynchrony_score(traces.iter())?,
+    );
+    let degrees = ProvisioningDegrees::none();
+    let base = aggregate_required_budget(&fixture.topology, &fixture.assignment, traces, degrees)?;
+    let rotated =
+        aggregate_required_budget(&fixture.topology, &fixture.assignment, &shifted, degrees)?;
+    let base_statprof =
+        statprof_required_budget(&fixture.topology, &fixture.assignment, traces, degrees)?;
+    let rotated_statprof =
+        statprof_required_budget(&fixture.topology, &fixture.assignment, &shifted, degrees)?;
+    for level in Level::ALL {
+        report.check_exact(
+            FAMILY,
+            "budgets_exact_under_time_shift",
+            rotated.at_level(level),
+            base.at_level(level),
+        );
+        report.check_exact(
+            FAMILY,
+            "budgets_exact_under_time_shift",
+            rotated_statprof.at_level(level),
+            base_statprof.at_level(level),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use so_workloads::DcScenario;
+
+    #[test]
+    fn metamorphic_relations_hold_on_a_small_fixture() {
+        let fixture = Fixture::generate(&DcScenario::dc2(), 32, 9).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut report = OracleReport::new();
+        run(&fixture, &mut rng, &mut report).unwrap();
+        assert!(report.is_clean(), "{:#?}", report.violations());
+        assert!(report.evaluations(OracleFamily::Metamorphic) > 20);
+    }
+}

@@ -1,0 +1,86 @@
+//! Mutation smoke test: the oracle harness is only worth its keep if a
+//! deliberately broken implementation actually trips it. Each test plants
+//! a classic quantile bug and asserts at least one oracle objects; the
+//! production implementation passes the same probes untouched.
+
+use so_oracles::differential::quantile_matches_reference;
+use so_oracles::{OracleFamily, OracleReport};
+
+fn samples() -> Vec<f64> {
+    // Irregular but deterministic: enough spread that interpolation,
+    // indexing, and edge handling all matter.
+    (0..57).map(|i| ((i * 37) % 101) as f64 + 0.25).collect()
+}
+
+fn sorted(samples: &[f64]) -> Vec<f64> {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s
+}
+
+#[test]
+fn nearest_rank_quantile_is_caught() {
+    // Bug: nearest-rank via truncation instead of linear interpolation —
+    // the very convention drift the shared quantile module removed.
+    let broken = |samples: &[f64], q: f64| {
+        let s = sorted(samples);
+        let idx = ((q * s.len() as f64) as usize).min(s.len() - 1);
+        Some(s[idx])
+    };
+    let mut report = OracleReport::new();
+    quantile_matches_reference(broken, &samples(), &mut report);
+    assert!(
+        !report.is_clean(),
+        "broken quantile slipped past the oracle"
+    );
+    assert!(report
+        .violations()
+        .iter()
+        .all(|v| v.family == OracleFamily::Differential));
+}
+
+#[test]
+fn unclamped_ceil_indexing_is_caught() {
+    // Bug: the pre-fix `interpolated_quantile` edge case — `ceil` lands
+    // one past the end at q = 1, here "fixed" by wrapping instead of
+    // clamping.
+    let broken = |samples: &[f64], q: f64| {
+        let s = sorted(samples);
+        let pos = q * (s.len() - 1) as f64;
+        let (lo, hi) = (pos.floor() as usize, (pos.ceil() as usize + 1) % s.len());
+        let frac = pos - pos.floor();
+        Some(s[lo] * (1.0 - frac) + s[hi] * frac)
+    };
+    let mut report = OracleReport::new();
+    quantile_matches_reference(broken, &samples(), &mut report);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn off_by_one_position_is_caught() {
+    // Bug: `q · n` instead of `q · (n − 1)` — shifts every interior
+    // quantile upward.
+    let broken = |samples: &[f64], q: f64| {
+        let s = sorted(samples);
+        let pos = (q * s.len() as f64).min((s.len() - 1) as f64);
+        let lo = pos.floor() as usize;
+        let hi = (lo + 1).min(s.len() - 1);
+        let frac = pos - lo as f64;
+        Some(s[lo] * (1.0 - frac) + s[hi] * frac)
+    };
+    let mut report = OracleReport::new();
+    quantile_matches_reference(broken, &samples(), &mut report);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn production_quantile_is_clean() {
+    let mut report = OracleReport::new();
+    quantile_matches_reference(
+        |s, q| so_powertrace::quantile::quantile(s, q).ok(),
+        &samples(),
+        &mut report,
+    );
+    assert!(report.is_clean(), "{:#?}", report.violations());
+    assert!(report.evaluations(OracleFamily::Differential) > 0);
+}

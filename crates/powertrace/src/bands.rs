@@ -4,7 +4,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::TraceError;
-use crate::trace::{interpolated_quantile, PowerTrace};
+use crate::quantile::quantile_sorted;
+use crate::trace::PowerTrace;
 
 /// Per-timestep percentile bands across a population of traces.
 ///
@@ -75,7 +76,8 @@ impl PercentileBands {
             }
             column.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
             for (pi, &q) in quantiles.iter().enumerate() {
-                values[pi][t] = interpolated_quantile(&column, q);
+                values[pi][t] =
+                    quantile_sorted(&column, q).expect("population non-empty, q validated");
             }
         }
         Ok(Self {

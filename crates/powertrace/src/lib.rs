@@ -6,6 +6,9 @@
 //! * [`PowerTrace`] — a validated fixed-step power time series with vector
 //!   arithmetic, peaks, and quantiles (the paper's I-traces and S-traces,
 //!   §3.3);
+//! * [`quantile`] — the workspace's single linear-interpolation quantile
+//!   convention, shared by trace percentiles, [`Ecdf`], and the sanitizer
+//!   median;
 //! * [`TimeGrid`] — the sampling layout (step, length, minute-of-day /
 //!   day-of-week helpers);
 //! * [`SlackProfile`] — power slack and energy slack against a fixed budget
@@ -49,6 +52,7 @@ mod grid;
 pub mod io;
 mod mask;
 mod metrics;
+pub mod quantile;
 mod sanitize;
 mod slack;
 mod stats;

@@ -1,0 +1,186 @@
+//! The workspace's single quantile convention.
+//!
+//! Three subsystems need quantiles of power samples — [`PowerTrace`]
+//! percentiles, the [`Ecdf`] behind the StatProf(u, δ) baseline, and the
+//! sanitizer's spike-detection median — and they must agree: StatProf
+//! budgets are compared against trace-level percentiles, and a convention
+//! mismatch (nearest-rank in one place, interpolated in another) silently
+//! shifts provisioning numbers. Every quantile in the workspace therefore
+//! goes through this module.
+//!
+//! # Convention
+//!
+//! The **linear-interpolation** estimator over order statistics, also known
+//! as Hyndman–Fan type 7 (the default of R, NumPy, and Julia): for `n`
+//! sorted samples `x[0] ≤ … ≤ x[n−1]` and `q ∈ [0, 1]`,
+//!
+//! ```text
+//! pos  = q · (n − 1)
+//! Q(q) = x[⌊pos⌋] + (pos − ⌊pos⌋) · (x[⌊pos⌋ + 1] − x[⌊pos⌋])
+//! ```
+//!
+//! Guaranteed edge behavior (regression-tested, relied on by oracles):
+//!
+//! * `Q(0) == x[0]` (the minimum) and `Q(1) == x[n−1]` (the maximum) —
+//!   **exactly**, with no interpolation arithmetic applied;
+//! * a single-sample input returns that sample for every `q`;
+//! * `Q` is monotone non-decreasing in `q` and bounded by `[min, max]`;
+//! * index arithmetic is clamped, so floating-point round-off in
+//!   `q · (n − 1)` can never index out of bounds or double-count a sample
+//!   when the interpolation window degenerates to a single index.
+
+use crate::error::TraceError;
+
+#[cfg(doc)]
+use crate::{stats::Ecdf, trace::PowerTrace};
+
+/// Linear-interpolated quantile of **already sorted** samples (ascending).
+///
+/// This is the fast path for callers that keep samples sorted (e.g.
+/// [`Ecdf`]); everyone else should use [`quantile`]. The input order is
+/// trusted, not checked (a debug assertion guards tests).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Empty`] for an empty slice and
+/// [`TraceError::InvalidQuantile`] for `q` outside `[0, 1]` or NaN.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Result<f64, TraceError> {
+    if sorted.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(TraceError::InvalidQuantile(q));
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted requires ascending input"
+    );
+    let n = sorted.len();
+    // Exact edges first: no interpolation arithmetic may perturb them.
+    if q == 0.0 || n == 1 {
+        return Ok(sorted[0]);
+    }
+    if q == 1.0 {
+        return Ok(sorted[n - 1]);
+    }
+    let pos = q * (n - 1) as f64;
+    // Clamp the index window: `pos` is mathematically in [0, n−1], but the
+    // multiplication can round up to exactly n−1 for q just below 1, and a
+    // defensive bound keeps any future caller from indexing past the end.
+    let lo = (pos.floor() as usize).min(n - 1);
+    let hi = (lo + 1).min(n - 1);
+    let frac = (pos - lo as f64).clamp(0.0, 1.0);
+    if hi == lo || frac == 0.0 {
+        // Degenerate window: the estimate is one order statistic; summing
+        // the two interpolation terms here would double-count its weight
+        // (and `0.0 * f64::MAX`-style products could produce NaN).
+        return Ok(sorted[lo]);
+    }
+    Ok(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Linear-interpolated quantile of unsorted samples.
+///
+/// Sorts a copy (`O(n log n)`); callers needing many quantiles of the same
+/// data should sort once and use [`quantile_sorted`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Empty`] for an empty slice,
+/// [`TraceError::InvalidQuantile`] for `q` outside `[0, 1]`, and
+/// [`TraceError::InvalidSample`] if a sample is NaN (unsortable).
+pub fn quantile(samples: &[f64], q: f64) -> Result<f64, TraceError> {
+    quantile_sorted(&sorted_copy(samples)?, q)
+}
+
+/// Median (the 0.5 quantile) of unsorted samples, under the same
+/// convention: the middle sample for odd `n`, the midpoint of the two
+/// middle samples for even `n`.
+///
+/// # Errors
+///
+/// Same as [`quantile`].
+pub fn median(samples: &[f64]) -> Result<f64, TraceError> {
+    quantile(samples, 0.5)
+}
+
+/// Sorts a copy of `samples` ascending, rejecting NaN.
+fn sorted_copy(samples: &[f64]) -> Result<Vec<f64>, TraceError> {
+    if let Some(index) = samples.iter().position(|v| v.is_nan()) {
+        return Err(TraceError::InvalidSample {
+            index,
+            value: samples[index],
+        });
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN was rejected above"));
+    Ok(sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_exact_order_statistics() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&v, 1.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn single_sample_is_constant_in_q() {
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(quantile(&[7.5], q).unwrap(), 7.5);
+        }
+    }
+
+    #[test]
+    fn interpolates_between_order_statistics() {
+        let v = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(quantile(&v, 0.5).unwrap(), 1.5);
+        assert!((quantile(&v, 0.9).unwrap() - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_conventions() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn q_just_below_one_stays_in_bounds() {
+        // q·(n−1) rounds to exactly n−1 here; the clamped window must not
+        // read past the end.
+        let v: Vec<f64> = (0..1000).map(f64::from).collect();
+        let q = 1.0 - f64::EPSILON / 4.0;
+        let got = quantile(&v, q).unwrap();
+        assert!((0.0..=999.0).contains(&got));
+    }
+
+    #[test]
+    fn degenerate_window_returns_the_order_statistic_once() {
+        // pos lands exactly on an integer: the result is that sample, not
+        // a sum of two weighted copies.
+        let v = [0.0, 10.0, 20.0];
+        assert_eq!(quantile(&v, 0.5).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(quantile(&[], 0.5), Err(TraceError::Empty));
+        assert_eq!(quantile(&[1.0], 1.5), Err(TraceError::InvalidQuantile(1.5)));
+        assert_eq!(
+            quantile(&[1.0], -0.1),
+            Err(TraceError::InvalidQuantile(-0.1))
+        );
+        assert!(matches!(
+            quantile(&[1.0], f64::NAN),
+            Err(TraceError::InvalidQuantile(_))
+        ));
+        assert!(matches!(
+            quantile(&[1.0, f64::NAN], 0.5),
+            Err(TraceError::InvalidSample { index: 1, .. })
+        ));
+    }
+}

@@ -264,17 +264,17 @@ impl TraceSanitizer {
     /// cascading: a sample next to a zero-filled gap is not a spike as
     /// long as it sits near the trace's typical level.
     fn detect_spikes(&self, samples: &[f64], flagged: &[bool]) -> Vec<usize> {
-        let mut valid: Vec<f64> = samples
+        let valid: Vec<f64> = samples
             .iter()
             .zip(flagged)
             .filter(|(_, &f)| !f)
             .map(|(&v, _)| v)
             .collect();
-        valid.sort_by(|a, b| a.partial_cmp(b).expect("valid samples are finite"));
-        let median = match valid.len() {
-            0 => return Vec::new(),
-            n if n % 2 == 1 => valid[n / 2],
-            n => (valid[n / 2 - 1] + valid[n / 2]) / 2.0,
+        // The shared workspace median (crate::quantile): valid samples are
+        // finite, so the only failure mode is an empty slice.
+        let median = match crate::quantile::median(&valid) {
+            Ok(m) => m,
+            Err(_) => return Vec::new(),
         };
 
         let mut spikes = Vec::new();

@@ -7,7 +7,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::TraceError;
-use crate::trace::{interpolated_quantile, PowerTrace};
+use crate::quantile::quantile_sorted;
+use crate::trace::PowerTrace;
 
 /// Empirical cumulative distribution function over a trace's samples.
 ///
@@ -67,26 +68,32 @@ impl Ecdf {
         false
     }
 
-    /// Linear-interpolated quantile, `q` in `[0, 1]`.
+    /// Linear-interpolated quantile under the workspace's shared convention
+    /// (see [`crate::quantile`]), `q` in `[0, 1]`.
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::InvalidQuantile`] for `q` outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Result<f64, TraceError> {
-        if !(0.0..=1.0).contains(&q) || q.is_nan() {
-            return Err(TraceError::InvalidQuantile(q));
-        }
-        Ok(interpolated_quantile(&self.sorted, q))
+        quantile_sorted(&self.sorted, q)
     }
 
     /// The `(100 − u)`-th percentile used by StatProf's degree of
     /// under-provisioning `u` (in percent).
     ///
+    /// Degenerate cases are defined, not incidental: `u = 0` returns the
+    /// maximum sample (provision for the observed peak) and `u = 100`
+    /// returns the minimum sample (the 0th percentile).
+    ///
     /// # Errors
     ///
-    /// Returns [`TraceError::InvalidQuantile`] when `u` is above 100.
+    /// Returns [`TraceError::InvalidQuantile`] when `u` is outside
+    /// `[0, 100]` or NaN.
     pub fn underprovisioned_power(&self, u: f64) -> Result<f64, TraceError> {
-        self.quantile(((100.0 - u) / 100.0).clamp(f64::MIN_POSITIVE, 1.0).min(1.0))
+        if !(0.0..=100.0).contains(&u) || u.is_nan() {
+            return Err(TraceError::InvalidQuantile(u));
+        }
+        self.quantile(((100.0 - u) / 100.0).clamp(0.0, 1.0))
             .map_err(|_| TraceError::InvalidQuantile(u))
     }
 
@@ -162,6 +169,25 @@ mod tests {
         assert_eq!(p0, 100.0);
         assert!((p10 - 90.0).abs() < 1e-9);
         assert!(p10 < p0);
+    }
+
+    #[test]
+    fn underprovisioning_edge_degrees() {
+        let e = Ecdf::from_samples(vec![10.0, 20.0, 30.0]).unwrap();
+        // u = 0: provision at the observed peak.
+        assert_eq!(e.underprovisioned_power(0.0).unwrap(), 30.0);
+        // u = 100: the 0th percentile, i.e. the minimum sample.
+        assert_eq!(e.underprovisioned_power(100.0).unwrap(), 10.0);
+        // Out-of-range degrees are rejected, not clamped to the minimum.
+        assert_eq!(
+            e.underprovisioned_power(100.5),
+            Err(TraceError::InvalidQuantile(100.5))
+        );
+        assert_eq!(
+            e.underprovisioned_power(-1.0),
+            Err(TraceError::InvalidQuantile(-1.0))
+        );
+        assert!(e.underprovisioned_power(f64::NAN).is_err());
     }
 
     #[test]

@@ -180,22 +180,19 @@ impl PowerTrace {
         self.samples.iter().sum::<f64>() * self.step_minutes as f64
     }
 
-    /// Empirical quantile with linear interpolation, `q` in `[0, 1]`.
+    /// Empirical quantile under the workspace's shared linear-interpolation
+    /// convention (see [`crate::quantile`]), `q` in `[0, 1]`.
     ///
     /// `quantile(1.0)` equals [`peak`](Self::peak) and `quantile(0.0)` equals
-    /// [`min`](Self::min). Used by the StatProf baseline, which provisions at
-    /// the `(100 − u)`-th percentile of each instance's power profile.
+    /// [`min`](Self::min), exactly. Used by the StatProf baseline, which
+    /// provisions at the `(100 − u)`-th percentile of each instance's power
+    /// profile.
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::InvalidQuantile`] if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Result<f64, TraceError> {
-        if !(0.0..=1.0).contains(&q) || q.is_nan() {
-            return Err(TraceError::InvalidQuantile(q));
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
-        Ok(interpolated_quantile(&sorted, q))
+        crate::quantile::quantile(&self.samples, q)
     }
 
     /// Element-wise sum, checked for matching grids.
@@ -431,23 +428,6 @@ impl PowerTrace {
             });
         }
         Ok(())
-    }
-}
-
-/// Linear-interpolated quantile over already-sorted samples.
-pub(crate) fn interpolated_quantile(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
-    if sorted.len() == 1 {
-        return sorted[0];
-    }
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    if lo == hi {
-        sorted[lo]
-    } else {
-        let frac = pos - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
 }
 

@@ -19,7 +19,59 @@ fn trace_pair(len: usize) -> impl Strategy<Value = (PowerTrace, PowerTrace)> {
     })
 }
 
+/// An independent, deliberately simple re-derivation of the shared
+/// linear-interpolation (Hyndman–Fan type 7) quantile, used as the
+/// reference the production implementation must agree with.
+fn naive_reference_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len();
+    let pos = q * (n as f64 - 1.0);
+    let lo = (pos.floor() as usize).min(n - 1);
+    let hi = (lo + 1).min(n - 1);
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
 proptest! {
+    /// The shared quantile agrees with the naive reference implementation
+    /// on random inputs (including single-sample traces).
+    #[test]
+    fn shared_quantile_matches_naive_reference(
+        v in prop::collection::vec(0.0f64..1000.0, 1..120),
+        q in 0.0f64..=1.0,
+    ) {
+        let got = so_powertrace::quantile::quantile(&v, q).unwrap();
+        let want = naive_reference_quantile(&v, q);
+        prop_assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "quantile({q}) = {got}, reference = {want}"
+        );
+    }
+
+    /// The shared quantile is monotone non-decreasing in p and bounded by
+    /// the sample extremes; p = 0 and p = 1 hit them exactly.
+    #[test]
+    fn shared_quantile_monotone_in_p(
+        v in prop::collection::vec(0.0f64..1000.0, 1..120),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..12),
+    ) {
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).expect("quantiles are finite"));
+        let values: Vec<f64> = qs
+            .iter()
+            .map(|&q| so_powertrace::quantile::quantile(&v, q).unwrap())
+            .collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12, "not monotone: {values:?} at {qs:?}");
+        }
+        let min = v.iter().copied().fold(f64::MAX, f64::min);
+        let max = v.iter().copied().fold(f64::MIN, f64::max);
+        prop_assert!(values.iter().all(|&x| (min..=max).contains(&x)));
+        prop_assert_eq!(so_powertrace::quantile::quantile(&v, 0.0).unwrap(), min);
+        prop_assert_eq!(so_powertrace::quantile::quantile(&v, 1.0).unwrap(), max);
+    }
+
     /// peak(a + b) <= peak(a) + peak(b): aggregation can only cancel peaks.
     #[test]
     fn peak_is_subadditive((a, b) in trace_pair(64)) {

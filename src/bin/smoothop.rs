@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use smoothoperator::prelude::*;
 use so_faults::{FaultKind, FaultSchedule, FaultSpec};
+use so_oracles::{run_battery, BatteryConfig, OracleFamily};
 use so_powertree::NodeAggregates;
 use so_reshape::{operate, run_scenario, LongRunConfig, ThrottleBoostPolicy};
 use so_sim::{default_config, one_week_grid, simulate_with_faults, FailSafe};
@@ -55,6 +56,7 @@ fn main() -> ExitCode {
         Some("longrun") => with_scenario(&args, longrun),
         Some("dot") => with_scenario(&args, dot),
         Some("simulate") => with_scenario(&args, |scenario, n| simulate_cmd(scenario, n, faults)),
+        Some("check") => check_cmd(&args, flags.seed),
         Some("report") => with_scenario(&args, |scenario, n| {
             report_cmd(
                 scenario,
@@ -113,6 +115,8 @@ fn print_usage() {
     println!("  smoothop simulate  <dc> [n]       one week of runtime reshaping");
     println!("  smoothop report    <dc> [n]       instrumented place+drift+remap+simulate run,");
     println!("                                    printed as a telemetry summary");
+    println!("  smoothop check     [n]            seeded correctness-oracle battery (invariant,");
+    println!("                                    differential, metamorphic); n defaults to 1000");
     println!();
     println!("  <dc> ∈ {{dc1, dc2, dc3}}; n = fleet size, default 240");
     println!();
@@ -124,6 +128,51 @@ fn print_usage() {
     println!("  --metrics-out <path>  write a Prometheus text snapshot of all metrics");
     println!("                        recorded during the command");
     println!("  --trace-out <path>    write the recorded span/point events as JSON lines");
+    println!("  --seed <u64>          battery seed for `check` (default 7); the seed picks the");
+    println!("                        scenario and drives every randomized probe");
+}
+
+/// `smoothop check [n] [--seed s]`: run the seeded oracle battery and fail
+/// the process on any violation.
+fn check_cmd(args: &[String], seed: Option<u64>) -> CliResult {
+    let instances: usize = match args.get(1) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("fleet size `{raw}` is not a number"))?,
+        None => 1000,
+    };
+    if instances == 0 {
+        return Err("fleet size must be positive".into());
+    }
+    let config = BatteryConfig {
+        seed: seed.unwrap_or(7),
+        instances,
+    };
+    let outcome = run_battery(&config)?;
+    println!(
+        "oracle battery — {} fleet of {} instances, seed {}",
+        outcome.scenario, outcome.instances, outcome.seed
+    );
+    for family in OracleFamily::ALL {
+        println!(
+            "  {:<13} {:>6} evaluations, {:>3} violations",
+            family.label(),
+            outcome.report.evaluations(family),
+            outcome.report.violations_in(family)
+        );
+    }
+    if outcome.report.is_clean() {
+        println!(
+            "  all {} oracle evaluations passed",
+            outcome.report.total_evaluations()
+        );
+        Ok(())
+    } else {
+        for violation in outcome.report.violations().iter().take(20) {
+            eprintln!("  violation: {violation}");
+        }
+        Err(format!("{} oracle violation(s)", outcome.report.violations().len()).into())
+    }
 }
 
 fn with_scenario(args: &[String], f: impl FnOnce(DcScenario, usize) -> CliResult) -> CliResult {
@@ -153,6 +202,7 @@ struct CliFlags {
     faults: FaultSpec,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    seed: Option<u64>,
 }
 
 /// Extracts `--faults`, `--metrics-out`, and `--trace-out` (in both
@@ -164,6 +214,7 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
         faults: FaultSpec::none(),
         metrics_out: None,
         trace_out: None,
+        seed: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -186,6 +237,11 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
             flags.metrics_out = Some(path);
         } else if let Some(path) = value_of("--trace-out", &arg, &mut iter)? {
             flags.trace_out = Some(path);
+        } else if let Some(raw) = value_of("--seed", &arg, &mut iter)? {
+            flags.seed = Some(
+                raw.parse()
+                    .map_err(|_| format!("seed `{raw}` is not a number"))?,
+            );
         } else {
             positional.push(arg);
         }

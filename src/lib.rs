@@ -30,6 +30,7 @@
 //! | [`capping`] | `so-capping` | Dynamo/SHIP-style hierarchical power capping |
 //! | [`sim`] | `so-sim` | discrete-time runtime, LC/Batch models, DVFS |
 //! | [`reshape`] | `so-reshape` | conversion & throttle/boost policies, pipeline |
+//! | [`oracles`] | `so-oracles` | invariant/differential/metamorphic correctness oracles |
 //!
 //! ## Quickstart
 //!
@@ -90,6 +91,10 @@ pub use so_sim as sim;
 /// Dynamic power profile reshaping (re-export of `so-reshape`).
 pub use so_reshape as reshape;
 
+/// Correctness oracles and the seeded check battery (re-export of
+/// `so-oracles`).
+pub use so_oracles as oracles;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use so_baselines::{
@@ -99,6 +104,7 @@ pub mod prelude {
         asynchrony_score, best_rack_for, remap, DriftMonitor, FragmentationReport, PlacementConfig,
         PlacementConstraints, RemapConfig, ServiceTraces, SmoothPlacer,
     };
+    pub use so_oracles::{run_battery, BatteryConfig, OracleFamily, OracleReport};
     pub use so_powertrace::{PowerTrace, SlackProfile, TimeGrid};
     pub use so_powertree::{
         Assignment, Level, NodeAggregates, NodeId, PowerTopology, TopologyShape,

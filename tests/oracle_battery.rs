@@ -1,0 +1,53 @@
+//! Workspace-level smoke test of the correctness-oracle battery: a small
+//! seeded fleet must come back with zero violations across all three
+//! oracle families, and battery runs must show up in telemetry.
+
+use std::sync::Arc;
+
+use smoothoperator::prelude::*;
+use so_telemetry::RecordingSink;
+
+#[test]
+fn seeded_battery_is_clean() {
+    let outcome = run_battery(&BatteryConfig {
+        seed: 7,
+        instances: 72,
+    })
+    .expect("battery runs");
+    assert!(
+        outcome.report.is_clean(),
+        "oracle violations: {:#?}",
+        outcome.report.violations()
+    );
+    for family in OracleFamily::ALL {
+        assert!(
+            outcome.report.evaluations(family) > 0,
+            "family {family} never evaluated"
+        );
+    }
+}
+
+#[test]
+fn battery_emits_oracle_counters() {
+    let sink = Arc::new(RecordingSink::with_virtual_clock());
+    let outcome = so_telemetry::with_sink(sink.clone(), || {
+        run_battery(&BatteryConfig {
+            seed: 12,
+            instances: 48,
+        })
+        .expect("battery runs")
+    });
+    let metrics = sink.snapshot();
+    let mut counted = 0;
+    for family in OracleFamily::ALL {
+        let evaluations =
+            metrics.counter("so_oracle_evaluations_total", &[("family", family.label())]);
+        assert_eq!(evaluations, outcome.report.evaluations(family));
+        assert_eq!(
+            metrics.counter("so_oracle_violations_total", &[("family", family.label())]),
+            outcome.report.violations_in(family) as u64
+        );
+        counted += evaluations;
+    }
+    assert_eq!(counted, outcome.report.total_evaluations());
+}
