@@ -1,0 +1,39 @@
+//! Machine-readable scale-ladder artifact: `BENCH_scale.json`, written to
+//! the working directory.
+//!
+//! Thin wrapper over [`smoothoperator::scale::run_scale`] so the artifact
+//! can be regenerated from the bench harness (`cargo bench -p so-bench
+//! --bench scale_json`) as well as from the CLI (`smoothop scale`). The
+//! default ladder is 10k → 100k → 1M instances; pass a comma-separated
+//! ladder as the first argument to override (CI's scale-smoke job runs
+//! the 10k rung only).
+
+use smoothoperator::scale::{run_scale, ScaleConfig};
+use so_bench::banner;
+
+fn main() {
+    banner(
+        "BENCH artifact — columnar scale ladder",
+        "Writes BENCH_scale.json to the working directory.",
+    );
+    let mut config = ScaleConfig::default();
+    if let Some(raw) = std::env::args().nth(1).filter(|a| !a.starts_with('-')) {
+        config.instances = raw
+            .split(',')
+            .map(|p| p.trim().parse().expect("instance counts are numbers"))
+            .collect();
+    }
+    let report = run_scale(&config).expect("scale ladder runs");
+    for p in &report.points {
+        println!(
+            "{:>9} rows: {:>9.0} ms total, {:>11.0} rows/s, peak RSS {:>6} MB",
+            p.instances,
+            p.total_ms,
+            p.rows_per_sec,
+            p.peak_rss_bytes / (1024 * 1024),
+        );
+    }
+    let json = report.to_json();
+    std::fs::write("BENCH_scale.json", &json).expect("artifact is writable");
+    println!("wrote BENCH_scale.json ({} bytes)", json.len());
+}

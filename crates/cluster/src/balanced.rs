@@ -46,11 +46,15 @@ impl BalancedClustering {
 /// margin is largest claim their preferred cluster first; once a cluster is
 /// full, later points take their nearest cluster with remaining capacity.
 ///
+/// Generic over the point representation like [`kmeans`]: borrowed rows
+/// (`&[f64]`) cluster identically to owned `Vec<f64>` rows, without
+/// per-point clones.
+///
 /// # Errors
 ///
 /// Same as [`kmeans`].
-pub fn balanced_kmeans(
-    points: &[Vec<f64>],
+pub fn balanced_kmeans<P: AsRef<[f64]> + Sync>(
+    points: &[P],
     config: KMeansConfig,
 ) -> Result<BalancedClustering, ClusterError> {
     validate_points(points)?;
@@ -67,7 +71,10 @@ pub fn balanced_kmeans(
     // Distance of every point to every centroid. Row-parallel: each row is
     // a pure function of one point, identical to the serial loop.
     let dist2: Vec<Vec<f64>> = par_map(points, 64, |_, p| {
-        base.centroids.iter().map(|c| euclidean_sq(p, c)).collect()
+        base.centroids
+            .iter()
+            .map(|c| euclidean_sq(p.as_ref(), c))
+            .collect()
     });
 
     // Process points most-confident-first: large (second_best − best)
@@ -100,7 +107,7 @@ pub fn balanced_kmeans(
 
     // Recompute centroids and inertia for the balanced labels, using the
     // same canonically chunked reductions as the k-means update step.
-    let dim = points[0].len();
+    let dim = points[0].as_ref().len();
     let (mut centroids, counts) = cluster_sums(points, &labels, k, dim);
     for (centroid, &count) in centroids.iter_mut().zip(&counts) {
         if count > 0 {
@@ -202,6 +209,15 @@ mod tests {
 
     #[test]
     fn propagates_kmeans_errors() {
-        assert!(balanced_kmeans(&[], KMeansConfig::new(2)).is_err());
+        assert!(balanced_kmeans::<Vec<f64>>(&[], KMeansConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn borrowed_rows_cluster_identically_to_owned_rows() {
+        let owned: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let borrowed: Vec<&[f64]> = owned.iter().map(|p| p.as_slice()).collect();
+        let a = balanced_kmeans(&owned, KMeansConfig::new(4)).unwrap();
+        let b = balanced_kmeans(&borrowed, KMeansConfig::new(4)).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -66,11 +66,13 @@ impl fmt::Display for ClusterError {
 
 impl Error for ClusterError {}
 
-/// Validates a point set: non-empty, rectangular, finite.
-pub(crate) fn validate_points(points: &[Vec<f64>]) -> Result<usize, ClusterError> {
+/// Validates a point set: non-empty, rectangular, finite. Generic over the
+/// row representation (`Vec<f64>`, `&[f64]` arena rows, …).
+pub(crate) fn validate_points<P: AsRef<[f64]>>(points: &[P]) -> Result<usize, ClusterError> {
     let first = points.first().ok_or(ClusterError::EmptyInput)?;
-    let dim = first.len();
+    let dim = first.as_ref().len();
     for (index, p) in points.iter().enumerate() {
+        let p = p.as_ref();
         if p.len() != dim {
             return Err(ClusterError::DimensionMismatch {
                 expected: dim,
@@ -91,7 +93,10 @@ mod tests {
 
     #[test]
     fn validation_catches_malformed_input() {
-        assert_eq!(validate_points(&[]), Err(ClusterError::EmptyInput));
+        assert_eq!(
+            validate_points::<Vec<f64>>(&[]),
+            Err(ClusterError::EmptyInput)
+        );
         assert_eq!(validate_points(&[vec![1.0, 2.0]]), Ok(2));
         assert!(matches!(
             validate_points(&[vec![1.0], vec![1.0, 2.0]]),

@@ -92,12 +92,20 @@ impl Clustering {
 /// Empty clusters are re-seeded to the point farthest from its centroid, so
 /// every returned cluster is non-empty.
 ///
+/// Generic over the point representation: owned rows (`Vec<f64>`) and
+/// borrowed rows (`&[f64]`, e.g. arena-backed score vectors) run the same
+/// arithmetic on the same values, so the clustering is identical — callers
+/// can hand over borrowed slices and skip per-point clones entirely.
+///
 /// # Errors
 ///
 /// Returns [`ClusterError::ZeroClusters`] for `k == 0`,
 /// [`ClusterError::TooFewPoints`] when there are fewer points than
 /// clusters, and validation errors for malformed point sets.
-pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, ClusterError> {
+pub fn kmeans<P: AsRef<[f64]> + Sync>(
+    points: &[P],
+    config: KMeansConfig,
+) -> Result<Clustering, ClusterError> {
     validate_points(points)?;
     if config.k == 0 {
         return Err(ClusterError::ZeroClusters);
@@ -120,7 +128,9 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
         iterations = iter + 1;
         // Assignment step: each label is a pure function of one point, so
         // the parallel map is trivially identical to the serial loop.
-        labels = par_map(points, ASSIGN_GRAIN, |_, p| nearest(p, &centroids).0);
+        labels = par_map(points, ASSIGN_GRAIN, |_, p| {
+            nearest(p.as_ref(), &centroids).0
+        });
         // Update step: canonically chunked partial sums folded in chunk
         // order (see `REDUCE_CHUNK`).
         let (sums, counts) = cluster_sums(points, &labels, config.k, centroids[0].len());
@@ -133,6 +143,8 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
                     .iter()
                     .enumerate()
                     .max_by(|(_, a), (_, b)| {
+                        let a = a.as_ref();
+                        let b = b.as_ref();
                         euclidean_sq(a, &centroids[labels_centroid(&centroids, a)])
                             .partial_cmp(&euclidean_sq(
                                 b,
@@ -142,8 +154,8 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
                     })
                     .map(|(i, _)| i)
                     .expect("points are non-empty");
-                movement += euclidean_sq(&centroids[c], &points[far]).sqrt();
-                centroids[c] = points[far].clone();
+                movement += euclidean_sq(&centroids[c], points[far].as_ref()).sqrt();
+                centroids[c] = points[far].as_ref().to_vec();
                 continue;
             }
             let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
@@ -158,7 +170,9 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
     }
 
     // Final assignment.
-    labels = par_map(points, ASSIGN_GRAIN, |_, p| nearest(p, &centroids).0);
+    labels = par_map(points, ASSIGN_GRAIN, |_, p| {
+        nearest(p.as_ref(), &centroids).0
+    });
 
     // Hard non-empty guarantee: every empty cluster adopts the farthest
     // outlier of a cluster that can spare one (possible because n >= k).
@@ -175,14 +189,14 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
             .enumerate()
             .filter(|(i, _)| sizes[labels[*i]] >= 2)
             .max_by(|(i, a), (j, b)| {
-                euclidean_sq(a, &centroids[labels[*i]])
-                    .partial_cmp(&euclidean_sq(b, &centroids[labels[*j]]))
+                euclidean_sq(a.as_ref(), &centroids[labels[*i]])
+                    .partial_cmp(&euclidean_sq(b.as_ref(), &centroids[labels[*j]]))
                     .expect("distances are finite")
             })
             .map(|(i, _)| i)
             .expect("some cluster has at least two members when another is empty");
         labels[outlier] = empty;
-        centroids[empty] = points[outlier].clone();
+        centroids[empty] = points[outlier].as_ref().to_vec();
     }
 
     let inertia = inertia_of(points, &labels, &centroids);
@@ -209,8 +223,8 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<Clustering, C
 /// Per-cluster coordinate sums and member counts, reduced over canonical
 /// [`REDUCE_CHUNK`]-sized chunks so the result does not depend on the
 /// thread count.
-pub(crate) fn cluster_sums(
-    points: &[Vec<f64>],
+pub(crate) fn cluster_sums<P: AsRef<[f64]> + Sync>(
+    points: &[P],
     labels: &[usize],
     k: usize,
     dim: usize,
@@ -222,7 +236,7 @@ pub(crate) fn cluster_sums(
         for (offset, p) in chunk.iter().enumerate() {
             let l = labels[base + offset];
             counts[l] += 1;
-            for (s, v) in sums[l].iter_mut().zip(p) {
+            for (s, v) in sums[l].iter_mut().zip(p.as_ref()) {
                 *s += v;
             }
         }
@@ -245,13 +259,17 @@ pub(crate) fn cluster_sums(
 
 /// Sum of squared point-to-centroid distances, reduced over canonical
 /// chunks like [`cluster_sums`].
-pub(crate) fn inertia_of(points: &[Vec<f64>], labels: &[usize], centroids: &[Vec<f64>]) -> f64 {
+pub(crate) fn inertia_of<P: AsRef<[f64]> + Sync>(
+    points: &[P],
+    labels: &[usize],
+    centroids: &[Vec<f64>],
+) -> f64 {
     par_chunk_map(points, REDUCE_CHUNK, |chunk_idx, chunk| {
         let base = chunk_idx * REDUCE_CHUNK;
         chunk
             .iter()
             .enumerate()
-            .map(|(offset, p)| euclidean_sq(p, &centroids[labels[base + offset]]))
+            .map(|(offset, p)| euclidean_sq(p.as_ref(), &centroids[labels[base + offset]]))
             .sum::<f64>()
     })
     .into_iter()
@@ -276,12 +294,16 @@ pub(crate) fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
 
 /// k-means++ seeding: first centroid uniform, then proportional to squared
 /// distance from the nearest chosen centroid.
-fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+fn plus_plus_init<P: AsRef<[f64]> + Sync>(
+    points: &[P],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    centroids.push(points[rng.gen_range(0..points.len())].as_ref().to_vec());
     let mut dist2: Vec<f64> = points
         .iter()
-        .map(|p| euclidean_sq(p, &centroids[0]))
+        .map(|p| euclidean_sq(p.as_ref(), &centroids[0]))
         .collect();
     while centroids.len() < k {
         let total: f64 = dist2.iter().sum();
@@ -300,10 +322,10 @@ fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
             }
             chosen
         };
-        centroids.push(points[next].clone());
+        centroids.push(points[next].as_ref().to_vec());
         let latest = centroids.last().expect("just pushed");
         dist2 = par_map(points, ASSIGN_GRAIN * 4, |i, p| {
-            dist2[i].min(euclidean_sq(p, latest))
+            dist2[i].min(euclidean_sq(p.as_ref(), latest))
         });
     }
     centroids
@@ -366,7 +388,7 @@ mod tests {
     #[test]
     fn invalid_inputs_rejected() {
         assert!(matches!(
-            kmeans(&[], KMeansConfig::new(2)),
+            kmeans::<Vec<f64>>(&[], KMeansConfig::new(2)),
             Err(ClusterError::EmptyInput)
         ));
         let pts = vec![vec![1.0]];

@@ -7,11 +7,11 @@
 //! that clusters poorly.
 
 use so_parallel::par_map;
-use so_powertrace::PowerTrace;
+use so_powertrace::{PowerTrace, TraceArena};
 use so_workloads::Fleet;
 
 use crate::error::CoreError;
-use crate::score::instance_to_service_score;
+use crate::score::{instance_to_service_score, pairwise_score_samples};
 use crate::straces::ServiceTraces;
 
 /// Minimum embedding rows per worker thread: each row costs `|B|` trace
@@ -60,6 +60,37 @@ pub fn score_vectors_from_traces(
             .traces()
             .iter()
             .map(|s| instance_to_service_score(&traces[i], s))
+            .collect()
+    })
+    .into_iter()
+    .collect()
+}
+
+/// [`score_vectors_from_traces`] over a columnar [`TraceArena`] (row `i`
+/// is instance `i`'s averaged I-trace): each coordinate is a fused
+/// [`pairwise_score_samples`] between an arena row and an S-trace, so no
+/// aggregate trace is materialized per cell. Bit-identical to the
+/// trace-slice path on the same samples — the `arena` oracle family pins
+/// this.
+///
+/// # Errors
+///
+/// Propagates trace errors (length mismatches between arena rows and
+/// S-traces).
+pub fn score_vectors_arena(
+    arena: &TraceArena,
+    members: &[usize],
+    straces: &ServiceTraces,
+) -> Result<Vec<Vec<f64>>, CoreError> {
+    if so_telemetry::enabled() {
+        so_telemetry::counter_add("so_embedding_runs_total", &[], 1);
+        so_telemetry::counter_add("so_embedding_rows_total", &[], members.len() as u64);
+    }
+    par_map(members, ROW_GRAIN, |_, &i| {
+        straces
+            .traces()
+            .iter()
+            .map(|s| pairwise_score_samples(arena.row(i), s.samples()))
             .collect()
     })
     .into_iter()
@@ -142,6 +173,22 @@ mod tests {
         // to the db instance.
         assert!(d(&vs[0], &vs[1]) < d(&vs[0], &vs[2]));
         assert!(d(&vs[0], &vs[1]) < d(&vs[1], &vs[3]));
+    }
+
+    #[test]
+    fn arena_vectors_are_bit_identical_to_trace_vectors() {
+        let f = fleet();
+        let members: Vec<usize> = (0..f.len()).collect();
+        let st = ServiceTraces::extract(&f, &members, 3).unwrap();
+        let from_traces = score_vectors_from_traces(f.averaged_traces(), &members, &st).unwrap();
+        let arena = TraceArena::from_traces(f.averaged_traces()).unwrap();
+        let from_arena = score_vectors_arena(&arena, &members, &st).unwrap();
+        assert_eq!(from_arena.len(), from_traces.len());
+        for (a, b) in from_arena.iter().zip(&from_traces) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

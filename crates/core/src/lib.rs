@@ -59,6 +59,7 @@ mod monitor;
 mod placement;
 mod remap;
 mod score;
+mod source;
 mod straces;
 
 pub use admission::{admission_decisions, best_rack_for, AdmissionDecision};
@@ -67,15 +68,19 @@ pub use constraints::PlacementConstraints;
 pub use degraded::{
     complete_traces, complete_with_derived_priors, service_priors, DegradedReport, TraceSource,
 };
-pub use embedding::{pairwise_score_vectors, score_vectors, score_vectors_from_traces};
+pub use embedding::{
+    pairwise_score_vectors, score_vectors, score_vectors_arena, score_vectors_from_traces,
+};
 pub use error::CoreError;
 pub use monitor::{DriftMonitor, DriftReport, LevelDrift};
 pub use placement::{PlacementConfig, SmoothPlacer};
 pub use remap::{
-    remap, remap_degraded, remap_traces, worst_node, RemapConfig, RemapReport, SwapRecord,
+    remap, remap_arena, remap_degraded, remap_traces, worst_node, RemapConfig, RemapReport,
+    SwapRecord,
 };
 pub use score::{
-    asynchrony_score, averaged_peer_trace, differential_score, instance_to_service_score,
-    pairwise_score,
+    asynchrony_score, averaged_peer_trace, differential_score, differential_score_excluding,
+    instance_to_service_score, pairwise_score, pairwise_score_samples,
 };
+pub use source::SampleSource;
 pub use straces::ServiceTraces;

@@ -293,7 +293,9 @@ impl SmoothPlacer {
         }
         so_telemetry::counter_add("so_placement_clustered_deals_total", &[], 1);
 
-        let points: Vec<Vec<f64>> = members.iter().map(|&i| vectors[i].clone()).collect();
+        // Borrow the member rows — k-means is generic over `AsRef<[f64]>`,
+        // so the gather costs one pointer vector, not |members| row clones.
+        let points: Vec<&[f64]> = members.iter().map(|&i| vectors[i].as_slice()).collect();
         let kconfig = KMeansConfig {
             seed: self.config.seed,
             ..KMeansConfig::new(h)

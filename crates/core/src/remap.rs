@@ -9,21 +9,37 @@
 //! # Cost model
 //!
 //! The engine keeps one [`NodeAggregate`] per power node: member sums are
-//! maintained incrementally across swaps, peer means come from
-//! [`NodeAggregate::mean_excluding`] in `O(T)`, and candidate evaluation
-//! never re-sums a node — evaluating one candidate costs `O(T)` instead of
-//! the naive `O(|node| · T)`. Candidate partners are scanned in parallel;
-//! the reduction keeps the first best candidate in (node, member) order, so
-//! the chosen swap is identical to the serial scan's.
+//! maintained incrementally across swaps and candidate evaluation never
+//! re-sums a node. Differential scores are *fused* over the cached sum
+//! ([`differential_score_excluding`]) — no peer-mean trace is ever
+//! materialized, so one candidate costs `O(T)` with **zero allocations**
+//! instead of the naive `O(|node| · T)` plus a temporary per candidate.
+//! Candidate partners are scanned in parallel; the reduction keeps the
+//! first best candidate in (node, member) order, so the chosen swap is
+//! identical to the serial scan's.
+//!
+//! # Storage layouts
+//!
+//! The engine is generic over [`SampleSource`], so it runs unchanged — and
+//! bit-identically, as the `arena` oracle family pins — over
+//! `Vec<PowerTrace>` fleets ([`remap_traces`]) and columnar
+//! [`TraceArena`]s ([`remap_arena`]), the layout that scales to
+//! million-instance fleets.
 
 use serde::{Deserialize, Serialize};
 use so_parallel::par_map;
-use so_powertrace::{NodeAggregate, PowerTrace, TimeGrid};
+use so_powertrace::{peak_of_samples, NodeAggregate, PowerTrace, TraceArena};
 use so_powertree::{Assignment, Level, NodeId, PowerTopology};
 use so_workloads::Fleet;
 
 use crate::error::CoreError;
-use crate::score::{asynchrony_score, differential_score};
+use crate::score::differential_score_excluding;
+use crate::source::SampleSource;
+
+/// Time-axis block width for the allocation-free aggregate-peak kernel in
+/// node scoring. Performance-only: per-element float association is
+/// independent of the block layout.
+const TIME_BLOCK: usize = 512;
 
 /// Configuration of the remapping engine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -110,17 +126,48 @@ pub fn remap_traces(
     assignment: &mut Assignment,
     config: RemapConfig,
 ) -> Result<RemapReport, CoreError> {
+    remap_source(traces, topology, assignment, config)
+}
+
+/// Runs swap-based remapping on `assignment` in place against a columnar
+/// [`TraceArena`] (row `i` is instance `i`'s averaged I-trace).
+///
+/// Decisions, report, and final assignment are **bit-identical** to
+/// [`remap_traces`] over the materialized rows — the engine performs the
+/// same float work in the same order regardless of storage layout.
+///
+/// # Errors
+///
+/// Propagates trace and tree errors.
+pub fn remap_arena(
+    arena: &TraceArena,
+    topology: &PowerTopology,
+    assignment: &mut Assignment,
+    config: RemapConfig,
+) -> Result<RemapReport, CoreError> {
+    remap_source(arena, topology, assignment, config)
+}
+
+/// The storage-agnostic remap engine behind [`remap_traces`] and
+/// [`remap_arena`].
+fn remap_source<S: SampleSource + ?Sized>(
+    source: &S,
+    topology: &PowerTopology,
+    assignment: &mut Assignment,
+    config: RemapConfig,
+) -> Result<RemapReport, CoreError> {
     // Serial orchestration point: the span, gauges, and round counter live
     // here; the parallel scans inside `best_swap` batch commutative
     // counters only.
     let _span = so_telemetry::span("remap");
-    let initial_worst_score = worst_node(topology, assignment, traces, config.level)?
+    let initial_worst_score = worst_node_source(topology, assignment, source, config.level)?
         .map(|(_, s)| s)
         .unwrap_or(f64::INFINITY);
 
     // Each instance's peak, computed once up front (pure per-instance map).
-    let peaks = par_map(traces, 64, |_, t| t.peak());
-    let mut states = build_states(topology, assignment, traces, config.level)?;
+    let indices: Vec<usize> = (0..source.count()).collect();
+    let peaks = par_map(&indices, 64, |_, &i| peak_of_samples(source.samples(i)));
+    let mut states = build_states(topology, assignment, source, config.level)?;
 
     let mut swaps = Vec::new();
     'outer: while swaps.len() < config.max_swaps {
@@ -137,14 +184,14 @@ pub fn remap_traces(
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
 
         for &(si, _) in scored.iter().take(config.nodes_per_round) {
-            if let Some(record) = best_swap(si, &states, traces, &config)? {
+            if let Some(record) = best_swap(si, &states, source, &config)? {
                 assignment.swap(record.instance_out, record.instance_in)?;
                 let pi = states
                     .iter()
                     .position(|s| s.node == record.partner)
                     .expect("partner came from the state list");
-                states[si].replace_member(record.instance_out, record.instance_in, traces)?;
-                states[pi].replace_member(record.instance_in, record.instance_out, traces)?;
+                states[si].replace_member(record.instance_out, record.instance_in, source)?;
+                states[pi].replace_member(record.instance_in, record.instance_out, source)?;
                 if so_telemetry::enabled() {
                     so_telemetry::counter_add("so_remap_swaps_accepted_total", &[], 1);
                     so_telemetry::observe(
@@ -160,7 +207,7 @@ pub fn remap_traces(
         break; // No improving swap among the most fragmented nodes.
     }
 
-    let final_worst_score = worst_node(topology, assignment, traces, config.level)?
+    let final_worst_score = worst_node_source(topology, assignment, source, config.level)?
         .map(|(_, s)| s)
         .unwrap_or(f64::INFINITY);
     if so_telemetry::enabled() {
@@ -215,7 +262,7 @@ struct NodeState {
 
 impl NodeState {
     /// Asynchrony score from cached state, or `None` for nodes with fewer
-    /// than two members (ineligible, as in [`scored_nodes`]).
+    /// than two members (ineligible, as in [`scored_nodes_source`]).
     fn score(&self, peaks: &[f64]) -> Option<f64> {
         if self.members.len() < 2 {
             return None;
@@ -229,11 +276,11 @@ impl NodeState {
     }
 
     /// Applies one side of an accepted swap: `out` leaves, `inn` arrives.
-    fn replace_member(
+    fn replace_member<S: SampleSource + ?Sized>(
         &mut self,
         out: usize,
         inn: usize,
-        traces: &[PowerTrace],
+        source: &S,
     ) -> Result<(), CoreError> {
         let pos = self
             .members
@@ -245,27 +292,28 @@ impl NodeState {
             .binary_search(&inn)
             .expect_err("arriving instance is not yet a member");
         self.members.insert(pos, inn);
-        self.agg.remove(&traces[out])?;
-        self.agg.add(&traces[inn])?;
+        self.agg.remove_samples(source.samples(out))?;
+        self.agg.add_samples(source.samples(inn))?;
         Ok(())
     }
 }
 
 /// Builds the cached state of every node at `level`, one node per parallel
 /// task (each task sums that node's member traces once).
-fn build_states(
+fn build_states<S: SampleSource + ?Sized>(
     topology: &PowerTopology,
     assignment: &Assignment,
-    traces: &[PowerTrace],
+    source: &S,
     level: Level,
 ) -> Result<Vec<NodeState>, CoreError> {
-    let grid = traces.first().map_or(TimeGrid::new(1, 1), |t| t.grid());
+    let grid = source.grid();
     par_map(
         topology.nodes_at_level(level),
         1,
         |_, &node| -> Result<NodeState, CoreError> {
             let members = assignment.instances_under(topology, node)?;
-            let agg = NodeAggregate::from_traces(grid, members.iter().map(|&i| &traces[i]))?;
+            let agg =
+                NodeAggregate::from_samples(grid, members.iter().map(|&i| source.samples(i)))?;
             Ok(NodeState { node, members, agg })
         },
     )
@@ -273,12 +321,70 @@ fn build_states(
     .collect()
 }
 
+/// Peak of the member rows' elementwise sum without materializing the sum:
+/// the time axis is processed in fixed stack-resident blocks, each block
+/// accumulated member-by-member in slice order — per-element float
+/// association identical to `PowerTrace::sum_of` + `peak()`, so the result
+/// is bit-identical to the materializing path.
+fn peak_of_member_sum<S: SampleSource + ?Sized>(source: &S, members: &[usize]) -> f64 {
+    let t_len = source.grid().len();
+    let mut block = [0.0f64; TIME_BLOCK];
+    let mut peak = f64::MIN;
+    let mut start = 0;
+    while start < t_len {
+        let width = TIME_BLOCK.min(t_len - start);
+        block[..width].fill(0.0);
+        for &m in members {
+            let row = &source.samples(m)[start..start + width];
+            for (acc, &v) in block[..width].iter_mut().zip(row) {
+                *acc += v;
+            }
+        }
+        for &v in &block[..width] {
+            peak = peak.max(v);
+        }
+        start += width;
+    }
+    peak
+}
+
+/// [`crate::asynchrony_score`] over member rows of a sample source, fused:
+/// peak sum accumulated in member order, aggregate peak via the
+/// allocation-free blocked kernel. Bit-identical to the trace-slice path.
+fn asynchrony_score_members<S: SampleSource + ?Sized>(
+    source: &S,
+    members: &[usize],
+) -> Result<f64, CoreError> {
+    if members.is_empty() {
+        return Err(CoreError::EmptySet);
+    }
+    let t_len = source.grid().len();
+    let mut peak_sum = 0.0;
+    for &i in members {
+        let row = source.samples(i);
+        if row.len() != t_len {
+            return Err(CoreError::Trace(
+                so_powertrace::TraceError::LengthMismatch {
+                    left: t_len,
+                    right: row.len(),
+                },
+            ));
+        }
+        peak_sum += peak_of_samples(row);
+    }
+    let aggregate_peak = peak_of_member_sum(source, members);
+    if aggregate_peak == 0.0 {
+        return Ok(members.len() as f64);
+    }
+    Ok(peak_sum / aggregate_peak)
+}
+
 /// Asynchrony score of every node at `level` that hosts at least two
 /// instances.
-fn scored_nodes(
+fn scored_nodes_source<S: SampleSource + ?Sized>(
     topology: &PowerTopology,
     assignment: &Assignment,
-    traces: &[PowerTrace],
+    source: &S,
     level: Level,
 ) -> Result<Vec<(NodeId, f64)>, CoreError> {
     // One node per parallel task; each node's score is computed exactly as
@@ -291,7 +397,7 @@ fn scored_nodes(
             if members.len() < 2 {
                 return Ok(None);
             }
-            let score = asynchrony_score(members.iter().map(|&i| &traces[i]))?;
+            let score = asynchrony_score_members(source, &members)?;
             Ok(Some((node, score)))
         },
     );
@@ -311,7 +417,17 @@ pub fn worst_node(
     traces: &[PowerTrace],
     level: Level,
 ) -> Result<Option<(NodeId, f64)>, CoreError> {
-    Ok(scored_nodes(topology, assignment, traces, level)?
+    worst_node_source(topology, assignment, traces, level)
+}
+
+/// [`worst_node`] over any sample source (used by the arena pipeline).
+fn worst_node_source<S: SampleSource + ?Sized>(
+    topology: &PowerTopology,
+    assignment: &Assignment,
+    source: &S,
+    level: Level,
+) -> Result<Option<(NodeId, f64)>, CoreError> {
+    Ok(scored_nodes_source(topology, assignment, source, level)?
         .into_iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite")))
 }
@@ -320,14 +436,15 @@ pub fn worst_node(
 /// its lowest-`AD` instance and scan all instances of other nodes at the
 /// same level, requiring both nodes' differential scores to rise.
 ///
-/// Every peer mean is an `O(T)` [`NodeAggregate::mean_excluding`] against
-/// the cached node sum, so one candidate costs `O(T)` regardless of node
-/// size. Partner nodes are scanned in parallel; ties resolve to the first
-/// candidate in (partner, member) order, exactly as a serial scan would.
-fn best_swap(
+/// Every differential score is a fused `O(T)` pass over the cached node
+/// sum ([`differential_score_excluding`]) — no peer-mean trace and no
+/// temporary allocation per candidate. Partner nodes are scanned in
+/// parallel; ties resolve to the first candidate in (partner, member)
+/// order, exactly as a serial scan would.
+fn best_swap<S: SampleSource + ?Sized>(
     si: usize,
     states: &[NodeState],
-    traces: &[PowerTrace],
+    source: &S,
     config: &RemapConfig,
 ) -> Result<Option<SwapRecord>, CoreError> {
     let state = &states[si];
@@ -338,8 +455,12 @@ fn best_swap(
     // Worst-fitting instance of the node by differential score. The map is
     // positional, the reduction serial in member order (first wins ties).
     let ads = par_map(&state.members, 8, |_, &i| -> Result<f64, CoreError> {
-        let peers = state.agg.mean_excluding(&traces[i])?;
-        differential_score(&traces[i], &peers)
+        differential_score_excluding(
+            source.samples(i),
+            state.agg.sum_samples(),
+            source.samples(i),
+            state.agg.count(),
+        )
     });
     let mut worst: Option<(usize, f64)> = None;
     for (&i, ad) in state.members.iter().zip(ads) {
@@ -349,7 +470,7 @@ fn best_swap(
         }
     }
     let (out_instance, out_score) = worst.expect("node has at least two members");
-    let peers_node = state.agg.mean_excluding(&traces[out_instance])?;
+    let out_samples = source.samples(out_instance);
 
     // One parallel task per candidate partner; each returns its own best
     // admissible candidate in member order.
@@ -369,10 +490,25 @@ fn best_swap(
             );
             let mut best: Option<SwapRecord> = None;
             for &j in &partner.members {
-                let peers_partner = partner.agg.mean_excluding(&traces[j])?;
-                let ad_j_before = differential_score(&traces[j], &peers_partner)?;
-                let ad_j_at_node = differential_score(&traces[j], &peers_node)?;
-                let ad_i_at_partner = differential_score(&traces[out_instance], &peers_partner)?;
+                let j_samples = source.samples(j);
+                let ad_j_before = differential_score_excluding(
+                    j_samples,
+                    partner.agg.sum_samples(),
+                    j_samples,
+                    partner.agg.count(),
+                )?;
+                let ad_j_at_node = differential_score_excluding(
+                    j_samples,
+                    state.agg.sum_samples(),
+                    out_samples,
+                    state.agg.count(),
+                )?;
+                let ad_i_at_partner = differential_score_excluding(
+                    out_samples,
+                    partner.agg.sum_samples(),
+                    j_samples,
+                    partner.agg.count(),
+                )?;
                 let gain_node = ad_j_at_node - out_score;
                 let gain_partner = ad_i_at_partner - ad_j_before;
                 if gain_node > config.min_gain && gain_partner > config.min_gain {
@@ -494,6 +630,29 @@ mod tests {
     }
 
     #[test]
+    fn arena_remap_is_bit_identical_to_trace_remap() {
+        let topo = topo();
+        let fleet = fleet();
+        let racks = topo.racks();
+        let placement = vec![racks[0], racks[0], racks[1], racks[1]];
+
+        let mut vec_assignment = Assignment::new(placement.clone(), &topo).unwrap();
+        let vec_report = remap(&fleet, &topo, &mut vec_assignment, RemapConfig::default()).unwrap();
+
+        let arena = TraceArena::from_traces(fleet.averaged_traces()).unwrap();
+        let mut arena_assignment = Assignment::new(placement, &topo).unwrap();
+        let arena_report =
+            remap_arena(&arena, &topo, &mut arena_assignment, RemapConfig::default()).unwrap();
+
+        assert_eq!(arena_report, vec_report);
+        assert_eq!(arena_assignment, vec_assignment);
+        assert_eq!(
+            arena_report.final_worst_score.to_bits(),
+            vec_report.final_worst_score.to_bits()
+        );
+    }
+
+    #[test]
     fn degraded_remap_with_full_coverage_matches_clean_remap() {
         use so_powertrace::MaskedTrace;
 
@@ -552,6 +711,21 @@ mod tests {
         assert!(
             score < 1.2,
             "synchronous rack should score near 1.0, got {score}"
+        );
+    }
+
+    #[test]
+    fn fused_node_score_matches_asynchrony_score() {
+        let fleet = fleet();
+        let traces = fleet.averaged_traces();
+        let members = [0usize, 1, 2, 3];
+        let fused = asynchrony_score_members(traces, &members).unwrap();
+        let reference =
+            crate::score::asynchrony_score(members.iter().map(|&i| &traces[i])).unwrap();
+        assert_eq!(fused.to_bits(), reference.to_bits());
+        assert_eq!(
+            asynchrony_score_members(traces, &[]).unwrap_err(),
+            CoreError::EmptySet
         );
     }
 }

@@ -10,7 +10,7 @@
 //! and `|M|` when aggregation leaves the group peak equal to each
 //! component's peak (perfect complementarity).
 
-use so_powertrace::PowerTrace;
+use so_powertrace::{peak_of_samples, PowerTrace, TraceError};
 
 use crate::error::CoreError;
 
@@ -93,6 +93,103 @@ pub fn instance_to_service_score(
 /// Propagates grid mismatches.
 pub fn differential_score(instance: &PowerTrace, peer_mean: &PowerTrace) -> Result<f64, CoreError> {
     pairwise_score(instance, peer_mean)
+}
+
+/// [`pairwise_score`] over raw sample rows (e.g. [`TraceArena`] rows or
+/// borrowed trace samples), fused: the aggregate `a[t] + b[t]` is never
+/// materialized — its peak is folded directly in time order, which is the
+/// exact float work of `PowerTrace::sum_of([a, b])?.peak()`. Bit-identical
+/// to [`pairwise_score`] on the same samples; the `arena` oracle family
+/// pins this.
+///
+/// [`TraceArena`]: so_powertrace::TraceArena
+///
+/// # Errors
+///
+/// Returns [`CoreError::Trace`] (length mismatch) when the rows differ in
+/// length. Steps are the caller's responsibility — rows of one arena always
+/// share a grid.
+pub fn pairwise_score_samples(a: &[f64], b: &[f64]) -> Result<f64, CoreError> {
+    if a.len() != b.len() {
+        return Err(CoreError::Trace(TraceError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        }));
+    }
+    // Same accumulation as `asynchrony_score`: peaks added onto 0.0 in
+    // member order.
+    let mut peak_sum = 0.0;
+    peak_sum += peak_of_samples(a);
+    peak_sum += peak_of_samples(b);
+    let mut aggregate_peak = f64::MIN;
+    for (&x, &y) in a.iter().zip(b) {
+        aggregate_peak = aggregate_peak.max(x + y);
+    }
+    if aggregate_peak == 0.0 {
+        return Ok(2.0);
+    }
+    Ok(peak_sum / aggregate_peak)
+}
+
+/// The differential asynchrony score of one instance against a node it may
+/// join or sit in, fused over raw sample rows: given the node's running
+/// `sum` (a [`NodeAggregate::sum_samples`] buffer) over `count` members,
+/// scores `instance` against the mean of the members *excluding*
+/// `excluded` — without materializing the peer-mean trace or the pairwise
+/// aggregate.
+///
+/// Per element the peer mean is `((sum[t] − excluded[t]) · 1/(count−1))
+/// .max(0.0)` — the exact expression of [`NodeAggregate::mean_excluding`] —
+/// and the three peaks (instance, peer mean, their sum) are folded in time
+/// order exactly as the materializing
+/// `differential_score(instance, &agg.mean_excluding(excluded)?)` path
+/// computes them, so the two agree bit-for-bit.
+///
+/// Pass `excluded == instance` with the instance's own node to score it in
+/// place, or `excluded` = some other member with a foreign node's sum to
+/// score a hypothetical arrival replacing that member.
+///
+/// [`NodeAggregate::sum_samples`]: so_powertrace::NodeAggregate::sum_samples
+/// [`NodeAggregate::mean_excluding`]: so_powertrace::NodeAggregate::mean_excluding
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptySet`] when `count < 2` (no peers) and
+/// [`CoreError::Trace`] when the rows differ in length.
+pub fn differential_score_excluding(
+    instance: &[f64],
+    sum: &[f64],
+    excluded: &[f64],
+    count: usize,
+) -> Result<f64, CoreError> {
+    if count < 2 {
+        return Err(CoreError::EmptySet);
+    }
+    for row in [instance, excluded] {
+        if row.len() != sum.len() {
+            return Err(CoreError::Trace(TraceError::LengthMismatch {
+                left: sum.len(),
+                right: row.len(),
+            }));
+        }
+    }
+    let scale = 1.0 / (count - 1) as f64;
+    let mut peak_instance = f64::MIN;
+    let mut peak_mean = f64::MIN;
+    let mut peak_aggregate = f64::MIN;
+    for ((&x, &s), &e) in instance.iter().zip(sum).zip(excluded) {
+        let m = ((s - e) * scale).max(0.0);
+        peak_instance = peak_instance.max(x);
+        peak_mean = peak_mean.max(m);
+        peak_aggregate = peak_aggregate.max(x + m);
+    }
+    let mut peak_sum = 0.0;
+    peak_sum += peak_instance;
+    peak_sum += peak_mean;
+    if peak_aggregate == 0.0 {
+        return Ok(2.0);
+    }
+    Ok(peak_sum / peak_aggregate)
 }
 
 /// The averaged aggregate trace `PA_{i,N}` of §3.6: the mean of the traces
@@ -190,6 +287,54 @@ mod tests {
         assert!((poor_a - 1.0).abs() < 1e-12);
         assert_eq!(good_a, 2.0);
         assert!((good_b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_score_samples_is_bit_identical_to_pairwise_score() {
+        let cases = [
+            (trace(&[4.0, 0.0, 2.0]), trace(&[0.0, 4.0, 2.0])),
+            (trace(&[1.0, 3.0]), trace(&[2.5, 7.5])),
+            (trace(&[0.0, 0.0]), trace(&[0.0, 0.0])),
+            (trace(&[0.1, 0.7, 0.3]), trace(&[0.0, 0.0, 0.0])),
+        ];
+        for (a, b) in &cases {
+            let want = pairwise_score(a, b).unwrap();
+            let got = pairwise_score_samples(a.samples(), b.samples()).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        assert!(pairwise_score_samples(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn differential_score_excluding_matches_materializing_path() {
+        use so_powertrace::NodeAggregate;
+
+        let members = [
+            trace(&[4.0, 0.0, 1.0]),
+            trace(&[0.0, 4.0, 1.0]),
+            trace(&[2.0, 2.0, 2.0]),
+            trace(&[0.5, 1.5, 3.5]),
+        ];
+        let agg = NodeAggregate::from_traces(members[0].grid(), &members).unwrap();
+        for excluded in &members {
+            for instance in &members {
+                let want =
+                    differential_score(instance, &agg.mean_excluding(excluded).unwrap()).unwrap();
+                let got = differential_score_excluding(
+                    instance.samples(),
+                    agg.sum_samples(),
+                    excluded.samples(),
+                    agg.count(),
+                )
+                .unwrap();
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+        assert_eq!(
+            differential_score_excluding(&[1.0], &[1.0], &[1.0], 1).unwrap_err(),
+            CoreError::EmptySet
+        );
+        assert!(differential_score_excluding(&[1.0], &[1.0, 2.0], &[1.0], 2).is_err());
     }
 
     #[test]

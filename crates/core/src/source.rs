@@ -1,0 +1,92 @@
+//! [`SampleSource`]: the abstraction that lets hot paths run unchanged
+//! over `Vec<PowerTrace>` fleets *and* columnar [`TraceArena`]s.
+//!
+//! The remap engine and the embedding only ever need three things from a
+//! trace population: how many instances there are, a borrowed sample row
+//! per instance, and the shared grid. Everything downstream (node sums,
+//! swap probes, fused scores) operates on `&[f64]` rows, so one generic
+//! implementation serves both storage layouts — and because both
+//! implementations hand out the *same sample values*, the engine's results
+//! are bit-identical across layouts (the `arena` oracle family pins this).
+
+use so_powertrace::{PowerTrace, TimeGrid, TraceArena};
+
+/// A population of equally-gridded power traces, indexable by instance id.
+///
+/// Implemented for `[PowerTrace]` (the original row-per-allocation layout)
+/// and [`TraceArena`] (columnar). `Sync` is required so the placement and
+/// remap engines can scan instances in parallel.
+pub trait SampleSource: Sync {
+    /// Number of instances.
+    fn count(&self) -> usize;
+
+    /// Borrowed samples of instance `i`.
+    ///
+    /// # Panics
+    ///
+    /// May panic when `i >= count()` (like slice indexing).
+    fn samples(&self, i: usize) -> &[f64];
+
+    /// The grid every instance is sampled on. For an empty population this
+    /// is a 1-sample placeholder grid, matching the remap engine's
+    /// historical behavior on empty trace slices.
+    fn grid(&self) -> TimeGrid;
+}
+
+impl SampleSource for [PowerTrace] {
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn samples(&self, i: usize) -> &[f64] {
+        self[i].samples()
+    }
+
+    fn grid(&self) -> TimeGrid {
+        self.first().map_or(TimeGrid::new(1, 1), |t| t.grid())
+    }
+}
+
+impl SampleSource for TraceArena {
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn samples(&self, i: usize) -> &[f64] {
+        self.row(i)
+    }
+
+    fn grid(&self) -> TimeGrid {
+        TraceArena::grid(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_arena_sources_agree() {
+        let traces = vec![
+            PowerTrace::new(vec![1.0, 2.0], 10).unwrap(),
+            PowerTrace::new(vec![3.0, 0.5], 10).unwrap(),
+        ];
+        let arena = TraceArena::from_traces(&traces).unwrap();
+        let slice: &[PowerTrace] = &traces;
+        assert_eq!(SampleSource::count(slice), arena.len());
+        assert_eq!(SampleSource::grid(slice), SampleSource::grid(&arena));
+        for i in 0..traces.len() {
+            assert_eq!(
+                SampleSource::samples(slice, i),
+                SampleSource::samples(&arena, i)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_slice_has_placeholder_grid() {
+        let slice: &[PowerTrace] = &[];
+        assert_eq!(SampleSource::grid(slice), TimeGrid::new(1, 1));
+        assert_eq!(SampleSource::count(slice), 0);
+    }
+}

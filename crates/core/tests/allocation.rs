@@ -1,0 +1,94 @@
+//! Allocation-count regression tests for the placement hot path.
+//!
+//! The k-means handoff in `SmoothPlacer::deal` used to clone every member's
+//! embedding row (`vectors[i].clone()`) just to build the point set; the
+//! clustering layer is now generic over `AsRef<[f64]>`, so the gather is a
+//! single pointer-vector allocation. A counting global allocator pins the
+//! before/after difference so the clone cannot silently return.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Allocations performed while evaluating `f`, single-threaded.
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let value = f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (value, after - before)
+}
+
+// One test function on purpose: the counter is process-global, and the
+// default harness runs separate #[test]s on concurrent threads, which
+// would pollute the measured windows.
+#[test]
+fn borrowed_kmeans_gather_eliminates_per_member_clones() {
+    // The same shapes `deal()` sees: a dense embedding table and a member
+    // subset selecting rows out of it.
+    let dim = 16;
+    let vectors: Vec<Vec<f64>> = (0..256)
+        .map(|i| (0..dim).map(|d| (i * dim + d) as f64).collect())
+        .collect();
+    let members: Vec<usize> = (0..vectors.len()).step_by(2).collect();
+    let n = members.len();
+
+    // Before: the old handoff cloned every selected row.
+    let ((), cloned_allocs) = allocations_during(|| {
+        let points: Vec<Vec<f64>> = members.iter().map(|&i| vectors[i].clone()).collect();
+        black_box(&points);
+    });
+
+    // After: the current handoff borrows the rows (placement.rs `deal()`).
+    let ((), borrowed_allocs) = allocations_during(|| {
+        let points: Vec<&[f64]> = members.iter().map(|&i| vectors[i].as_slice()).collect();
+        black_box(&points);
+    });
+
+    // The clone gather pays one allocation per member row on top of the
+    // pointer vector; the borrow gather pays only the pointer vector
+    // (a couple of allocations at most, growth included).
+    assert!(
+        cloned_allocs > n,
+        "cloned gather of {n} rows made only {cloned_allocs} allocations"
+    );
+    assert!(
+        borrowed_allocs <= 4,
+        "borrowed gather should be a single pointer vector, made {borrowed_allocs} allocations"
+    );
+    assert!(
+        borrowed_allocs * 8 < cloned_allocs,
+        "borrow ({borrowed_allocs}) should be far below clone ({cloned_allocs})"
+    );
+
+    // The allocation win must not change results: clustering the borrowed
+    // rows is identical to clustering owned clones of the same rows.
+    use so_cluster::{balanced_kmeans, KMeansConfig};
+    let subset_owned: Vec<Vec<f64>> = members.iter().map(|&i| vectors[i].clone()).collect();
+    let subset_borrowed: Vec<&[f64]> = members.iter().map(|&i| vectors[i].as_slice()).collect();
+    let a = balanced_kmeans(&subset_owned, KMeansConfig::new(6)).unwrap();
+    let b = balanced_kmeans(&subset_borrowed, KMeansConfig::new(6)).unwrap();
+    assert_eq!(a, b);
+}

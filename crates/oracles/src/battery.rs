@@ -1,4 +1,4 @@
-//! The seeded randomized battery: one fixture, all three oracle families.
+//! The seeded randomized battery: one fixture, all four oracle families.
 //!
 //! The battery is fully deterministic in `(seed, instances)` — the seed
 //! selects the scenario preset, perturbs fleet generation, and drives
@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use so_workloads::DcScenario;
 
-use crate::{differential, invariant, metamorphic, Fixture, OracleError, OracleReport};
+use crate::{arena, differential, invariant, metamorphic, Fixture, OracleError, OracleReport};
 
 /// Battery parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +44,7 @@ pub struct BatteryOutcome {
 }
 
 /// Runs the full oracle battery: builds the seeded fixture, then the
-/// invariant, differential, and metamorphic families in that order.
+/// invariant, differential, metamorphic, and arena families in that order.
 ///
 /// # Errors
 ///
@@ -62,6 +62,7 @@ pub fn run_battery(config: &BatteryConfig) -> Result<BatteryOutcome, OracleError
     invariant::run(&fixture, &mut rng, &mut report)?;
     differential::run(&fixture, &mut report)?;
     metamorphic::run(&fixture, &mut rng, &mut report)?;
+    arena::run(&fixture, &mut report)?;
     Ok(BatteryOutcome {
         scenario: scenario.name,
         instances: config.instances,

@@ -9,7 +9,7 @@
 //! randomized battery suitable for CI and for the `smoothop check`
 //! subcommand.
 //!
-//! Three oracle families (see `DESIGN.md` §7):
+//! Four oracle families (see `DESIGN.md` §7):
 //!
 //! * **Invariant** ([`invariant`]) — properties of a single run: score
 //!   bounds `1 ≤ A_M ≤ |M|`, peak-of-sum ≤ sum-of-peaks, remapping never
@@ -23,6 +23,11 @@
 //! * **Metamorphic** ([`metamorphic`]) — known input transforms with known
 //!   output effects: instance permutation, uniform power scaling
 //!   (bit-exact for power-of-two factors), circular time shifts.
+//! * **Arena** ([`arena`]) — the columnar [`so_powertrace::TraceArena`]
+//!   pipelines vs their `Vec<PowerTrace>` twins: round-trips, batch sum
+//!   and peak kernels, embeddings, remap, and per-row quantiles (the
+//!   StatProf kernel) must all be *bit-identical* — the contract the
+//!   allocation-free hot paths rely on.
 //!
 //! Oracle outcomes accumulate in an [`OracleReport`]; each evaluation also
 //! emits the telemetry counters `so_oracle_evaluations_total` and
@@ -50,6 +55,7 @@
 use std::error::Error;
 use std::fmt;
 
+pub mod arena;
 pub mod battery;
 pub mod differential;
 pub mod fixture;
@@ -59,7 +65,7 @@ pub mod metamorphic;
 pub use battery::{run_battery, BatteryConfig, BatteryOutcome};
 pub use fixture::{fitting_topology, rotate_trace, Fixture};
 
-/// The three oracle families of the correctness harness.
+/// The four oracle families of the correctness harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OracleFamily {
     /// Properties that must hold for any single run.
@@ -68,14 +74,18 @@ pub enum OracleFamily {
     Differential,
     /// Known input transforms with known output effects.
     Metamorphic,
+    /// Columnar-arena pipelines must be bit-identical to their
+    /// `Vec<PowerTrace>` twins.
+    Arena,
 }
 
 impl OracleFamily {
     /// All families, in reporting order.
-    pub const ALL: [OracleFamily; 3] = [
+    pub const ALL: [OracleFamily; 4] = [
         OracleFamily::Invariant,
         OracleFamily::Differential,
         OracleFamily::Metamorphic,
+        OracleFamily::Arena,
     ];
 
     /// Stable lower-case label, used for telemetry and reports.
@@ -84,6 +94,7 @@ impl OracleFamily {
             OracleFamily::Invariant => "invariant",
             OracleFamily::Differential => "differential",
             OracleFamily::Metamorphic => "metamorphic",
+            OracleFamily::Arena => "arena",
         }
     }
 
@@ -92,6 +103,7 @@ impl OracleFamily {
             OracleFamily::Invariant => 0,
             OracleFamily::Differential => 1,
             OracleFamily::Metamorphic => 2,
+            OracleFamily::Arena => 3,
         }
     }
 }
@@ -127,7 +139,7 @@ impl fmt::Display for Violation {
 /// the family, so recorded batteries show up in metric snapshots.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OracleReport {
-    evaluations: [u64; 3],
+    evaluations: [u64; 4],
     violations: Vec<Violation>,
 }
 

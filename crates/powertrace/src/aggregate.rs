@@ -93,6 +93,27 @@ impl NodeAggregate {
         Ok(agg)
     }
 
+    /// Builds an aggregate by adding every sample row in `members` (e.g.
+    /// arena rows). The rows are trusted to be on `grid`'s step; their
+    /// length is checked. Accumulation order and association are identical
+    /// to [`from_traces`](Self::from_traces), so the two construct
+    /// bit-identical sums from the same samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::LengthMismatch`] for a row that is not one
+    /// grid row long.
+    pub fn from_samples<'a>(
+        grid: TimeGrid,
+        members: impl IntoIterator<Item = &'a [f64]>,
+    ) -> Result<Self, TraceError> {
+        let mut agg = Self::new(grid);
+        for row in members {
+            agg.add_samples(row)?;
+        }
+        Ok(agg)
+    }
+
     /// Number of member traces currently in the aggregate.
     pub fn count(&self) -> usize {
         self.count
@@ -147,6 +168,62 @@ impl NodeAggregate {
         Ok(())
     }
 
+    /// [`add`](Self::add) for a raw sample row (e.g. an arena row). The
+    /// row's step is trusted; its length is checked. Performs the exact
+    /// loop of [`add`](Self::add), so mixing the two entry points keeps the
+    /// sum bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::LengthMismatch`] for a wrong-length row.
+    pub fn add_samples(&mut self, samples: &[f64]) -> Result<(), TraceError> {
+        if samples.len() != self.sum.len() {
+            return Err(TraceError::LengthMismatch {
+                left: self.sum.len(),
+                right: samples.len(),
+            });
+        }
+        for (acc, &v) in self.sum.iter_mut().zip(samples) {
+            *acc += v;
+        }
+        self.count += 1;
+        self.peak = OnceLock::new();
+        Ok(())
+    }
+
+    /// [`remove`](Self::remove) for a raw sample row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] when the aggregate has no members and
+    /// [`TraceError::LengthMismatch`] for a wrong-length row.
+    pub fn remove_samples(&mut self, samples: &[f64]) -> Result<(), TraceError> {
+        if self.count == 0 {
+            return Err(TraceError::Empty);
+        }
+        if samples.len() != self.sum.len() {
+            return Err(TraceError::LengthMismatch {
+                left: self.sum.len(),
+                right: samples.len(),
+            });
+        }
+        for (acc, &v) in self.sum.iter_mut().zip(samples) {
+            *acc -= v;
+        }
+        self.count -= 1;
+        self.peak = OnceLock::new();
+        Ok(())
+    }
+
+    /// The raw running sum (member additions minus removals, **unclamped**:
+    /// tiny negative residues from removals are visible here; observation
+    /// paths clamp at zero). This is the arena scoring kernels' input — it
+    /// lets fused score computations read the node sum without
+    /// materializing a trace.
+    pub fn sum_samples(&self) -> &[f64] {
+        &self.sum
+    }
+
     /// The aggregate's peak power, cached until the next mutation.
     ///
     /// Equals `self.to_trace().unwrap().peak()` (samples are clamped at
@@ -182,6 +259,34 @@ impl NodeAggregate {
             .zip(leaving.samples())
             .zip(arriving.samples())
         {
+            peak = peak.max((acc - out + inn).max(0.0));
+        }
+        Ok(peak)
+    }
+
+    /// [`peak_with_swap`](Self::peak_with_swap) for raw sample rows (e.g.
+    /// arena rows): identical loop, identical result bits for the same
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::LengthMismatch`] when either row is not one
+    /// grid row long.
+    pub fn peak_with_swap_samples(
+        &self,
+        leaving: &[f64],
+        arriving: &[f64],
+    ) -> Result<f64, TraceError> {
+        for row in [leaving, arriving] {
+            if row.len() != self.sum.len() {
+                return Err(TraceError::LengthMismatch {
+                    left: self.sum.len(),
+                    right: row.len(),
+                });
+            }
+        }
+        let mut peak = f64::MIN;
+        for ((&acc, &out), &inn) in self.sum.iter().zip(leaving).zip(arriving) {
             peak = peak.max((acc - out + inn).max(0.0));
         }
         Ok(peak)
@@ -334,6 +439,46 @@ mod tests {
         let t = agg.to_trace().unwrap();
         assert!(t.samples().iter().all(|&v| v >= 0.0));
         assert!(agg.peak() >= 0.0);
+    }
+
+    #[test]
+    fn samples_entry_points_match_trace_entry_points() {
+        let members = [
+            trace(&[1.0, 4.0, 2.0]),
+            trace(&[3.0, 0.0, 5.0]),
+            trace(&[2.0, 2.0, 2.0]),
+        ];
+        let via_traces = NodeAggregate::from_traces(members[0].grid(), &members).unwrap();
+        let via_samples =
+            NodeAggregate::from_samples(members[0].grid(), members.iter().map(|t| t.samples()))
+                .unwrap();
+        assert_eq!(via_samples.count(), via_traces.count());
+        assert_eq!(via_samples.sum_samples(), via_traces.sum_samples());
+        assert_eq!(via_samples.peak(), via_traces.peak());
+        assert_eq!(
+            via_samples
+                .peak_with_swap_samples(members[0].samples(), members[1].samples())
+                .unwrap(),
+            via_traces.peak_with_swap(&members[0], &members[1]).unwrap()
+        );
+
+        let mut a = via_traces.clone();
+        let mut b = via_samples.clone();
+        a.remove(&members[1]).unwrap();
+        b.remove_samples(members[1].samples()).unwrap();
+        assert_eq!(a.sum_samples(), b.sum_samples());
+        assert_eq!(a.count(), b.count());
+
+        assert!(b.add_samples(&[1.0]).is_err());
+        assert!(b.remove_samples(&[1.0]).is_err());
+        let mut empty = NodeAggregate::new(members[0].grid());
+        assert!(matches!(
+            empty.remove_samples(members[0].samples()),
+            Err(TraceError::Empty)
+        ));
+        assert!(empty
+            .peak_with_swap_samples(&[1.0], members[0].samples())
+            .is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`NodeAggregate`] — an incrementally maintained aggregate trace with a
 //!   cached peak, so remapping evaluates candidate swaps in `O(T)` instead
 //!   of re-summing a whole power node;
+//! * [`TraceArena`] — columnar storage for large trace populations: one
+//!   contiguous sample buffer with [`TraceView`]/[`TraceViewMut`] handles
+//!   and allocation-free batch kernels, the representation behind the
+//!   100k–1M instance scale tier;
 //! * [`TraceSanitizer`] — detection and repair of degraded raw telemetry
 //!   (NaN/negative samples, sensor spikes, gaps) with a [`RepairReport`];
 //! * [`MaskedTrace`] — a partial trace with a validity mask, fillable from
@@ -45,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 mod aggregate;
+mod arena;
 mod bands;
 mod decompose;
 mod error;
@@ -59,6 +64,7 @@ mod stats;
 mod trace;
 
 pub use aggregate::{peak_of_samples, NodeAggregate};
+pub use arena::{TraceArena, TraceView, TraceViewMut};
 pub use bands::PercentileBands;
 pub use decompose::SeasonalDecomposition;
 pub use error::TraceError;

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use so_powertrace::{
     off_peak_mask, peak_of_sum, sum_of_peaks, Ecdf, NodeAggregate, PercentileBands, PowerTrace,
-    SlackProfile,
+    SlackProfile, TraceArena, TraceView,
 };
 
 fn sample_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -220,4 +220,111 @@ proptest! {
             }
         }
     }
+
+    /// Traces survive the columnar round trip bit-for-bit: arena rows,
+    /// zero-copy views, and materialized traces all reproduce the source
+    /// samples exactly (single-sample traces included).
+    #[test]
+    fn arena_round_trip_is_bit_exact(
+        vs in (1usize..24).prop_flat_map(|len| prop::collection::vec(sample_vec(len), 1..6)),
+    ) {
+        let traces: Vec<PowerTrace> =
+            vs.into_iter().map(|v| PowerTrace::new(v, 10).unwrap()).collect();
+        let arena = TraceArena::from_traces(&traces).unwrap();
+        prop_assert_eq!(arena.len(), traces.len());
+        let back = arena.to_traces().unwrap();
+        for (i, t) in traces.iter().enumerate() {
+            let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(arena.row(i)), bits(t.samples()));
+            prop_assert_eq!(bits(arena.view(i).samples()), bits(t.samples()));
+            prop_assert_eq!(bits(back[i].samples()), bits(t.samples()));
+            prop_assert_eq!(back[i].grid(), t.grid());
+            prop_assert_eq!(TraceView::from_trace(t).peak().to_bits(), t.peak().to_bits());
+        }
+    }
+
+    /// The batch sum kernel matches a naive per-timestep accumulation in
+    /// member order, bit for bit — the order `PowerTrace::sum_of` uses.
+    #[test]
+    fn arena_sum_into_matches_naive_reference(
+        vs in prop::collection::vec(sample_vec(24), 1..8),
+        picks in prop::collection::vec(0usize..64, 1..12),
+    ) {
+        let traces: Vec<PowerTrace> =
+            vs.into_iter().map(|v| PowerTrace::new(v, 10).unwrap()).collect();
+        let arena = TraceArena::from_traces(&traces).unwrap();
+        let members: Vec<usize> = picks.iter().map(|&p| p % traces.len()).collect();
+
+        let mut naive = vec![0.0f64; arena.samples_per_trace()];
+        for &m in &members {
+            for (acc, &v) in naive.iter_mut().zip(traces[m].samples()) {
+                *acc += v;
+            }
+        }
+        let mut out = vec![f64::NAN; arena.samples_per_trace()];
+        arena.sum_into(&members, &mut out).unwrap();
+        for (a, b) in out.iter().zip(&naive) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The fused blocked peak kernel equals the peak of the materialized
+    /// sum, bit for bit, for any member multiset (duplicates allowed).
+    #[test]
+    fn arena_peak_of_sum_matches_naive_reference(
+        vs in prop::collection::vec(sample_vec(40), 1..8),
+        picks in prop::collection::vec(0usize..64, 1..12),
+    ) {
+        let traces: Vec<PowerTrace> =
+            vs.into_iter().map(|v| PowerTrace::new(v, 10).unwrap()).collect();
+        let arena = TraceArena::from_traces(&traces).unwrap();
+        let members: Vec<usize> = picks.iter().map(|&p| p % traces.len()).collect();
+
+        let mut sum = vec![0.0f64; arena.samples_per_trace()];
+        arena.sum_into(&members, &mut sum).unwrap();
+        let naive_peak = sum.iter().copied().fold(f64::MIN, f64::max);
+        prop_assert_eq!(arena.peak_of_sum(&members).unwrap().to_bits(), naive_peak.to_bits());
+    }
+
+    /// Arena row quantiles agree bit-for-bit with the trace-layer quantile
+    /// on the same samples.
+    #[test]
+    fn arena_quantiles_match_trace_quantiles(
+        vs in prop::collection::vec(sample_vec(30), 1..5),
+        q in 0.0f64..=1.0,
+    ) {
+        let traces: Vec<PowerTrace> =
+            vs.into_iter().map(|v| PowerTrace::new(v, 10).unwrap()).collect();
+        let arena = TraceArena::from_traces(&traces).unwrap();
+        let mut scratch = Vec::new();
+        let batch = arena.row_quantiles(q).unwrap();
+        for (i, t) in traces.iter().enumerate() {
+            let want = t.quantile(q).unwrap();
+            prop_assert_eq!(arena.quantile_of_row(i, q, &mut scratch).unwrap().to_bits(), want.to_bits());
+            prop_assert_eq!(batch[i].to_bits(), want.to_bits());
+        }
+    }
+}
+
+/// Deterministic edge cases the strategies above cannot reach.
+#[test]
+fn arena_edge_cases() {
+    // An empty trace slice cannot define a grid.
+    assert!(TraceArena::from_traces(&[]).is_err());
+
+    // Empty member set has no sum.
+    let t = PowerTrace::new(vec![1.0, 2.0], 10).unwrap();
+    let arena = TraceArena::from_traces(std::slice::from_ref(&t)).unwrap();
+    let mut out = vec![0.0; 2];
+    assert!(arena.sum_into(&[], &mut out).is_err());
+    assert!(arena.peak_of_sum(&[]).is_err());
+
+    // Single-sample rows: quantiles collapse to the sample for every q.
+    let single = PowerTrace::new(vec![7.5], 10).unwrap();
+    let arena = TraceArena::from_traces(std::slice::from_ref(&single)).unwrap();
+    let mut scratch = Vec::new();
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(arena.quantile_of_row(0, q, &mut scratch).unwrap(), 7.5);
+    }
+    assert_eq!(arena.peak_of_sum(&[0, 0]).unwrap(), 15.0);
 }

@@ -57,6 +57,7 @@ fn main() -> ExitCode {
         Some("dot") => with_scenario(&args, dot),
         Some("simulate") => with_scenario(&args, |scenario, n| simulate_cmd(scenario, n, faults)),
         Some("check") => check_cmd(&args, flags.seed),
+        Some("scale") => scale_cmd(&flags),
         Some("report") => with_scenario(&args, |scenario, n| {
             report_cmd(
                 scenario,
@@ -116,7 +117,9 @@ fn print_usage() {
     println!("  smoothop report    <dc> [n]       instrumented place+drift+remap+simulate run,");
     println!("                                    printed as a telemetry summary");
     println!("  smoothop check     [n]            seeded correctness-oracle battery (invariant,");
-    println!("                                    differential, metamorphic); n defaults to 1000");
+    println!("                                    differential, metamorphic, arena); n defaults");
+    println!("                                    to 1000");
+    println!("  smoothop scale                    columnar scale ladder; writes BENCH_scale.json");
     println!();
     println!("  <dc> ∈ {{dc1, dc2, dc3}}; n = fleet size, default 240");
     println!();
@@ -130,6 +133,9 @@ fn print_usage() {
     println!("  --trace-out <path>    write the recorded span/point events as JSON lines");
     println!("  --seed <u64>          battery seed for `check` (default 7); the seed picks the");
     println!("                        scenario and drives every randomized probe");
+    println!("  --instances <list>    comma-separated ladder for `scale`");
+    println!("                        (default 10000,100000,1000000)");
+    println!("  --out <path>          output path for `scale` (default BENCH_scale.json)");
 }
 
 /// `smoothop check [n] [--seed s]`: run the seeded oracle battery and fail
@@ -175,6 +181,58 @@ fn check_cmd(args: &[String], seed: Option<u64>) -> CliResult {
     }
 }
 
+/// `smoothop scale [--instances n1,n2,...] [--out path]`: run the columnar
+/// scale ladder and write the `BENCH_scale.json` artifact.
+fn scale_cmd(flags: &CliFlags) -> CliResult {
+    use smoothoperator::scale::{run_scale, ScaleConfig};
+
+    let mut config = ScaleConfig::default();
+    if let Some(seed) = flags.seed {
+        config.seed = seed;
+    }
+    if let Some(raw) = &flags.instances {
+        config.instances = raw
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("instance count `{part}` is not a number"))
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+    }
+    let path = flags.out.as_deref().unwrap_or("BENCH_scale.json");
+
+    println!(
+        "scale ladder — {} points, {} samples/trace, groups of {}, seed {}",
+        config.instances.len(),
+        config.samples_per_trace,
+        config.group_size,
+        config.seed
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "instances", "synth", "peaks", "p99", "agg", "swaps", "rows/s", "rss"
+    );
+    let report = run_scale(&config)?;
+    for p in &report.points {
+        println!(
+            "{:>10} {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>12.0} {:>8}MB",
+            p.instances,
+            p.synth_ms,
+            p.row_peaks_ms,
+            p.quantiles_ms,
+            p.aggregation_ms,
+            p.swap_probe_ms,
+            p.rows_per_sec,
+            p.peak_rss_bytes / (1024 * 1024),
+        );
+    }
+    let json = report.to_json();
+    std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("wrote {path} ({} bytes)", json.len());
+    Ok(())
+}
+
 fn with_scenario(args: &[String], f: impl FnOnce(DcScenario, usize) -> CliResult) -> CliResult {
     let dc = args
         .get(1)
@@ -203,6 +261,8 @@ struct CliFlags {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     seed: Option<u64>,
+    instances: Option<String>,
+    out: Option<String>,
 }
 
 /// Extracts `--faults`, `--metrics-out`, and `--trace-out` (in both
@@ -215,6 +275,8 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
         metrics_out: None,
         trace_out: None,
         seed: None,
+        instances: None,
+        out: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -242,6 +304,10 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
                 raw.parse()
                     .map_err(|_| format!("seed `{raw}` is not a number"))?,
             );
+        } else if let Some(raw) = value_of("--instances", &arg, &mut iter)? {
+            flags.instances = Some(raw);
+        } else if let Some(path) = value_of("--out", &arg, &mut iter)? {
+            flags.out = Some(path);
         } else {
             positional.push(arg);
         }

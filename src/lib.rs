@@ -95,6 +95,10 @@ pub use so_reshape as reshape;
 /// `so-oracles`).
 pub use so_oracles as oracles;
 
+/// Million-instance scale tier: columnar end-to-end ladder and the
+/// `BENCH_scale.json` emitter.
+pub mod scale;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use so_baselines::{
@@ -105,6 +109,9 @@ pub mod prelude {
         PlacementConstraints, RemapConfig, ServiceTraces, SmoothPlacer,
     };
     pub use so_oracles::{run_battery, BatteryConfig, OracleFamily, OracleReport};
+    pub use so_powertrace::{TraceArena, TraceView};
+
+    pub use crate::scale::{run_scale, ScaleConfig, ScaleReport};
     pub use so_powertrace::{PowerTrace, SlackProfile, TimeGrid};
     pub use so_powertree::{
         Assignment, Level, NodeAggregates, NodeId, PowerTopology, TopologyShape,

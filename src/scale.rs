@@ -1,0 +1,435 @@
+//! The million-instance scale tier: a columnar end-to-end pipeline sized
+//! well past what the `Vec<PowerTrace>` paths are exercised at, reported
+//! as the machine-readable `BENCH_scale.json` artifact.
+//!
+//! Each ladder point synthesizes `n` deterministic diurnal rows straight
+//! into a [`so_powertrace::TraceArena`] (no per-trace allocation), then times the four
+//! hot kernels the placement and remap layers run over that storage:
+//!
+//! 1. **synth** — [`so_powertrace::TraceArena::push_with`] waveform generation;
+//! 2. **row peaks** — [`so_powertrace::TraceArena::row_peaks`], the per-instance peak
+//!    pass every remap begins with;
+//! 3. **quantiles** — [`so_powertrace::TraceArena::row_quantiles`] at p99, the StatProf
+//!    provisioning kernel;
+//! 4. **aggregation** — fused [`so_powertrace::TraceArena::peak_of_sum`] per rack-sized
+//!    group (the sum-of-peaks objective without materializing a single
+//!    aggregate trace);
+//! 5. **swap probes** — [`so_core::differential_score_excluding`] over sampled
+//!    candidate moves, the remap inner loop.
+//!
+//! Every numeric output (`sum_of_group_peaks`, `checksum`) is a pure
+//! function of `(seed, instances, samples_per_trace, group_size)`; only
+//! the `*_ms`, `rows_per_sec`, and `peak_rss_bytes` fields are
+//! machine-dependent. CI's `scale-smoke` job runs the smallest rung and
+//! fails on wall-clock regression; `tests/scale_golden.rs` pins the JSON
+//! schema and the determinism of the numeric fields.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use so_core::differential_score_excluding;
+use so_powertrace::{TimeGrid, TraceArena};
+
+/// Scale-tier parameters. The defaults match the committed
+/// `BENCH_scale.json` ladder: 10k → 100k → 1M instances of week-long
+/// hourly traces grouped into rack-sized sets of 12.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Fleet sizes to run, in order. Each becomes one report point.
+    pub instances: Vec<usize>,
+    /// Samples per synthesized trace (default: one week at one hour).
+    pub samples_per_trace: usize,
+    /// Sampling step of the synthesized grid, minutes.
+    pub step_minutes: u32,
+    /// Seed mixed into every synthesized waveform.
+    pub seed: u64,
+    /// Rows per aggregation group (a rack's worth).
+    pub group_size: usize,
+    /// Candidate-move evaluations in the swap-probe phase (capped at the
+    /// instance count).
+    pub swap_probes: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            instances: vec![10_000, 100_000, 1_000_000],
+            samples_per_trace: 168,
+            step_minutes: 60,
+            seed: 7,
+            group_size: 12,
+            swap_probes: 4096,
+        }
+    }
+}
+
+/// One ladder point: timings, throughput, memory, and the deterministic
+/// numeric digests of a scale-tier run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Fleet size of this point.
+    pub instances: usize,
+    /// Waveform synthesis wall time, milliseconds.
+    pub synth_ms: f64,
+    /// Per-row peak pass wall time, milliseconds.
+    pub row_peaks_ms: f64,
+    /// Per-row p99 quantile pass wall time, milliseconds.
+    pub quantiles_ms: f64,
+    /// Fused grouped peak-of-sum wall time, milliseconds.
+    pub aggregation_ms: f64,
+    /// Sampled remap swap-probe wall time, milliseconds.
+    pub swap_probe_ms: f64,
+    /// End-to-end wall time of the point, milliseconds.
+    pub total_ms: f64,
+    /// `instances / total_seconds` — the ladder's throughput axis.
+    pub rows_per_sec: f64,
+    /// Process peak RSS after the point, bytes (`0` when the platform
+    /// exposes no `/proc/self/status`).
+    pub peak_rss_bytes: u64,
+    /// Sum of fused per-group peaks — the placement objective, and a
+    /// seed-deterministic digest of the aggregation phase.
+    pub sum_of_group_peaks: f64,
+    /// Folded digest over every phase's numeric output; bit-identical
+    /// across runs and thread counts for one config.
+    pub checksum: f64,
+}
+
+/// A full scale-tier run: config echo plus one [`ScalePoint`] per rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// The configuration the report was produced under.
+    pub config: ScaleConfig,
+    /// One point per requested instance count, in request order.
+    pub points: Vec<ScalePoint>,
+}
+
+/// Schema version stamped into `BENCH_scale.json`; bump on any field
+/// rename so downstream tooling fails loudly instead of misparsing.
+pub const SCALE_SCHEMA_VERSION: u32 = 1;
+
+/// Runs the scale ladder described by `config`.
+///
+/// # Errors
+///
+/// Returns an error when `config` is degenerate (no instance counts, zero
+/// samples or group size) or a trace kernel rejects its input.
+pub fn run_scale(config: &ScaleConfig) -> Result<ScaleReport, Box<dyn std::error::Error>> {
+    if config.instances.is_empty() {
+        return Err("scale ladder needs at least one instance count".into());
+    }
+    if config.samples_per_trace == 0 || config.group_size == 0 {
+        return Err("samples_per_trace and group_size must be positive".into());
+    }
+    if config.instances.contains(&0) {
+        return Err("instance counts must be positive".into());
+    }
+    let mut points = Vec::with_capacity(config.instances.len());
+    for &n in &config.instances {
+        points.push(run_point(config, n)?);
+    }
+    Ok(ScaleReport {
+        config: config.clone(),
+        points,
+    })
+}
+
+fn run_point(config: &ScaleConfig, n: usize) -> Result<ScalePoint, Box<dyn std::error::Error>> {
+    let grid = TimeGrid::new(config.step_minutes, config.samples_per_trace);
+    let started = Instant::now();
+
+    // Phase 1: synthesize straight into the columnar buffer.
+    let t0 = Instant::now();
+    let mut arena = TraceArena::with_capacity(grid, n);
+    for i in 0..n {
+        let wave = RowWave::new(config.seed, i as u64, config.samples_per_trace);
+        arena.push_with(|t| wave.sample(t));
+    }
+    let synth_ms = ms_since(t0);
+
+    // Phase 2: per-row peaks (the remap prologue).
+    let t0 = Instant::now();
+    let peaks = arena.row_peaks();
+    let row_peaks_ms = ms_since(t0);
+
+    // Phase 3: per-row p99 (the StatProf provisioning kernel).
+    let t0 = Instant::now();
+    let q99 = arena.row_quantiles(0.99)?;
+    let quantiles_ms = ms_since(t0);
+
+    // Phase 4: fused peak-of-sum per rack-sized group — the sum-of-peaks
+    // objective with no aggregate trace materialized.
+    let t0 = Instant::now();
+    let mut sum_of_group_peaks = 0.0f64;
+    let mut members = Vec::with_capacity(config.group_size);
+    let mut start = 0;
+    while start < n {
+        let end = (start + config.group_size).min(n);
+        members.clear();
+        members.extend(start..end);
+        sum_of_group_peaks += arena.peak_of_sum(&members)?;
+        start = end;
+    }
+    let aggregation_ms = ms_since(t0);
+
+    // Phase 5: sampled remap inner loop — fused differential scores of a
+    // member against its own group, exactly the `ad_i` evaluation
+    // `best_swap` performs per candidate.
+    let t0 = Instant::now();
+    let probes = config.swap_probes.min(n);
+    let mut group_sum = vec![0.0f64; config.samples_per_trace];
+    let mut probe_digest = 0.0f64;
+    if config.group_size >= 2 && n >= config.group_size {
+        let groups = n / config.group_size;
+        for p in 0..probes {
+            let g = (mix(config.seed ^ 0x5CA1E, p as u64) as usize) % groups;
+            let base = g * config.group_size;
+            members.clear();
+            members.extend(base..base + config.group_size);
+            arena.sum_into(&members, &mut group_sum)?;
+            let i = base + (p % config.group_size);
+            let score = differential_score_excluding(
+                arena.row(i),
+                &group_sum,
+                arena.row(i),
+                config.group_size,
+            )?;
+            probe_digest += score;
+        }
+    }
+    let swap_probe_ms = ms_since(t0);
+
+    let total_ms = ms_since(started);
+    let checksum = fold_digest(&[
+        peaks.iter().sum::<f64>(),
+        q99.iter().sum::<f64>(),
+        sum_of_group_peaks,
+        probe_digest,
+    ]);
+    Ok(ScalePoint {
+        instances: n,
+        synth_ms,
+        row_peaks_ms,
+        quantiles_ms,
+        aggregation_ms,
+        swap_probe_ms,
+        total_ms,
+        rows_per_sec: n as f64 / (total_ms / 1e3).max(1e-9),
+        peak_rss_bytes: peak_rss_bytes(),
+        sum_of_group_peaks,
+        checksum,
+    })
+}
+
+impl ScaleReport {
+    /// Renders the report as the `BENCH_scale.json` artifact (hand-rolled
+    /// JSON — the workspace's serde is a no-op shim). Deterministic
+    /// fields come first; the machine-dependent timings carry the `_ms`
+    /// suffix by convention.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"scale\",");
+        let _ = writeln!(out, "  \"schema_version\": {SCALE_SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"seed\": {},", self.config.seed);
+        let _ = writeln!(
+            out,
+            "  \"samples_per_trace\": {},",
+            self.config.samples_per_trace
+        );
+        let _ = writeln!(out, "  \"step_minutes\": {},", self.config.step_minutes);
+        let _ = writeln!(out, "  \"group_size\": {},", self.config.group_size);
+        let _ = writeln!(out, "  \"swap_probes\": {},", self.config.swap_probes);
+        out.push_str("  \"points\": [\n");
+        let rendered: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut s = String::from("    {\n");
+                let _ = writeln!(s, "      \"instances\": {},", p.instances);
+                let _ = writeln!(s, "      \"synth_ms\": {:.3},", p.synth_ms);
+                let _ = writeln!(s, "      \"row_peaks_ms\": {:.3},", p.row_peaks_ms);
+                let _ = writeln!(s, "      \"quantiles_ms\": {:.3},", p.quantiles_ms);
+                let _ = writeln!(s, "      \"aggregation_ms\": {:.3},", p.aggregation_ms);
+                let _ = writeln!(s, "      \"swap_probe_ms\": {:.3},", p.swap_probe_ms);
+                let _ = writeln!(s, "      \"total_ms\": {:.3},", p.total_ms);
+                let _ = writeln!(s, "      \"rows_per_sec\": {:.1},", p.rows_per_sec);
+                let _ = writeln!(s, "      \"peak_rss_bytes\": {},", p.peak_rss_bytes);
+                let _ = writeln!(
+                    s,
+                    "      \"sum_of_group_peaks\": {:.6},",
+                    p.sum_of_group_peaks
+                );
+                let _ = writeln!(s, "      \"checksum\": {:.6}", p.checksum);
+                s.push_str("    }");
+                s
+            })
+            .collect();
+        out.push_str(&rendered.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// One row's deterministic diurnal waveform: a seed-hashed phase,
+/// amplitude, and baseline over a 24-hour fundamental plus a weekly
+/// harmonic. Pure integer hashing — no RNG state, so synthesis order
+/// cannot change the samples.
+struct RowWave {
+    baseline: f64,
+    amplitude: f64,
+    phase: f64,
+    weekly: f64,
+    step_per_day: f64,
+    steps_per_week: f64,
+}
+
+impl RowWave {
+    fn new(seed: u64, row: u64, samples_per_trace: usize) -> Self {
+        let h = mix(seed, row);
+        // Spread the hash into three independent unit floats.
+        let u0 = unit(h);
+        let u1 = unit(h.rotate_left(21));
+        let u2 = unit(h.rotate_left(42));
+        // A week of samples regardless of resolution: the fundamental
+        // completes 7 cycles over the trace, the weekly envelope one.
+        let steps_per_week = samples_per_trace as f64;
+        Self {
+            baseline: 120.0 + 80.0 * u0,
+            amplitude: 40.0 + 60.0 * u1,
+            phase: std::f64::consts::TAU * u2,
+            weekly: 0.15 + 0.1 * u0,
+            step_per_day: steps_per_week / 7.0,
+            steps_per_week,
+        }
+    }
+
+    fn sample(&self, t: usize) -> f64 {
+        let day = std::f64::consts::TAU * (t as f64 / self.step_per_day) + self.phase;
+        let week = std::f64::consts::TAU * (t as f64 / self.steps_per_week);
+        self.baseline + self.amplitude * (day.sin() + self.weekly * week.sin()).max(-1.0)
+    }
+}
+
+/// Elapsed milliseconds since `t0`.
+fn ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// SplitMix64 — the standard 64-bit finalizer, enough to decorrelate
+/// adjacent row indices.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(x.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Upper 53 bits as a float in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Order-fixed digest of the phase outputs; summing in a documented order
+/// keeps it bit-stable for the golden test.
+fn fold_digest(parts: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for &p in parts {
+        acc += p;
+    }
+    acc
+}
+
+/// Process peak resident set size from `/proc/self/status` (`VmHWM`), in
+/// bytes; `0` where the file or field is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ScaleConfig {
+        ScaleConfig {
+            instances: vec![48, 96],
+            samples_per_trace: 56,
+            step_minutes: 180,
+            seed: 7,
+            group_size: 12,
+            swap_probes: 64,
+        }
+    }
+
+    #[test]
+    fn numeric_fields_are_deterministic() {
+        let config = tiny_config();
+        let a = run_scale(&config).unwrap();
+        let b = run_scale(&config).unwrap();
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.checksum.to_bits(), y.checksum.to_bits());
+            assert_eq!(
+                x.sum_of_group_peaks.to_bits(),
+                y.sum_of_group_peaks.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn waveform_is_finite_and_positive_enough() {
+        let wave = RowWave::new(7, 123, 168);
+        for t in 0..168 {
+            let v = wave.sample(t);
+            assert!(v.is_finite());
+            // baseline ≥ 120, amplitude ≤ 100, envelope clamped at −1.
+            assert!(v >= 0.0, "sample {t} = {v}");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut c = tiny_config();
+        c.instances.clear();
+        assert!(run_scale(&c).is_err());
+        let mut c = tiny_config();
+        c.samples_per_trace = 0;
+        assert!(run_scale(&c).is_err());
+        let mut c = tiny_config();
+        c.instances = vec![0];
+        assert!(run_scale(&c).is_err());
+    }
+
+    #[test]
+    fn report_json_carries_every_point() {
+        let report = run_scale(&tiny_config()).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"scale\""));
+        assert!(json.contains("\"instances\": 48"));
+        assert!(json.contains("\"instances\": 96"));
+        assert!(json.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        // On the Linux CI hosts this must be a real value; elsewhere the
+        // function degrades to 0 rather than failing.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+}
