@@ -25,12 +25,13 @@ fn main() {
     }
     let report = run_scale(&config).expect("scale ladder runs");
     for p in &report.points {
+        let rss = match p.peak_rss_bytes {
+            Some(bytes) => format!("{} MB", bytes / (1024 * 1024)),
+            None => "n/a".to_string(),
+        };
         println!(
-            "{:>9} rows: {:>9.0} ms total, {:>11.0} rows/s, peak RSS {:>6} MB",
-            p.instances,
-            p.total_ms,
-            p.rows_per_sec,
-            p.peak_rss_bytes / (1024 * 1024),
+            "{:>9} rows: {:>9.0} ms total, {:>11.0} rows/s, peak RSS {rss:>9}",
+            p.instances, p.total_ms, p.rows_per_sec,
         );
     }
     let json = report.to_json();

@@ -121,8 +121,21 @@ pub fn pairwise_score_samples(a: &[f64], b: &[f64]) -> Result<f64, CoreError> {
     let mut peak_sum = 0.0;
     peak_sum += peak_of_samples(a);
     peak_sum += peak_of_samples(b);
-    let mut aggregate_peak = f64::MIN;
-    for (&x, &y) in a.iter().zip(b) {
+    // The aggregate peak mirrors `peak_of_samples`' 4-lane reduction over
+    // the elementwise sums `a[t] + b[t]`: per-element arithmetic is
+    // unchanged and `max` reassociation is exact, so the fold returns the
+    // same bits as materializing the sum and taking its peak.
+    let mut lanes = [f64::MIN; 4];
+    let mut a_chunks = a.chunks_exact(4);
+    let mut b_chunks = b.chunks_exact(4);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        lanes[0] = lanes[0].max(ca[0] + cb[0]);
+        lanes[1] = lanes[1].max(ca[1] + cb[1]);
+        lanes[2] = lanes[2].max(ca[2] + cb[2]);
+        lanes[3] = lanes[3].max(ca[3] + cb[3]);
+    }
+    let mut aggregate_peak = lanes[0].max(lanes[1]).max(lanes[2].max(lanes[3]));
+    for (&x, &y) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
         aggregate_peak = aggregate_peak.max(x + y);
     }
     if aggregate_peak == 0.0 {
@@ -174,10 +187,33 @@ pub fn differential_score_excluding(
         }
     }
     let scale = 1.0 / (count - 1) as f64;
-    let mut peak_instance = f64::MIN;
-    let mut peak_mean = f64::MIN;
-    let mut peak_aggregate = f64::MIN;
-    for ((&x, &s), &e) in instance.iter().zip(sum).zip(excluded) {
+    // Three fused peak folds, each mirroring `peak_of_samples`' 4-lane
+    // reduction; the per-element peer mean `((s − e) · scale).max(0)` is
+    // unchanged, so the result stays bit-identical to materializing
+    // `mean_excluding` and scoring it.
+    let mut li = [f64::MIN; 4];
+    let mut lm = [f64::MIN; 4];
+    let mut la = [f64::MIN; 4];
+    let mut x_chunks = instance.chunks_exact(4);
+    let mut s_chunks = sum.chunks_exact(4);
+    let mut e_chunks = excluded.chunks_exact(4);
+    for ((cx, cs), ce) in (&mut x_chunks).zip(&mut s_chunks).zip(&mut e_chunks) {
+        for lane in 0..4 {
+            let m = ((cs[lane] - ce[lane]) * scale).max(0.0);
+            li[lane] = li[lane].max(cx[lane]);
+            lm[lane] = lm[lane].max(m);
+            la[lane] = la[lane].max(cx[lane] + m);
+        }
+    }
+    let mut peak_instance = li[0].max(li[1]).max(li[2].max(li[3]));
+    let mut peak_mean = lm[0].max(lm[1]).max(lm[2].max(lm[3]));
+    let mut peak_aggregate = la[0].max(la[1]).max(la[2].max(la[3]));
+    for ((&x, &s), &e) in x_chunks
+        .remainder()
+        .iter()
+        .zip(s_chunks.remainder())
+        .zip(e_chunks.remainder())
+    {
         let m = ((s - e) * scale).max(0.0);
         peak_instance = peak_instance.max(x);
         peak_mean = peak_mean.max(m);

@@ -10,19 +10,25 @@
 //! | `arena_remap_matches_trace_remap` | `remap_arena` vs `remap_traces` | identical report & assignment |
 //! | `arena_quantiles_match_trace_quantiles` | `quantile_of_row`/`row_quantiles` vs `PowerTrace::quantile` | bit-identical |
 //! | `arena_statprof_is_bit_identical` | `statprof_required_budget` over round-tripped traces vs originals | `ProvisioningReport ==` |
+//! | `arena_axpy_matches_scalar_loop` | `TraceArena::axpy_into` vs an element-order scalar loop | bit-identical |
+//! | `arena_parallel_synth_is_bit_exact` | `par_extend_rows` (parallel and under `serial_scope`) vs `push_with` | bit-identical samples |
+//! | `arena_sketch_quantile_within_tolerance` | `row_quantiles_sketch` vs the exact per-row distribution | rank error ≤ `P2_RANK_ERROR_BOUND` |
 //!
-//! Every oracle here is *exact* (`to_bits` or derived `==`): the arena
-//! kernels are documented to perform the same float operations in the same
-//! order as the trace-based paths, so any ULP of drift is a bug, not a
-//! tolerance question. This is what lets the scale tier and the remap hot
-//! path swap storage layouts without re-validating numerics.
+//! Every oracle here except the sketch oracle is *exact* (`to_bits` or
+//! derived `==`): the arena kernels are documented to perform the same
+//! float operations in the same order as the trace-based paths, so any
+//! ULP of drift is a bug, not a tolerance question. This is what lets the
+//! scale tier and the remap hot path swap storage layouts without
+//! re-validating numerics. The P² sketch is the one documented
+//! approximation, and its oracle gates the documented empirical rank-error
+//! bound instead of bits.
 
 use so_baselines::{statprof_required_budget, ProvisioningDegrees};
 use so_core::{
     remap_arena, remap_traces, score_vectors_arena, score_vectors_from_traces, RemapConfig,
     ServiceTraces,
 };
-use so_powertrace::{PowerTrace, TraceArena};
+use so_powertrace::{sketch, PowerTrace, TraceArena, P2_RANK_ERROR_BOUND};
 use so_powertree::Level;
 
 use crate::{Fixture, OracleError, OracleFamily, OracleReport};
@@ -48,6 +54,9 @@ pub fn run(fixture: &Fixture, report: &mut OracleReport) -> Result<(), OracleErr
     remap(fixture, &arena, report)?;
     quantiles(traces, &arena, report)?;
     statprof(fixture, &arena, report)?;
+    axpy(traces, &arena, report)?;
+    parallel_synth(traces, &arena, report);
+    sketch_quantiles(traces, &arena, report)?;
     Ok(())
 }
 
@@ -252,6 +261,115 @@ fn statprof(
             )
         },
     );
+    Ok(())
+}
+
+/// `axpy_into` (the 4-wide unrolled scaled-add kernel) vs a plain scalar
+/// loop in element order: the unroll touches disjoint elements with one
+/// multiply-add each, so reassociation never enters and the results must
+/// share every bit.
+fn axpy(
+    traces: &[PowerTrace],
+    arena: &TraceArena,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let width = arena.samples_per_trace();
+    let mut fused = vec![0.5f64; width];
+    let mut scalar = fused.clone();
+    for (i, trace) in traces.iter().enumerate().take(6) {
+        let alpha = 1.0 + i as f64 * 0.25;
+        arena.axpy_into(alpha, i, &mut fused)?;
+        for (out, &x) in scalar.iter_mut().zip(trace.samples()) {
+            *out += alpha * x;
+        }
+        report.check(
+            FAMILY,
+            "arena_axpy_matches_scalar_loop",
+            fused
+                .iter()
+                .zip(&scalar)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            || format!("axpy_into(alpha={alpha}, row {i}) drifts from the scalar loop"),
+        );
+    }
+    Ok(())
+}
+
+/// Parallel synthesis must be bit-identical to serial synthesis: the same
+/// per-row generator pushed through `push_with` (row at a time, serial),
+/// `par_extend_rows` at the ambient thread budget, and `par_extend_rows`
+/// forced serial via `serial_scope` must produce the same buffer bits.
+fn parallel_synth(traces: &[PowerTrace], arena: &TraceArena, report: &mut OracleReport) {
+    let fill = |r: usize, out: &mut [f64]| out.copy_from_slice(traces[r].samples());
+
+    let mut serial_pushed = TraceArena::with_capacity(arena.grid(), traces.len());
+    for trace in traces {
+        let samples = trace.samples();
+        serial_pushed.push_with(|t| samples[t]);
+    }
+    let mut parallel = TraceArena::with_capacity(arena.grid(), traces.len());
+    parallel.par_extend_rows(traces.len(), fill);
+    let mut forced_serial = TraceArena::with_capacity(arena.grid(), traces.len());
+    so_parallel::serial_scope(|| forced_serial.par_extend_rows(traces.len(), fill));
+
+    let bits = |arena: &TraceArena| -> Vec<u64> {
+        arena.flat_samples().iter().map(|v| v.to_bits()).collect()
+    };
+    let want = bits(&serial_pushed);
+    report.check(
+        FAMILY,
+        "arena_parallel_synth_is_bit_exact",
+        bits(&parallel) == want,
+        || {
+            format!(
+                "par_extend_rows at {} lane(s) diverges from push_with",
+                so_parallel::effective_lanes()
+            )
+        },
+    );
+    report.check(
+        FAMILY,
+        "arena_parallel_synth_is_bit_exact",
+        bits(&forced_serial) == want,
+        || "par_extend_rows under serial_scope diverges from push_with".to_string(),
+    );
+}
+
+/// The opt-in P² streaming sketch vs the exact per-row distribution: for
+/// every probe the sketch's rank error must stay within the documented
+/// empirical bound, and the `q ∈ {0, 1}` edges must be exact (they track
+/// the running min/max markers).
+fn sketch_quantiles(
+    traces: &[PowerTrace],
+    arena: &TraceArena,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    for q in PROBES {
+        let estimates = arena.row_quantiles_sketch(q)?;
+        for (i, trace) in traces.iter().enumerate().take(8) {
+            if q == 0.0 || q == 1.0 {
+                report.check_exact(
+                    FAMILY,
+                    "arena_sketch_quantile_within_tolerance",
+                    estimates[i],
+                    trace.quantile(q)?,
+                );
+            } else {
+                let error = sketch::rank_error(trace.samples(), q, estimates[i]);
+                report.check(
+                    FAMILY,
+                    "arena_sketch_quantile_within_tolerance",
+                    error <= P2_RANK_ERROR_BOUND,
+                    || {
+                        format!(
+                            "row {i} q={q}: sketch estimate {} has rank error {error} > {P2_RANK_ERROR_BOUND}",
+                            estimates[i]
+                        )
+                    },
+                );
+            }
+        }
+    }
     Ok(())
 }
 

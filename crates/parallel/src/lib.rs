@@ -191,6 +191,84 @@ where
     run(items.len(), lanes, |i| f(i, &items[i]))
 }
 
+/// Number of lanes a data-parallel helper would use right now: `1`
+/// whenever threading is unavailable (feature off, inside a
+/// [`serial_scope`]), the current [`thread_limit`] otherwise. Reporting
+/// only — the actual grant still depends on the shared budget at call
+/// time.
+pub fn effective_lanes() -> usize {
+    if !cfg!(feature = "threads") || is_serial() {
+        1
+    } else {
+        thread_limit()
+    }
+}
+
+/// Fills canonical fixed-size chunks of `out` in parallel: chunk `c` is
+/// `out[c * chunk_len .. min((c + 1) * chunk_len, n)]` — the same layout
+/// as [`par_chunk_map`] — and `f(c, chunk)` writes it.
+///
+/// Because every element is written exactly once, by one call, from a
+/// chunk index that depends only on `chunk_len`, the result is
+/// bit-identical at any thread count: this is the deterministic parallel
+/// *synthesis* primitive (the write-side dual of [`par_chunk_map`]'s
+/// read-side reductions), used to generate trace populations row-by-row.
+pub fn par_fill_chunks<T, F>(out: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n = out.len();
+    let chunks = n.div_ceil(chunk_len);
+    let lanes = lanes_for(chunks);
+    let serial = |out: &mut [T]| {
+        for (c, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(c, chunk);
+        }
+    };
+    if lanes <= 1 || chunks < 2 {
+        return serial(out);
+    }
+    let permit = match Permit::acquire(lanes - 1) {
+        Some(permit) => permit,
+        None => return serial(out),
+    };
+    let lanes = permit.count + 1;
+    // Hand each lane a contiguous run of whole chunks, as a disjoint
+    // `&mut` window of the output.
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut chunk_base = 0usize;
+        let mut first: Option<(usize, &mut [T])> = None;
+        for lane in 0..lanes {
+            let lane_chunks = chunks / lanes + usize::from(lane < chunks % lanes);
+            let take = (lane_chunks * chunk_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            if lane == 0 {
+                first = Some((chunk_base, head));
+            } else {
+                let base = chunk_base;
+                scope.spawn(move || {
+                    for (offset, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                        f(base + offset, chunk);
+                    }
+                });
+            }
+            chunk_base += lane_chunks;
+        }
+        // The caller thread works the first window instead of blocking
+        // on the join.
+        let (base, head) = first.expect("lanes >= 1");
+        for (offset, chunk) in head.chunks_mut(chunk_len).enumerate() {
+            f(base + offset, chunk);
+        }
+    });
+    drop(permit);
+}
+
 /// Parallel map over canonical fixed-size chunks of `items`.
 ///
 /// Chunk `c` is `items[c * chunk_len .. min((c + 1) * chunk_len, n)]` —
@@ -285,6 +363,47 @@ mod tests {
             .map(|&row| (0..64).map(|x| x + row).sum())
             .collect();
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn fill_chunks_matches_serial_bits() {
+        set_thread_limit(4);
+        let n = 4097;
+        let gen = |c: usize, chunk: &mut [f64]| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = ((c * 31 + i) as f64).sin() * 0.5 + c as f64;
+            }
+        };
+        let mut parallel = vec![0.0f64; n];
+        par_fill_chunks(&mut parallel, 64, gen);
+        let mut serial = vec![0.0f64; n];
+        serial_scope(|| par_fill_chunks(&mut serial, 64, gen));
+        assert!(parallel
+            .iter()
+            .zip(&serial)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn fill_chunks_layout_is_canonical() {
+        set_thread_limit(4);
+        let mut out = vec![0usize; 10];
+        par_fill_chunks(&mut out, 4, |c, chunk| chunk.fill(c + 1));
+        assert_eq!(out, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+        let mut empty: Vec<u8> = Vec::new();
+        par_fill_chunks(&mut empty, 8, |_, chunk| chunk.fill(1));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn effective_lanes_respects_serial_scope() {
+        set_thread_limit(4);
+        if cfg!(feature = "threads") {
+            assert_eq!(effective_lanes(), 4);
+        } else {
+            assert_eq!(effective_lanes(), 1);
+        }
+        assert_eq!(serial_scope(effective_lanes), 1);
     }
 
     #[test]

@@ -24,8 +24,27 @@ use crate::trace::PowerTrace;
 /// every "peak of a sample vector" in the workspace is the same fold (and
 /// therefore bit-identical wherever the inputs are). Returns `f64::MIN` for
 /// an empty slice.
+///
+/// The loop runs four independent `max` lanes over `chunks_exact(4)` so the
+/// compiler can keep it in 256-bit vector registers (`f64x4`). `max` is
+/// associative and commutative on the values the workspace feeds it
+/// (validated, NaN-free samples), so the lane-reassociated fold returns the
+/// same bits as the sequential one; every peak consumer shares this exact
+/// reduction pattern, which is what the bit-exactness oracles compare.
 pub fn peak_of_samples(samples: &[f64]) -> f64 {
-    samples.iter().copied().fold(f64::MIN, f64::max)
+    let mut lanes = [f64::MIN; 4];
+    let mut chunks = samples.chunks_exact(4);
+    for chunk in &mut chunks {
+        lanes[0] = lanes[0].max(chunk[0]);
+        lanes[1] = lanes[1].max(chunk[1]);
+        lanes[2] = lanes[2].max(chunk[2]);
+        lanes[3] = lanes[3].max(chunk[3]);
+    }
+    let mut peak = lanes[0].max(lanes[1]).max(lanes[2].max(lanes[3]));
+    for &v in chunks.remainder() {
+        peak = peak.max(v);
+    }
+    peak
 }
 
 /// A power node's aggregate trace, maintained incrementally.

@@ -32,19 +32,30 @@
 //!   only — each element's sum keeps the member-order association, and the
 //!   peak fold visits elements in time order, exactly like
 //!   [`peak_of_samples`](crate::peak_of_samples) over the materialized sum;
-//! * the row-parallel kernels chunk *canonically* (one chunk per row), so
-//!   serial and parallel runs are bit-identical — the `so-parallel`
-//!   determinism contract.
+//! * the row-parallel kernels chunk *canonically* (fixed blocks of
+//!   [`ROW_BLOCK`] rows), so serial and parallel runs are bit-identical —
+//!   the `so-parallel` determinism contract; per-row work inside a block
+//!   uses the shared 4-lane [`peak_of_samples`] fold and the `O(T)`
+//!   selection quantile ([`crate::quantile::quantile_select`]), both
+//!   bit-identical to their scalar/sorting predecessors;
+//! * [`par_extend_rows`](TraceArena::par_extend_rows) synthesizes rows in
+//!   parallel into disjoint buffer windows (each row a pure function of its
+//!   index), and [`clear`](TraceArena::clear) recycles the buffer so
+//!   chunked/streaming synthesis keeps peak RSS bounded;
+//! * [`row_quantiles_sketch`](TraceArena::row_quantiles_sketch) is the
+//!   *approximate* one-pass P² alternative — deterministic, but bound by
+//!   [`crate::sketch::P2_RANK_ERROR_BOUND`] instead of bit-exactness.
 //!
 //! The `arena` oracle family in `so-oracles` diffs every kernel against the
 //! materializing path bit-for-bit on seeded fleets.
 
-use so_parallel::par_chunk_map;
+use so_parallel::{par_chunk_map, par_fill_chunks};
 
 use crate::aggregate::peak_of_samples;
 use crate::error::TraceError;
 use crate::grid::TimeGrid;
 use crate::quantile;
+use crate::sketch::P2Quantile;
 use crate::trace::PowerTrace;
 
 /// Time-axis block width for allocation-free fused kernels. Small enough to
@@ -52,6 +63,17 @@ use crate::trace::PowerTrace;
 /// member loop. The value affects performance only — per-element float
 /// association is independent of the block layout.
 const TIME_BLOCK: usize = 512;
+
+/// Rows per parallel work item in the batch row kernels ([`row_peaks`],
+/// [`row_quantiles`]): large enough that each item amortizes its partial
+/// `Vec` (and, for quantiles, one scratch buffer) over many rows, small
+/// enough to load-balance a million-row arena across lanes. Chunking is
+/// canonical (row blocks depend only on this constant), so the flattened
+/// result is bit-identical at any thread count.
+///
+/// [`row_peaks`]: TraceArena::row_peaks
+/// [`row_quantiles`]: TraceArena::row_quantiles
+const ROW_BLOCK: usize = 4096;
 
 /// Columnar storage for `n` equally-gridded power traces: one contiguous
 /// row-major `n × T` sample buffer.
@@ -174,6 +196,40 @@ impl TraceArena {
             self.samples.push(v.max(0.0));
         }
         self.len() - 1
+    }
+
+    /// Appends `rows` rows at once, generating each row's samples in
+    /// parallel: `fill(r, row)` writes row `base + r` (where `base` is the
+    /// arena length before the call) directly into the buffer. This is the
+    /// scale tier's synthesis path — one `Vec` grow for the whole batch,
+    /// rows distributed over `so-parallel`'s canonical chunks, **bit-
+    /// identical at any thread count** because every row is produced by a
+    /// pure function of its index into a disjoint window.
+    ///
+    /// After `fill` returns, each row is validated and clamped exactly like
+    /// [`Self::push_with`]: negative samples become `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` leaves a NaN or infinite value in a row.
+    pub fn par_extend_rows(&mut self, rows: usize, fill: impl Fn(usize, &mut [f64]) + Sync) {
+        let t = self.samples_per_trace;
+        let old_len = self.samples.len();
+        self.samples.resize(old_len + rows * t, 0.0);
+        par_fill_chunks(&mut self.samples[old_len..], t, |r, row| {
+            fill(r, row);
+            for v in row.iter_mut() {
+                assert!(v.is_finite(), "trace generator produced a non-finite value");
+                *v = v.max(0.0);
+            }
+        });
+    }
+
+    /// Removes every row, keeping the allocated buffer for reuse — the
+    /// chunked/streaming synthesis loop recycles one arena across chunks so
+    /// peak RSS stays bounded by the chunk size, not the fleet size.
+    pub fn clear(&mut self) {
+        self.samples.clear();
     }
 
     /// Number of traces (rows) in the arena.
@@ -305,9 +361,7 @@ impl TraceArena {
         self.check_members(members)?;
         out.fill(0.0);
         for &m in members {
-            for (acc, &v) in out.iter_mut().zip(self.row(m)) {
-                *acc += v;
-            }
+            add_assign(out, self.row(m));
         }
         Ok(())
     }
@@ -339,13 +393,12 @@ impl TraceArena {
             block[..width].fill(0.0);
             for &m in members {
                 let row = &self.samples[m * t_len + start..m * t_len + start + width];
-                for (acc, &v) in block[..width].iter_mut().zip(row) {
-                    *acc += v;
-                }
+                add_assign(&mut block[..width], row);
             }
-            for &v in &block[..width] {
-                peak = peak.max(v);
-            }
+            // `max` is exactly associative over validated samples, so
+            // folding the block peak through `peak_of_samples`' 4-lane
+            // reduction returns the same bits as the sequential fold.
+            peak = peak.max(peak_of_samples(&block[..width]));
             start += width;
         }
         Ok(peak)
@@ -378,27 +431,52 @@ impl TraceArena {
                 len: self.len(),
             });
         }
-        for (acc, &v) in out.iter_mut().zip(self.row(i)) {
+        let row = self.row(i);
+        // Element-wise: each `out[t]` has its own accumulation chain, so
+        // the 4-wide unroll cannot reassociate anything.
+        let mut out_chunks = out.chunks_exact_mut(4);
+        let mut row_chunks = row.chunks_exact(4);
+        for (acc, src) in (&mut out_chunks).zip(&mut row_chunks) {
+            acc[0] += alpha * src[0];
+            acc[1] += alpha * src[1];
+            acc[2] += alpha * src[2];
+            acc[3] += alpha * src[3];
+        }
+        for (acc, &v) in out_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(row_chunks.remainder())
+        {
             *acc += alpha * v;
         }
         Ok(())
     }
 
-    /// Peak of every row, computed row-parallel over canonical chunks (one
-    /// chunk per row), bit-identical to the serial loop — the
-    /// `so-parallel` determinism contract.
+    /// Peak of every row, computed row-parallel over canonical blocks of
+    /// `ROW_BLOCK` rows, bit-identical to the serial loop — the
+    /// `so-parallel` determinism contract. Each row's peak is the shared
+    /// [`peak_of_samples`] 4-lane fold.
     pub fn row_peaks(&self) -> Vec<f64> {
         if self.is_empty() {
             return Vec::new();
         }
-        par_chunk_map(&self.samples, self.samples_per_trace, |_, row| {
-            peak_of_samples(row)
-        })
+        let t = self.samples_per_trace;
+        let blocks = par_chunk_map(&self.samples, t * ROW_BLOCK, |_, block| {
+            block.chunks(t).map(peak_of_samples).collect::<Vec<f64>>()
+        });
+        let mut out = Vec::with_capacity(self.len());
+        for block in blocks {
+            out.extend_from_slice(&block);
+        }
+        out
     }
 
     /// The `q`-quantile of every row under the workspace's shared HF7
     /// convention ([`crate::quantile`]), computed row-parallel over
-    /// canonical chunks (one chunk per row).
+    /// canonical blocks of `ROW_BLOCK` rows. Each row uses the `O(T)`
+    /// selection path ([`quantile::quantile_select`]) with one scratch
+    /// buffer per block — bit-identical to the full-sort
+    /// [`PowerTrace::quantile`], which the arena oracle family pins.
     ///
     /// # Errors
     ///
@@ -410,17 +488,66 @@ impl TraceArena {
         if self.is_empty() {
             return Ok(Vec::new());
         }
-        par_chunk_map(&self.samples, self.samples_per_trace, |_, row| {
-            quantile::quantile(row, q)
-        })
-        .into_iter()
-        .collect()
+        let t = self.samples_per_trace;
+        let blocks = par_chunk_map(&self.samples, t * ROW_BLOCK, |_, block| {
+            let mut scratch = Vec::with_capacity(t);
+            block
+                .chunks(t)
+                .map(|row| quantile::quantile_select(row, q, &mut scratch))
+                .collect::<Result<Vec<f64>, TraceError>>()
+        });
+        let mut out = Vec::with_capacity(self.len());
+        for block in blocks {
+            out.extend_from_slice(&block?);
+        }
+        Ok(out)
     }
 
-    /// The `q`-quantile of row `i`, reusing `scratch` for the sort so
+    /// The `q`-quantile of every row estimated by the one-pass P² sketch
+    /// ([`crate::sketch`]) — the approximate, streaming-friendly
+    /// alternative to [`Self::row_quantiles`], parallelized over the same
+    /// canonical row blocks (and therefore equally deterministic at any
+    /// thread count; the sketch itself is a pure function of the row).
+    ///
+    /// Accuracy is the sketch's empirical contract
+    /// ([`crate::sketch::P2_RANK_ERROR_BOUND`]), **not** bit-exactness —
+    /// exact consumers must use [`Self::row_quantiles`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidQuantile`] for `q` outside `[0, 1]`.
+    pub fn row_quantiles_sketch(&self, q: f64) -> Result<Vec<f64>, TraceError> {
+        if !(0.0..=1.0).contains(&q) || q.is_nan() {
+            return Err(TraceError::InvalidQuantile(q));
+        }
+        if self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let t = self.samples_per_trace;
+        let blocks = par_chunk_map(&self.samples, t * ROW_BLOCK, |_, block| {
+            block
+                .chunks(t)
+                .map(|row| {
+                    let mut sketch = P2Quantile::new(q).expect("q validated above");
+                    for &v in row {
+                        sketch.observe(v);
+                    }
+                    sketch.estimate().expect("rows are never empty")
+                })
+                .collect::<Vec<f64>>()
+        });
+        let mut out = Vec::with_capacity(self.len());
+        for block in blocks {
+            out.extend_from_slice(&block);
+        }
+        Ok(out)
+    }
+
+    /// The `q`-quantile of row `i`, reusing `scratch` for the selection so
     /// repeated calls allocate nothing once the scratch has grown to one
-    /// row. Agrees bit-for-bit with [`PowerTrace::quantile`] (same sort,
-    /// same HF7 interpolation).
+    /// row. Agrees bit-for-bit with [`PowerTrace::quantile`] (`O(T)`
+    /// selection of the same order statistics, same HF7 interpolation —
+    /// see [`quantile::quantile_select`]).
     ///
     /// # Errors
     ///
@@ -439,17 +566,7 @@ impl TraceArena {
                 len: self.len(),
             });
         }
-        let row = self.row(i);
-        if let Some(index) = row.iter().position(|v| v.is_nan()) {
-            return Err(TraceError::InvalidSample {
-                index,
-                value: row[index],
-            });
-        }
-        scratch.clear();
-        scratch.extend_from_slice(row);
-        scratch.sort_by(|a, b| a.partial_cmp(b).expect("NaN was rejected above"));
-        quantile::quantile_sorted(scratch, q)
+        quantile::quantile_select(self.row(i), q, scratch)
     }
 
     fn check_members(&self, members: &[usize]) -> Result<(), TraceError> {
@@ -463,6 +580,29 @@ impl TraceArena {
             }
         }
         Ok(())
+    }
+}
+
+/// `out[t] += src[t]` with an explicit 4-wide unroll. Element-wise: each
+/// output element keeps its own accumulation chain, so this is
+/// bit-identical to the scalar zip loop while letting the compiler keep
+/// the adds in `f64x4` registers.
+fn add_assign(out: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(out.len(), src.len());
+    let mut out_chunks = out.chunks_exact_mut(4);
+    let mut src_chunks = src.chunks_exact(4);
+    for (acc, s) in (&mut out_chunks).zip(&mut src_chunks) {
+        acc[0] += s[0];
+        acc[1] += s[1];
+        acc[2] += s[2];
+        acc[3] += s[3];
+    }
+    for (acc, &v) in out_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_chunks.remainder())
+    {
+        *acc += v;
     }
 }
 
@@ -708,6 +848,83 @@ mod tests {
             }
         }
         assert!(arena.row_quantiles(1.5).is_err());
+    }
+
+    #[test]
+    fn par_extend_rows_matches_push_with() {
+        let grid = TimeGrid::new(10, 7);
+        let gen = |row: usize, t: usize| ((row * 31 + t) as f64).sin() * 3.0 + row as f64;
+        let mut serial = TraceArena::new(grid);
+        for row in 0..100 {
+            serial.push_with(|t| gen(row, t));
+        }
+        let mut parallel = TraceArena::new(grid);
+        parallel.par_extend_rows(100, |row, out| {
+            for (t, slot) in out.iter_mut().enumerate() {
+                *slot = gen(row, t);
+            }
+        });
+        assert_eq!(parallel.len(), 100);
+        assert!(parallel
+            .flat_samples()
+            .iter()
+            .zip(serial.flat_samples())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // Appending respects the existing base offset.
+        parallel.par_extend_rows(3, |row, out| {
+            for (t, slot) in out.iter_mut().enumerate() {
+                *slot = gen(100 + row, t);
+            }
+        });
+        assert_eq!(parallel.len(), 103);
+        assert_eq!(
+            parallel.row(102)[3].to_bits(),
+            gen(102, 3).max(0.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn clear_retains_capacity_for_reuse() {
+        let mut arena = TraceArena::with_capacity(TimeGrid::new(10, 4), 8);
+        arena.push_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let cap = arena.samples.capacity();
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.samples.capacity(), cap);
+        arena.push_samples(&[5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.row(0), &[5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn row_kernels_cross_block_boundaries() {
+        // More rows than one ROW_BLOCK would be too slow for a unit test;
+        // instead shrink the effective block by using many short rows and
+        // checking the flattening logic against per-row calls.
+        let grid = TimeGrid::new(10, 5);
+        let mut arena = TraceArena::new(grid);
+        for row in 0..1030 {
+            arena.push_with(|t| ((row * 7 + t * 3) % 23) as f64);
+        }
+        let peaks = arena.row_peaks();
+        let q = arena.row_quantiles(0.9).unwrap();
+        let sketch = arena.row_quantiles_sketch(0.9).unwrap();
+        assert_eq!(peaks.len(), 1030);
+        assert_eq!(q.len(), 1030);
+        assert_eq!(sketch.len(), 1030);
+        let mut scratch = Vec::new();
+        for i in [0usize, 1, 512, 1023, 1029] {
+            assert_eq!(peaks[i].to_bits(), arena.view(i).peak().to_bits());
+            assert_eq!(
+                q[i].to_bits(),
+                arena
+                    .quantile_of_row(i, 0.9, &mut scratch)
+                    .unwrap()
+                    .to_bits()
+            );
+            assert!(sketch[i].is_finite());
+        }
+        assert!(arena.row_quantiles_sketch(1.5).is_err());
     }
 
     #[test]

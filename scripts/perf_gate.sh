@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Per-phase performance-regression gate for the scale tier.
+#
+# Compares one rung of a freshly produced BENCH_scale.json against the
+# committed baseline, phase by phase, and fails when any substantial
+# phase regresses beyond the tolerance. Both files use the fixed
+# one-field-per-line format emitted by `ScaleReport::to_json`
+# (schema v2, pinned by tests/scale_golden.rs), so plain awk is enough —
+# no JSON tooling required on the runner.
+#
+# usage: perf_gate.sh <current.json> <baseline.json> [rung] [tolerance_pct]
+#
+#   rung           instance count of the ladder point to compare
+#                  (default 100000 — large enough that phase timings are
+#                  not dominated by noise, small enough for every CI run)
+#   tolerance_pct  allowed per-phase slowdown vs baseline, percent
+#                  (default 35; phase wall time above
+#                  baseline * (1 + tol/100) fails the gate)
+#
+# Phases whose baseline wall time is under MIN_GATED_MS are reported but
+# never gated: a 35% swing on a ~10 ms phase is scheduler jitter, not a
+# regression. The end-to-end total is always gated.
+#
+# When GITHUB_STEP_SUMMARY is set, a markdown delta table is appended to
+# the job summary. The baseline is refreshed by committing a regenerated
+# BENCH_scale.json (see DESIGN.md "Perf gate and baseline refresh").
+set -euo pipefail
+
+CURRENT=${1:?usage: perf_gate.sh <current.json> <baseline.json> [rung] [tolerance_pct]}
+BASELINE=${2:?usage: perf_gate.sh <current.json> <baseline.json> [rung] [tolerance_pct]}
+RUNG=${3:-100000}
+TOLERANCE_PCT=${4:-35}
+MIN_GATED_MS=20
+
+for f in "$CURRENT" "$BASELINE"; do
+    [[ -r $f ]] || { echo "perf_gate: cannot read $f" >&2; exit 2; }
+done
+
+# Prints the value of a per-point field for the requested rung, stripped
+# of trailing commas/quotes. Empty output means the rung or field is
+# missing from the artifact.
+field_at_rung() {
+    local file=$1 field=$2
+    awk -v rung="$RUNG" -v field="\"$field\":" '
+        $1 == "\"instances\":" { v = $2; sub(/,$/, "", v); in_rung = (v == rung) }
+        in_rung && $1 == field {
+            v = $2; sub(/,$/, "", v); gsub(/"/, "", v); print v; exit
+        }
+    ' "$file"
+}
+
+for f in "$CURRENT" "$BASELINE"; do
+    if [[ -z "$(field_at_rung "$f" instances)" ]]; then
+        echo "perf_gate: $f has no ladder point at $RUNG instances" >&2
+        exit 2
+    fi
+done
+
+PHASES="synth_ms row_peaks_ms quantiles_ms aggregation_ms swap_probe_ms total_ms"
+
+table=$'| Phase | Baseline (ms) | Current (ms) | Δ | Status |\n|---|---:|---:|---:|---|'
+failures=0
+echo "perf gate — rung ${RUNG}, tolerance ${TOLERANCE_PCT}%, phases under ${MIN_GATED_MS} ms informational"
+for phase in $PHASES; do
+    base=$(field_at_rung "$BASELINE" "$phase")
+    cur=$(field_at_rung "$CURRENT" "$phase")
+    if [[ -z $base || -z $cur ]]; then
+        echo "perf_gate: phase $phase missing from one of the artifacts" >&2
+        exit 2
+    fi
+    read -r delta_pct status <<<"$(awk -v b="$base" -v c="$cur" \
+        -v tol="$TOLERANCE_PCT" -v min="$MIN_GATED_MS" 'BEGIN {
+        delta = (b > 0) ? (c - b) * 100.0 / b : 0
+        if (b < min)                        status = "info"
+        else if (c > b * (1 + tol / 100.0)) status = "FAIL"
+        else                                status = "ok"
+        printf "%+.1f%% %s", delta, status
+    }')"
+    printf '%-15s %10s ms -> %10s ms  %8s  %s\n' "$phase" "$base" "$cur" "$delta_pct" "$status"
+    table+=$'\n'"| \`$phase\` | $base | $cur | $delta_pct | $status |"
+    [[ $status == FAIL ]] && failures=$((failures + 1))
+done
+
+base_rps=$(field_at_rung "$BASELINE" rows_per_sec)
+cur_rps=$(field_at_rung "$CURRENT" rows_per_sec)
+echo "throughput: ${base_rps} -> ${cur_rps} rows/s"
+
+if [[ -n ${GITHUB_STEP_SUMMARY:-} ]]; then
+    {
+        echo "### Scale perf gate — ${RUNG} instances (tolerance ${TOLERANCE_PCT}%)"
+        echo
+        echo "$table"
+        echo
+        echo "Throughput: ${base_rps} → ${cur_rps} rows/s."
+        if (( failures > 0 )); then
+            echo
+            echo "**${failures} phase(s) regressed beyond the tolerance.**" \
+                 "If the slowdown is intentional, refresh the committed" \
+                 "\`BENCH_scale.json\` baseline in the same PR."
+        fi
+    } >> "$GITHUB_STEP_SUMMARY"
+fi
+
+if (( failures > 0 )); then
+    echo "perf_gate: $failures phase(s) regressed beyond ${TOLERANCE_PCT}% — failing" >&2
+    exit 1
+fi
+echo "perf_gate: all gated phases within tolerance"

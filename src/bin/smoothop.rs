@@ -136,6 +136,13 @@ fn print_usage() {
     println!("  --instances <list>    comma-separated ladder for `scale`");
     println!("                        (default 10000,100000,1000000)");
     println!("  --out <path>          output path for `scale` (default BENCH_scale.json)");
+    println!("  --quantiles <mode>    quantile phase for `scale`: `exact` (selection, the");
+    println!("                        default, bit-reproducible) or `sketch` (streaming P²,");
+    println!("                        approximate); `--exact` / `--sketch` are shorthands");
+    println!("  --chunk-rows <n>      rows per streaming chunk for `scale` (0 = default;");
+    println!("                        rounded up to a multiple of the group size; never");
+    println!("                        changes checksums)");
+    println!("  --threads <n>         thread-lane budget for the parallel kernels");
 }
 
 /// `smoothop check [n] [--seed s]`: run the seeded oracle battery and fail
@@ -181,8 +188,9 @@ fn check_cmd(args: &[String], seed: Option<u64>) -> CliResult {
     }
 }
 
-/// `smoothop scale [--instances n1,n2,...] [--out path]`: run the columnar
-/// scale ladder and write the `BENCH_scale.json` artifact.
+/// `smoothop scale [--instances n1,n2,...] [--out path] [--quantiles
+/// exact|sketch] [--chunk-rows n]`: run the columnar scale ladder and
+/// write the `BENCH_scale.json` artifact.
 fn scale_cmd(flags: &CliFlags) -> CliResult {
     use smoothoperator::scale::{run_scale, ScaleConfig};
 
@@ -200,14 +208,21 @@ fn scale_cmd(flags: &CliFlags) -> CliResult {
             })
             .collect::<Result<Vec<usize>, String>>()?;
     }
+    config.quantile_mode = flags.quantile_mode;
+    if let Some(chunk_rows) = flags.chunk_rows {
+        config.chunk_rows = chunk_rows;
+    }
     let path = flags.out.as_deref().unwrap_or("BENCH_scale.json");
 
     println!(
-        "scale ladder — {} points, {} samples/trace, groups of {}, seed {}",
+        "scale ladder — {} points, {} samples/trace, groups of {}, seed {}, {} quantiles, {} rows/chunk, {} thread lane(s)",
         config.instances.len(),
         config.samples_per_trace,
         config.group_size,
-        config.seed
+        config.seed,
+        config.quantile_mode.as_str(),
+        config.effective_chunk_rows(),
+        so_parallel::effective_lanes(),
     );
     println!(
         "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
@@ -215,8 +230,12 @@ fn scale_cmd(flags: &CliFlags) -> CliResult {
     );
     let report = run_scale(&config)?;
     for p in &report.points {
+        let rss = match p.peak_rss_bytes {
+            Some(bytes) => format!("{}MB", bytes / (1024 * 1024)),
+            None => "n/a".to_string(),
+        };
         println!(
-            "{:>10} {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>12.0} {:>8}MB",
+            "{:>10} {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>12.0} {:>10}",
             p.instances,
             p.synth_ms,
             p.row_peaks_ms,
@@ -224,7 +243,7 @@ fn scale_cmd(flags: &CliFlags) -> CliResult {
             p.aggregation_ms,
             p.swap_probe_ms,
             p.rows_per_sec,
-            p.peak_rss_bytes / (1024 * 1024),
+            rss,
         );
     }
     let json = report.to_json();
@@ -263,6 +282,8 @@ struct CliFlags {
     seed: Option<u64>,
     instances: Option<String>,
     out: Option<String>,
+    quantile_mode: smoothoperator::scale::QuantileMode,
+    chunk_rows: Option<usize>,
 }
 
 /// Extracts `--faults`, `--metrics-out`, and `--trace-out` (in both
@@ -277,6 +298,8 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
         seed: None,
         instances: None,
         out: None,
+        quantile_mode: smoothoperator::scale::QuantileMode::Exact,
+        chunk_rows: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -308,6 +331,26 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
             flags.instances = Some(raw);
         } else if let Some(path) = value_of("--out", &arg, &mut iter)? {
             flags.out = Some(path);
+        } else if let Some(raw) = value_of("--quantiles", &arg, &mut iter)? {
+            flags.quantile_mode = smoothoperator::scale::QuantileMode::parse(&raw)
+                .ok_or_else(|| format!("--quantiles must be `exact` or `sketch`, got `{raw}`"))?;
+        } else if arg == "--exact" {
+            flags.quantile_mode = smoothoperator::scale::QuantileMode::Exact;
+        } else if arg == "--sketch" {
+            flags.quantile_mode = smoothoperator::scale::QuantileMode::Sketch;
+        } else if let Some(raw) = value_of("--chunk-rows", &arg, &mut iter)? {
+            flags.chunk_rows = Some(
+                raw.parse()
+                    .map_err(|_| format!("chunk rows `{raw}` is not a number"))?,
+            );
+        } else if let Some(raw) = value_of("--threads", &arg, &mut iter)? {
+            let lanes: usize = raw
+                .parse()
+                .map_err(|_| format!("thread count `{raw}` is not a number"))?;
+            if lanes == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+            so_parallel::set_thread_limit(lanes);
         } else {
             positional.push(arg);
         }

@@ -2,33 +2,82 @@
 //! well past what the `Vec<PowerTrace>` paths are exercised at, reported
 //! as the machine-readable `BENCH_scale.json` artifact.
 //!
-//! Each ladder point synthesizes `n` deterministic diurnal rows straight
-//! into a [`so_powertrace::TraceArena`] (no per-trace allocation), then times the four
-//! hot kernels the placement and remap layers run over that storage:
+//! The pipeline is **chunked and streaming**: rows are synthesized into a
+//! single reusable [`so_powertrace::TraceArena`] a bounded chunk at a
+//! time, every per-row kernel runs over that chunk, and only scalar
+//! accumulators survive to the next chunk. Peak RSS is therefore bounded
+//! by `chunk_rows × samples_per_trace`, not the fleet size — the 10M rung
+//! runs in well under 4 GB. Chunk boundaries are aligned to `group_size`
+//! so no aggregation group ever straddles a chunk, and every accumulator
+//! is folded in canonical row / group / probe order, which makes the
+//! deterministic outputs (`sum_of_group_peaks`, `checksum`) **bit-
+//! identical for any `chunk_rows` and any thread count**.
 //!
-//! 1. **synth** — [`so_powertrace::TraceArena::push_with`] waveform generation;
-//! 2. **row peaks** — [`so_powertrace::TraceArena::row_peaks`], the per-instance peak
-//!    pass every remap begins with;
-//! 3. **quantiles** — [`so_powertrace::TraceArena::row_quantiles`] at p99, the StatProf
-//!    provisioning kernel;
-//! 4. **aggregation** — fused [`so_powertrace::TraceArena::peak_of_sum`] per rack-sized
-//!    group (the sum-of-peaks objective without materializing a single
-//!    aggregate trace);
-//! 5. **swap probes** — [`so_core::differential_score_excluding`] over sampled
-//!    candidate moves, the remap inner loop.
+//! Each ladder point times the five hot kernels the placement and remap
+//! layers run over columnar storage:
+//!
+//! 1. **synth** — [`so_powertrace::TraceArena::par_extend_rows`] waveform
+//!    generation from precomputed per-sample basis tables (no
+//!    trigonometry in the per-sample loop);
+//! 2. **row peaks** — [`so_powertrace::TraceArena::row_peaks`], the
+//!    per-instance peak pass every remap begins with;
+//! 3. **quantiles** — per-row p99, the StatProf provisioning kernel:
+//!    exact selection ([`so_powertrace::TraceArena::row_quantiles`]) or
+//!    the opt-in streaming P² sketch
+//!    ([`so_powertrace::TraceArena::row_quantiles_sketch`]) per
+//!    [`crate::scale::QuantileMode`];
+//! 4. **aggregation** — fused [`so_powertrace::TraceArena::peak_of_sum`]
+//!    per rack-sized group (the sum-of-peaks objective without
+//!    materializing a single aggregate trace);
+//! 5. **swap probes** — [`so_core::differential_score_excluding`] over
+//!    sampled candidate moves, the remap inner loop.
 //!
 //! Every numeric output (`sum_of_group_peaks`, `checksum`) is a pure
-//! function of `(seed, instances, samples_per_trace, group_size)`; only
-//! the `*_ms`, `rows_per_sec`, and `peak_rss_bytes` fields are
-//! machine-dependent. CI's `scale-smoke` job runs the smallest rung and
-//! fails on wall-clock regression; `tests/scale_golden.rs` pins the JSON
-//! schema and the determinism of the numeric fields.
+//! function of `(seed, instances, samples_per_trace, group_size,
+//! quantile_mode)`; only the `*_ms`, `rows_per_sec`, and
+//! `peak_rss_bytes` fields are machine-dependent. CI's `scale-smoke` job
+//! runs the 100k rung and gates per-phase throughput against the
+//! committed baseline (`scripts/perf_gate.sh`); `tests/scale_golden.rs`
+//! pins the JSON schema and the determinism of the numeric fields.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use so_core::differential_score_excluding;
 use so_powertrace::{TimeGrid, TraceArena};
+
+/// How the per-row quantile phase computes p99.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantileMode {
+    /// Exact HF7 via `select_nth_unstable` selection — bit-reproducible,
+    /// pinned by the arena oracles. The default.
+    #[default]
+    Exact,
+    /// One-pass P² streaming sketch — `O(1)` memory per row, approximate
+    /// (rank error empirically below
+    /// [`so_powertrace::P2_RANK_ERROR_BOUND`]). Opt-in via
+    /// `smoothop scale --quantiles sketch`.
+    Sketch,
+}
+
+impl QuantileMode {
+    /// Stable lower-case name stamped into `BENCH_scale.json`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuantileMode::Exact => "exact",
+            QuantileMode::Sketch => "sketch",
+        }
+    }
+
+    /// Parses the CLI / JSON spelling (`"exact"` or `"sketch"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(QuantileMode::Exact),
+            "sketch" => Some(QuantileMode::Sketch),
+            _ => None,
+        }
+    }
+}
 
 /// Scale-tier parameters. The defaults match the committed
 /// `BENCH_scale.json` ladder: 10k → 100k → 1M instances of week-long
@@ -48,6 +97,13 @@ pub struct ScaleConfig {
     /// Candidate-move evaluations in the swap-probe phase (capped at the
     /// instance count).
     pub swap_probes: usize,
+    /// Exact selection or streaming sketch for the quantile phase.
+    pub quantile_mode: QuantileMode,
+    /// Rows synthesized and processed per streaming chunk; `0` selects
+    /// the default. The effective value is always rounded up to a
+    /// multiple of `group_size` (see [`ScaleConfig::effective_chunk_rows`])
+    /// and never changes any deterministic output.
+    pub chunk_rows: usize,
 }
 
 impl Default for ScaleConfig {
@@ -59,7 +115,29 @@ impl Default for ScaleConfig {
             seed: 7,
             group_size: 12,
             swap_probes: 4096,
+            quantile_mode: QuantileMode::Exact,
+            chunk_rows: 0,
         }
+    }
+}
+
+/// Default streaming chunk before group-size alignment: 64k week-long
+/// rows ≈ 88 MB of f64 samples, small enough that the 10M rung stays far
+/// under 4 GB and large enough to amortize per-chunk overhead.
+const DEFAULT_CHUNK_ROWS: usize = 65_536;
+
+impl ScaleConfig {
+    /// The chunk size actually used: the configured `chunk_rows` (or the
+    /// default when `0`), rounded **up** to a multiple of `group_size` so
+    /// aggregation groups never straddle a chunk boundary.
+    pub fn effective_chunk_rows(&self) -> usize {
+        let base = if self.chunk_rows == 0 {
+            DEFAULT_CHUNK_ROWS
+        } else {
+            self.chunk_rows
+        };
+        let gs = self.group_size.max(1);
+        base.div_ceil(gs) * gs
     }
 }
 
@@ -69,6 +147,13 @@ impl Default for ScaleConfig {
 pub struct ScalePoint {
     /// Fleet size of this point.
     pub instances: usize,
+    /// Thread lanes the parallel phases ran with
+    /// ([`so_parallel::effective_lanes`] at run time).
+    pub threads: usize,
+    /// Quantile phase mode this point ran under.
+    pub quantile_mode: QuantileMode,
+    /// Effective streaming chunk size (rows) the point ran with.
+    pub chunk_rows: usize,
     /// Waveform synthesis wall time, milliseconds.
     pub synth_ms: f64,
     /// Per-row peak pass wall time, milliseconds.
@@ -83,14 +168,14 @@ pub struct ScalePoint {
     pub total_ms: f64,
     /// `instances / total_seconds` — the ladder's throughput axis.
     pub rows_per_sec: f64,
-    /// Process peak RSS after the point, bytes (`0` when the platform
-    /// exposes no `/proc/self/status`).
-    pub peak_rss_bytes: u64,
+    /// Process peak RSS after the point, bytes; `None` where the platform
+    /// exposes no `/proc/self/status` (serialized as JSON `null`).
+    pub peak_rss_bytes: Option<u64>,
     /// Sum of fused per-group peaks — the placement objective, and a
     /// seed-deterministic digest of the aggregation phase.
     pub sum_of_group_peaks: f64,
     /// Folded digest over every phase's numeric output; bit-identical
-    /// across runs and thread counts for one config.
+    /// across runs, thread counts, and chunk sizes for one config.
     pub checksum: f64,
 }
 
@@ -105,7 +190,10 @@ pub struct ScaleReport {
 
 /// Schema version stamped into `BENCH_scale.json`; bump on any field
 /// rename so downstream tooling fails loudly instead of misparsing.
-pub const SCALE_SCHEMA_VERSION: u32 = 1;
+/// v2: added per-point `threads`, `quantile_mode`, `chunk_rows`; made
+/// `peak_rss_bytes` nullable; waveform synthesis moved to basis tables
+/// (deterministic digests differ from v1).
+pub const SCALE_SCHEMA_VERSION: u32 = 2;
 
 /// Runs the scale ladder described by `config`.
 ///
@@ -135,78 +223,130 @@ pub fn run_scale(config: &ScaleConfig) -> Result<ScaleReport, Box<dyn std::error
 
 fn run_point(config: &ScaleConfig, n: usize) -> Result<ScalePoint, Box<dyn std::error::Error>> {
     let grid = TimeGrid::new(config.step_minutes, config.samples_per_trace);
+    let chunk_rows = config.effective_chunk_rows();
+    let basis = SynthBasis::new(config.samples_per_trace);
     let started = Instant::now();
 
-    // Phase 1: synthesize straight into the columnar buffer.
-    let t0 = Instant::now();
-    let mut arena = TraceArena::with_capacity(grid, n);
-    for i in 0..n {
-        let wave = RowWave::new(config.seed, i as u64, config.samples_per_trace);
-        arena.push_with(|t| wave.sample(t));
-    }
-    let synth_ms = ms_since(t0);
+    // One arena recycled across chunks: capacity is the chunk, not the
+    // fleet, which is what bounds peak RSS on the 10M rung.
+    let mut arena = TraceArena::with_capacity(grid, chunk_rows.min(n));
 
-    // Phase 2: per-row peaks (the remap prologue).
-    let t0 = Instant::now();
-    let peaks = arena.row_peaks();
-    let row_peaks_ms = ms_since(t0);
-
-    // Phase 3: per-row p99 (the StatProf provisioning kernel).
-    let t0 = Instant::now();
-    let q99 = arena.row_quantiles(0.99)?;
-    let quantiles_ms = ms_since(t0);
-
-    // Phase 4: fused peak-of-sum per rack-sized group — the sum-of-peaks
-    // objective with no aggregate trace materialized.
-    let t0 = Instant::now();
+    // Scalar accumulators carried across chunks. Each is folded in
+    // canonical order (row order for peaks/quantiles, group order for
+    // aggregation, probe order for the swap digest), so the results are
+    // bit-identical to an unchunked run.
+    let mut peaks_sum = 0.0f64;
+    let mut q99_sum = 0.0f64;
     let mut sum_of_group_peaks = 0.0f64;
-    let mut members = Vec::with_capacity(config.group_size);
-    let mut start = 0;
-    while start < n {
-        let end = (start + config.group_size).min(n);
-        members.clear();
-        members.extend(start..end);
-        sum_of_group_peaks += arena.peak_of_sum(&members)?;
-        start = end;
-    }
-    let aggregation_ms = ms_since(t0);
 
-    // Phase 5: sampled remap inner loop — fused differential scores of a
-    // member against its own group, exactly the `ad_i` evaluation
-    // `best_swap` performs per candidate.
-    let t0 = Instant::now();
+    // Swap probes land in whichever chunk holds their group; scores are
+    // recorded per probe index and summed in probe order at the end.
     let probes = config.swap_probes.min(n);
+    let groups_total = n / config.group_size;
+    let do_probes = config.group_size >= 2 && groups_total >= 1;
+    let mut probe_scores = vec![0.0f64; if do_probes { probes } else { 0 }];
+    let probe_groups: Vec<usize> = (0..probe_scores.len())
+        .map(|p| (mix(config.seed ^ 0x5CA1E, p as u64) as usize) % groups_total.max(1))
+        .collect();
+
+    let mut synth_ms = 0.0f64;
+    let mut row_peaks_ms = 0.0f64;
+    let mut quantiles_ms = 0.0f64;
+    let mut aggregation_ms = 0.0f64;
+    let mut swap_probe_ms = 0.0f64;
+
+    let mut members = Vec::with_capacity(config.group_size);
     let mut group_sum = vec![0.0f64; config.samples_per_trace];
-    let mut probe_digest = 0.0f64;
-    if config.group_size >= 2 && n >= config.group_size {
-        let groups = n / config.group_size;
-        for p in 0..probes {
-            let g = (mix(config.seed ^ 0x5CA1E, p as u64) as usize) % groups;
-            let base = g * config.group_size;
+
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + chunk_rows).min(n);
+        let rows = end - start;
+
+        // Phase 1: synthesize this chunk straight into the columnar
+        // buffer — basis-table waveforms, parallel over rows.
+        let t0 = Instant::now();
+        arena.clear();
+        arena.par_extend_rows(rows, |r, out| {
+            RowWave::new(config.seed, (start + r) as u64).fill(&basis, out)
+        });
+        synth_ms += ms_since(t0);
+
+        // Phase 2: per-row peaks (the remap prologue), folded into the
+        // running sum in row order.
+        let t0 = Instant::now();
+        let peaks = arena.row_peaks();
+        for &v in &peaks {
+            peaks_sum += v;
+        }
+        row_peaks_ms += ms_since(t0);
+
+        // Phase 3: per-row p99 (the StatProf provisioning kernel).
+        let t0 = Instant::now();
+        let q99 = match config.quantile_mode {
+            QuantileMode::Exact => arena.row_quantiles(0.99)?,
+            QuantileMode::Sketch => arena.row_quantiles_sketch(0.99)?,
+        };
+        for &v in &q99 {
+            q99_sum += v;
+        }
+        quantiles_ms += ms_since(t0);
+
+        // Phase 4: fused peak-of-sum per rack-sized group — the
+        // sum-of-peaks objective with no aggregate trace materialized.
+        // Chunks are group-aligned, so only the ladder's final rows can
+        // form a partial group.
+        let t0 = Instant::now();
+        let mut g_start = 0usize;
+        while g_start < rows {
+            let g_end = (g_start + config.group_size).min(rows);
             members.clear();
-            members.extend(base..base + config.group_size);
+            members.extend(g_start..g_end);
+            sum_of_group_peaks += arena.peak_of_sum(&members)?;
+            g_start = g_end;
+        }
+        aggregation_ms += ms_since(t0);
+
+        // Phase 5: the sampled remap inner loop — fused differential
+        // scores of a member against its own group, exactly the `ad_i`
+        // evaluation `best_swap` performs per candidate. A probe runs in
+        // the chunk that holds its group (complete groups never straddle
+        // chunks).
+        let t0 = Instant::now();
+        for (p, &g) in probe_groups.iter().enumerate() {
+            let base = g * config.group_size;
+            if base < start || base >= end {
+                continue;
+            }
+            let local = base - start;
+            members.clear();
+            members.extend(local..local + config.group_size);
             arena.sum_into(&members, &mut group_sum)?;
-            let i = base + (p % config.group_size);
-            let score = differential_score_excluding(
+            let i = local + (p % config.group_size);
+            probe_scores[p] = differential_score_excluding(
                 arena.row(i),
                 &group_sum,
                 arena.row(i),
                 config.group_size,
             )?;
-            probe_digest += score;
         }
+        swap_probe_ms += ms_since(t0);
+
+        start = end;
     }
-    let swap_probe_ms = ms_since(t0);
+
+    let mut probe_digest = 0.0f64;
+    for &s in &probe_scores {
+        probe_digest += s;
+    }
 
     let total_ms = ms_since(started);
-    let checksum = fold_digest(&[
-        peaks.iter().sum::<f64>(),
-        q99.iter().sum::<f64>(),
-        sum_of_group_peaks,
-        probe_digest,
-    ]);
+    let checksum = fold_digest(&[peaks_sum, q99_sum, sum_of_group_peaks, probe_digest]);
     Ok(ScalePoint {
         instances: n,
+        threads: so_parallel::effective_lanes(),
+        quantile_mode: config.quantile_mode,
+        chunk_rows,
         synth_ms,
         row_peaks_ms,
         quantiles_ms,
@@ -245,6 +385,13 @@ impl ScaleReport {
             .map(|p| {
                 let mut s = String::from("    {\n");
                 let _ = writeln!(s, "      \"instances\": {},", p.instances);
+                let _ = writeln!(s, "      \"threads\": {},", p.threads);
+                let _ = writeln!(
+                    s,
+                    "      \"quantile_mode\": \"{}\",",
+                    p.quantile_mode.as_str()
+                );
+                let _ = writeln!(s, "      \"chunk_rows\": {},", p.chunk_rows);
                 let _ = writeln!(s, "      \"synth_ms\": {:.3},", p.synth_ms);
                 let _ = writeln!(s, "      \"row_peaks_ms\": {:.3},", p.row_peaks_ms);
                 let _ = writeln!(s, "      \"quantiles_ms\": {:.3},", p.quantiles_ms);
@@ -252,7 +399,14 @@ impl ScaleReport {
                 let _ = writeln!(s, "      \"swap_probe_ms\": {:.3},", p.swap_probe_ms);
                 let _ = writeln!(s, "      \"total_ms\": {:.3},", p.total_ms);
                 let _ = writeln!(s, "      \"rows_per_sec\": {:.1},", p.rows_per_sec);
-                let _ = writeln!(s, "      \"peak_rss_bytes\": {},", p.peak_rss_bytes);
+                match p.peak_rss_bytes {
+                    Some(bytes) => {
+                        let _ = writeln!(s, "      \"peak_rss_bytes\": {bytes},");
+                    }
+                    None => {
+                        let _ = writeln!(s, "      \"peak_rss_bytes\": null,");
+                    }
+                }
                 let _ = writeln!(
                     s,
                     "      \"sum_of_group_peaks\": {:.6},",
@@ -269,43 +423,83 @@ impl ScaleReport {
     }
 }
 
+/// Per-sample basis tables shared by every row of a ladder point: the
+/// diurnal sine/cosine pair and the weekly envelope, evaluated once per
+/// sample index instead of once per `(row, sample)`. A row's phase shift
+/// folds in via the angle-addition identity
+/// `sin(day + φ) = sin(day)·cos(φ) + cos(day)·sin(φ)`, so the per-sample
+/// inner loop is pure multiply-add — no trigonometry.
+struct SynthBasis {
+    day_sin: Vec<f64>,
+    day_cos: Vec<f64>,
+    week_sin: Vec<f64>,
+}
+
+impl SynthBasis {
+    fn new(samples_per_trace: usize) -> Self {
+        // A week of samples regardless of resolution: the fundamental
+        // completes 7 cycles over the trace, the weekly envelope one.
+        let steps_per_week = samples_per_trace as f64;
+        let step_per_day = steps_per_week / 7.0;
+        let mut day_sin = Vec::with_capacity(samples_per_trace);
+        let mut day_cos = Vec::with_capacity(samples_per_trace);
+        let mut week_sin = Vec::with_capacity(samples_per_trace);
+        for t in 0..samples_per_trace {
+            let day = std::f64::consts::TAU * (t as f64 / step_per_day);
+            let week = std::f64::consts::TAU * (t as f64 / steps_per_week);
+            day_sin.push(day.sin());
+            day_cos.push(day.cos());
+            week_sin.push(week.sin());
+        }
+        Self {
+            day_sin,
+            day_cos,
+            week_sin,
+        }
+    }
+}
+
 /// One row's deterministic diurnal waveform: a seed-hashed phase,
 /// amplitude, and baseline over a 24-hour fundamental plus a weekly
-/// harmonic. Pure integer hashing — no RNG state, so synthesis order
-/// cannot change the samples.
+/// harmonic. Pure integer hashing — no RNG state, so neither synthesis
+/// order nor chunking can change the samples.
 struct RowWave {
     baseline: f64,
     amplitude: f64,
-    phase: f64,
+    cos_phase: f64,
+    sin_phase: f64,
     weekly: f64,
-    step_per_day: f64,
-    steps_per_week: f64,
 }
 
 impl RowWave {
-    fn new(seed: u64, row: u64, samples_per_trace: usize) -> Self {
+    fn new(seed: u64, row: u64) -> Self {
         let h = mix(seed, row);
         // Spread the hash into three independent unit floats.
         let u0 = unit(h);
         let u1 = unit(h.rotate_left(21));
         let u2 = unit(h.rotate_left(42));
-        // A week of samples regardless of resolution: the fundamental
-        // completes 7 cycles over the trace, the weekly envelope one.
-        let steps_per_week = samples_per_trace as f64;
+        let phase = std::f64::consts::TAU * u2;
         Self {
             baseline: 120.0 + 80.0 * u0,
             amplitude: 40.0 + 60.0 * u1,
-            phase: std::f64::consts::TAU * u2,
+            cos_phase: phase.cos(),
+            sin_phase: phase.sin(),
             weekly: 0.15 + 0.1 * u0,
-            step_per_day: steps_per_week / 7.0,
-            steps_per_week,
         }
     }
 
-    fn sample(&self, t: usize) -> f64 {
-        let day = std::f64::consts::TAU * (t as f64 / self.step_per_day) + self.phase;
-        let week = std::f64::consts::TAU * (t as f64 / self.steps_per_week);
-        self.baseline + self.amplitude * (day.sin() + self.weekly * week.sin()).max(-1.0)
+    /// Writes the full row into `out` from the shared basis tables:
+    /// `baseline + amplitude · max(sinφ-shifted day wave + weekly
+    /// envelope, −1)` per sample, ~6 flops each. The `−1` clamp keeps
+    /// every sample at `baseline − amplitude ≥ 20`, so rows are always
+    /// valid power draws.
+    fn fill(&self, basis: &SynthBasis, out: &mut [f64]) {
+        for (t, v) in out.iter_mut().enumerate() {
+            let envelope = basis.day_sin[t] * self.cos_phase
+                + basis.day_cos[t] * self.sin_phase
+                + self.weekly * basis.week_sin[t];
+            *v = self.baseline + self.amplitude * envelope.max(-1.0);
+        }
     }
 }
 
@@ -342,23 +536,18 @@ fn fold_digest(parts: &[f64]) -> f64 {
 }
 
 /// Process peak resident set size from `/proc/self/status` (`VmHWM`), in
-/// bytes; `0` where the file or field is unavailable.
-pub fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
+/// bytes. `None` where the file, the field, or a parsable value is
+/// unavailable (any non-Linux platform) — callers must not treat absence
+/// as zero bytes.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kb * 1024;
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
         }
     }
-    0
+    None
 }
 
 #[cfg(test)]
@@ -373,6 +562,8 @@ mod tests {
             seed: 7,
             group_size: 12,
             swap_probes: 64,
+            quantile_mode: QuantileMode::Exact,
+            chunk_rows: 0,
         }
     }
 
@@ -391,10 +582,89 @@ mod tests {
     }
 
     #[test]
+    fn chunk_size_never_changes_numeric_outputs() {
+        let mut config = tiny_config();
+        config.instances = vec![600];
+        let reference = run_scale(&config).unwrap();
+        for chunk_rows in [12, 24, 60, 96, 132, 600, 1200] {
+            config.chunk_rows = chunk_rows;
+            let got = run_scale(&config).unwrap();
+            for (x, y) in reference.points.iter().zip(&got.points) {
+                assert_eq!(
+                    x.checksum.to_bits(),
+                    y.checksum.to_bits(),
+                    "chunk_rows={chunk_rows}"
+                );
+                assert_eq!(
+                    x.sum_of_group_peaks.to_bits(),
+                    y.sum_of_group_peaks.to_bits(),
+                    "chunk_rows={chunk_rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_chunk_rows_is_group_aligned() {
+        let mut config = tiny_config();
+        assert_eq!(config.effective_chunk_rows() % config.group_size, 0);
+        config.chunk_rows = 100; // not a multiple of 12
+        assert_eq!(config.effective_chunk_rows(), 108);
+        config.chunk_rows = 12;
+        assert_eq!(config.effective_chunk_rows(), 12);
+    }
+
+    #[test]
+    fn sketch_mode_runs_and_stays_near_exact() {
+        let mut config = tiny_config();
+        let exact = run_scale(&config).unwrap();
+        config.quantile_mode = QuantileMode::Sketch;
+        let sketch = run_scale(&config).unwrap();
+        for (x, y) in exact.points.iter().zip(&sketch.points) {
+            assert_eq!(y.quantile_mode, QuantileMode::Sketch);
+            // Peaks / aggregation / probes are identical; only the
+            // quantile contribution to the checksum may drift, and the
+            // shared digests pin everything else.
+            assert_eq!(
+                x.sum_of_group_peaks.to_bits(),
+                y.sum_of_group_peaks.to_bits()
+            );
+            let drift = (x.checksum - y.checksum).abs() / x.checksum.abs().max(1.0);
+            assert!(drift < 0.05, "sketch checksum drifted {drift}");
+        }
+    }
+
+    #[test]
+    #[ignore = "measurement helper, not a gate"]
+    fn measure_sketch_p99_value_error() {
+        let samples = 168usize;
+        let basis = SynthBasis::new(samples);
+        let mut row = vec![0.0; samples];
+        let (mut max_rel, mut sum_rel, mut n) = (0.0f64, 0.0f64, 0u64);
+        for r in 0..20_000u64 {
+            RowWave::new(7, r).fill(&basis, &mut row);
+            let exact =
+                so_powertrace::quantile::quantile_select(&row, 0.99, &mut Vec::new()).unwrap();
+            let est = so_powertrace::sketch::sketch_quantile(&row, 0.99).unwrap();
+            let rel = (est - exact).abs() / exact.abs().max(1e-12);
+            max_rel = max_rel.max(rel);
+            sum_rel += rel;
+            n += 1;
+        }
+        println!(
+            "p99 sketch vs exact over {n} rows: mean rel err {:.6}, max rel err {:.6}",
+            sum_rel / n as f64,
+            max_rel
+        );
+    }
+
+    #[test]
     fn waveform_is_finite_and_positive_enough() {
-        let wave = RowWave::new(7, 123, 168);
-        for t in 0..168 {
-            let v = wave.sample(t);
+        let basis = SynthBasis::new(168);
+        let wave = RowWave::new(7, 123);
+        let mut row = vec![0.0; 168];
+        wave.fill(&basis, &mut row);
+        for (t, &v) in row.iter().enumerate() {
             assert!(v.is_finite());
             // baseline ≥ 120, amplitude ≤ 100, envelope clamped at −1.
             assert!(v >= 0.0, "sample {t} = {v}");
@@ -421,15 +691,27 @@ mod tests {
         assert!(json.contains("\"benchmark\": \"scale\""));
         assert!(json.contains("\"instances\": 48"));
         assert!(json.contains("\"instances\": 96"));
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"quantile_mode\": \"exact\""));
+        assert!(json.contains("\"threads\": "));
+        assert!(json.contains("\"chunk_rows\": "));
+    }
+
+    #[test]
+    fn missing_rss_serializes_as_null() {
+        let mut report = run_scale(&tiny_config()).unwrap();
+        report.points[0].peak_rss_bytes = None;
+        let json = report.to_json();
+        assert!(json.contains("\"peak_rss_bytes\": null"));
     }
 
     #[test]
     fn peak_rss_is_reported_on_linux() {
         // On the Linux CI hosts this must be a real value; elsewhere the
-        // function degrades to 0 rather than failing.
-        if std::path::Path::new("/proc/self/status").exists() {
-            assert!(peak_rss_bytes() > 0);
+        // function degrades to None rather than claiming zero bytes.
+        match peak_rss_bytes() {
+            Some(bytes) => assert!(bytes > 0),
+            None => assert!(!std::path::Path::new("/proc/self/status").exists()),
         }
     }
 }

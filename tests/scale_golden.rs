@@ -1,10 +1,10 @@
 //! Golden test for the `BENCH_scale.json` schema: field names, ordering
 //! guarantees, and the determinism contract of the numeric fields. A
 //! schema drift here must be deliberate (bump `SCALE_SCHEMA_VERSION`),
-//! because CI tooling and the scale-smoke regression gate parse this file
-//! by name.
+//! because CI tooling and the scale-smoke regression gate
+//! (`scripts/perf_gate.sh`) parse this file by name.
 
-use smoothoperator::scale::{run_scale, ScaleConfig, SCALE_SCHEMA_VERSION};
+use smoothoperator::scale::{run_scale, QuantileMode, ScaleConfig, SCALE_SCHEMA_VERSION};
 
 fn tiny_ladder() -> ScaleConfig {
     ScaleConfig {
@@ -14,6 +14,8 @@ fn tiny_ladder() -> ScaleConfig {
         seed: 7,
         group_size: 12,
         swap_probes: 32,
+        quantile_mode: QuantileMode::Exact,
+        chunk_rows: 0,
     }
 }
 
@@ -30,8 +32,11 @@ const TOP_LEVEL_FIELDS: [&str; 8] = [
     "\"points\"",
 ];
 
-const POINT_FIELDS: [&str; 11] = [
+const POINT_FIELDS: [&str; 14] = [
     "\"instances\"",
+    "\"threads\"",
+    "\"quantile_mode\"",
+    "\"chunk_rows\"",
     "\"synth_ms\"",
     "\"row_peaks_ms\"",
     "\"quantiles_ms\"",
@@ -49,7 +54,7 @@ fn artifact_carries_the_pinned_schema() {
     let report = run_scale(&tiny_ladder()).unwrap();
     let json = report.to_json();
 
-    assert_eq!(SCALE_SCHEMA_VERSION, 1, "schema bumped: update this test");
+    assert_eq!(SCALE_SCHEMA_VERSION, 2, "schema bumped: update this test");
     for field in TOP_LEVEL_FIELDS {
         assert!(json.contains(field), "missing top-level field {field}");
     }
@@ -83,6 +88,8 @@ fn numeric_fields_are_sane_and_deterministic() {
         assert!(x.total_ms >= 0.0 && x.rows_per_sec > 0.0);
         assert!(x.sum_of_group_peaks > 0.0, "groups of diurnal rows peak");
         assert!(x.checksum.is_finite());
+        assert!(x.threads >= 1, "at least one lane always runs");
+        assert_eq!(x.chunk_rows % config.group_size, 0, "chunks group-align");
         // Timings are machine noise; the digests are a pure function of
         // the config and must not wobble by a single bit.
         assert_eq!(x.checksum.to_bits(), y.checksum.to_bits());
@@ -101,7 +108,8 @@ fn numeric_fields_are_sane_and_deterministic() {
 fn json_numbers_parse_back() {
     // No JSON parser in-tree: strip the syntax and check every value
     // token parses as a number (the artifact must never emit NaN/inf,
-    // which are invalid JSON).
+    // which are invalid JSON) or is one of the schema's non-numeric
+    // literals (the quantile-mode string, `null` for an absent RSS).
     let report = run_scale(&tiny_ladder()).unwrap();
     for line in report.to_json().lines() {
         let Some((_, value)) = line.split_once(": ") else {
@@ -109,6 +117,9 @@ fn json_numbers_parse_back() {
         };
         let value = value.trim_end_matches(',').trim();
         if value.starts_with('"') || value.starts_with('[') || value.starts_with('{') {
+            continue;
+        }
+        if value == "null" {
             continue;
         }
         let parsed: f64 = value
