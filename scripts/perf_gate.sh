@@ -69,9 +69,9 @@ for phase in $PHASES; do
         exit 2
     fi
     read -r delta_pct status <<<"$(awk -v b="$base" -v c="$cur" \
-        -v tol="$TOLERANCE_PCT" -v min="$MIN_GATED_MS" 'BEGIN {
+        -v tol="$TOLERANCE_PCT" -v min="$MIN_GATED_MS" -v phase="$phase" 'BEGIN {
         delta = (b > 0) ? (c - b) * 100.0 / b : 0
-        if (b < min)                        status = "info"
+        if (b < min && phase != "total_ms") status = "info"
         else if (c > b * (1 + tol / 100.0)) status = "FAIL"
         else                                status = "ok"
         printf "%+.1f%% %s", delta, status

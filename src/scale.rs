@@ -242,7 +242,10 @@ fn run_point(config: &ScaleConfig, n: usize) -> Result<ScalePoint, Box<dyn std::
     // Swap probes land in whichever chunk holds their group; scores are
     // recorded per probe index and summed in probe order at the end.
     let probes = config.swap_probes.min(n);
-    let groups_total = n / config.group_size;
+    // `run_scale` rejects group_size 0, but guard the division anyway so
+    // a future direct caller can't hit an arithmetic panic (same idiom as
+    // `effective_chunk_rows`).
+    let groups_total = n / config.group_size.max(1);
     let do_probes = config.group_size >= 2 && groups_total >= 1;
     let mut probe_scores = vec![0.0f64; if do_probes { probes } else { 0 }];
     let probe_groups: Vec<usize> = (0..probe_scores.len())

@@ -10,6 +10,15 @@
 //! tests' parallel kernels.
 
 use smoothoperator::scale::{run_scale, QuantileMode, ScaleConfig};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: `set_thread_limit` is
+/// process-global, and the default test harness runs `#[test]` functions
+/// on concurrent threads, so without this lock one test could overwrite
+/// the lane count the other believes it is exercising. The digests would
+/// still match (they are lane-independent by contract), but the intended
+/// coverage of specific lane counts would be unreliable.
+static THREAD_LIMIT_LOCK: Mutex<()> = Mutex::new(());
 
 fn config() -> ScaleConfig {
     ScaleConfig {
@@ -35,6 +44,7 @@ fn digests(config: &ScaleConfig) -> Vec<(u64, u64)> {
 
 #[test]
 fn scale_outputs_are_bit_identical_across_thread_counts() {
+    let _guard = THREAD_LIMIT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let config = config();
     let mut runs = Vec::new();
     for lanes in [1usize, 2, 8] {
@@ -61,6 +71,7 @@ fn scale_outputs_are_bit_identical_across_thread_counts() {
 fn scale_outputs_are_bit_identical_across_chunk_and_mode_combinations() {
     // Chunk size interacts with the parallel fill's window layout; the
     // cross product of chunk sizes and lane counts must still agree.
+    let _guard = THREAD_LIMIT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut config = config();
     so_parallel::set_thread_limit(1);
     let reference = digests(&config);
