@@ -56,6 +56,7 @@ pub mod degraded;
 mod embedding;
 mod error;
 mod monitor;
+pub mod online;
 mod placement;
 mod remap;
 mod score;
@@ -73,6 +74,10 @@ pub use embedding::{
 };
 pub use error::CoreError;
 pub use monitor::{DriftMonitor, DriftReport, LevelDrift};
+pub use online::{
+    offline_choose, sample_racks, select_decision, BatchReport, CommitPolicy, EventRecord,
+    FragmentationLevel, LeafDecision, OnlineConfig, OnlineFleet,
+};
 pub use placement::{PlacementConfig, SmoothPlacer};
 pub use remap::{
     remap, remap_arena, remap_degraded, remap_traces, worst_node, RemapConfig, RemapReport,
@@ -80,7 +85,7 @@ pub use remap::{
 };
 pub use score::{
     asynchrony_score, averaged_peer_trace, differential_score, differential_score_excluding,
-    instance_to_service_score, pairwise_score, pairwise_score_samples,
+    instance_to_service_score, pairwise_score, pairwise_score_samples, peak_of_sum_samples,
 };
 pub use source::SampleSource;
 pub use straces::ServiceTraces;

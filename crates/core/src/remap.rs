@@ -26,10 +26,12 @@
 //! [`TraceArena`]s ([`remap_arena`]), the layout that scales to
 //! million-instance fleets.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 use so_parallel::par_map;
 use so_powertrace::{peak_of_samples, NodeAggregate, PowerTrace, TraceArena};
-use so_powertree::{Assignment, Level, NodeId, PowerTopology};
+use so_powertree::{Assignment, Level, NodeId, PowerTopology, TreeError};
 use so_workloads::Fleet;
 
 use crate::error::CoreError;
@@ -298,6 +300,28 @@ impl NodeState {
     }
 }
 
+/// Member instances under `node`, resolved against a pre-grouped rack map
+/// — same contents and ascending order as [`Assignment::instances_under`],
+/// without rebuilding the grouping per node. Hoisting the `by_rack` map
+/// out of the per-node loops turns the state/score sweeps from
+/// `O(nodes · instances)` into `O(instances)` per remap call, which is
+/// what keeps the online engine's per-batch repair affordable at 100k
+/// instances.
+fn members_under(
+    topology: &PowerTopology,
+    by_rack: &BTreeMap<NodeId, Vec<usize>>,
+    node: NodeId,
+) -> Result<Vec<usize>, TreeError> {
+    let mut out = Vec::new();
+    for rack in topology.racks_under(node)? {
+        if let Some(instances) = by_rack.get(&rack) {
+            out.extend_from_slice(instances);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
 /// Builds the cached state of every node at `level`, one node per parallel
 /// task (each task sums that node's member traces once).
 fn build_states<S: SampleSource + ?Sized>(
@@ -307,11 +331,12 @@ fn build_states<S: SampleSource + ?Sized>(
     level: Level,
 ) -> Result<Vec<NodeState>, CoreError> {
     let grid = source.grid();
+    let by_rack = assignment.by_rack();
     par_map(
         topology.nodes_at_level(level),
         1,
         |_, &node| -> Result<NodeState, CoreError> {
-            let members = assignment.instances_under(topology, node)?;
+            let members = members_under(topology, &by_rack, node)?;
             let agg =
                 NodeAggregate::from_samples(grid, members.iter().map(|&i| source.samples(i)))?;
             Ok(NodeState { node, members, agg })
@@ -389,11 +414,12 @@ fn scored_nodes_source<S: SampleSource + ?Sized>(
 ) -> Result<Vec<(NodeId, f64)>, CoreError> {
     // One node per parallel task; each node's score is computed exactly as
     // the serial loop would, and the results keep node order.
+    let by_rack = assignment.by_rack();
     let scores = par_map(
         topology.nodes_at_level(level),
         1,
         |_, &node| -> Result<Option<(NodeId, f64)>, CoreError> {
-            let members = assignment.instances_under(topology, node)?;
+            let members = members_under(topology, &by_rack, node)?;
             if members.len() < 2 {
                 return Ok(None);
             }

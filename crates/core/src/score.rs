@@ -144,6 +144,41 @@ pub fn pairwise_score_samples(a: &[f64], b: &[f64]) -> Result<f64, CoreError> {
     Ok(peak_sum / aggregate_peak)
 }
 
+/// Peak of the element-wise sum of two sample rows, fused: the aggregate
+/// `a[t] + b[t]` is never materialized — its peak is folded directly with
+/// [`peak_of_samples`]' 4-lane reduction, which is the exact float work of
+/// `a.try_add(b)?.peak()`. This is the O(T) admissibility probe of online
+/// placement: "what would this node's peak be if the candidate landed in
+/// its subtree?" evaluated against a cached aggregate row.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Trace`] (length mismatch) when the rows differ in
+/// length. Steps are the caller's responsibility — rows of one arena always
+/// share a grid.
+pub fn peak_of_sum_samples(a: &[f64], b: &[f64]) -> Result<f64, CoreError> {
+    if a.len() != b.len() {
+        return Err(CoreError::Trace(TraceError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        }));
+    }
+    let mut lanes = [f64::MIN; 4];
+    let mut a_chunks = a.chunks_exact(4);
+    let mut b_chunks = b.chunks_exact(4);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        lanes[0] = lanes[0].max(ca[0] + cb[0]);
+        lanes[1] = lanes[1].max(ca[1] + cb[1]);
+        lanes[2] = lanes[2].max(ca[2] + cb[2]);
+        lanes[3] = lanes[3].max(ca[3] + cb[3]);
+    }
+    let mut peak = lanes[0].max(lanes[1]).max(lanes[2].max(lanes[3]));
+    for (&x, &y) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        peak = peak.max(x + y);
+    }
+    Ok(peak)
+}
+
 /// The differential asynchrony score of one instance against a node it may
 /// join or sit in, fused over raw sample rows: given the node's running
 /// `sum` (a [`NodeAggregate::sum_samples`] buffer) over `count` members,
@@ -339,6 +374,25 @@ mod tests {
             assert_eq!(got.to_bits(), want.to_bits());
         }
         assert!(pairwise_score_samples(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn peak_of_sum_samples_is_bit_identical_to_try_add_peak() {
+        let cases = [
+            (trace(&[4.0, 0.0, 2.0]), trace(&[0.0, 4.0, 2.0])),
+            (trace(&[1.0, 3.0]), trace(&[2.5, 7.5])),
+            (trace(&[0.0, 0.0]), trace(&[0.0, 0.0])),
+            (
+                trace(&[0.1, 0.7, 0.3, 0.9, 0.4, 0.6]),
+                trace(&[0.2, 0.0, 0.5, 0.1, 0.8, 0.3]),
+            ),
+        ];
+        for (a, b) in &cases {
+            let want = a.try_add(b).unwrap().peak();
+            let got = peak_of_sum_samples(a.samples(), b.samples()).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        assert!(peak_of_sum_samples(&[1.0], &[1.0, 2.0]).is_err());
     }
 
     #[test]

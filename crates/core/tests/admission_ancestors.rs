@@ -1,0 +1,124 @@
+//! Regression: admission must reject a candidate whose *ancestor* budget
+//! would be breached even when the rack itself has room — the per-level
+//! capping the paper's power tree exists to enforce. Pins the behaviour
+//! at the RPP and MSB levels for both the materializing
+//! [`admission_decisions`] path and the fused [`OnlineFleet`] evaluation.
+
+use so_core::{admission_decisions, CommitPolicy, OnlineConfig, OnlineFleet};
+use so_powertrace::{PowerTrace, TimeGrid};
+use so_powertree::{Assignment, Level, NodeAggregates, PowerTopology};
+
+/// 1 suite × 2 MSB × 1 SB × 1 RPP × 2 racks: racks 0–1 share one
+/// RPP/SB/MSB path, racks 2–3 the other.
+fn topo() -> PowerTopology {
+    PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(2)
+        .sbs_per_msb(1)
+        .rpps_per_sb(1)
+        .racks_per_rpp(2)
+        .rack_capacity(4)
+        .rack_budget_watts(400.0)
+        .build()
+        .unwrap()
+}
+
+/// Per-node budgets: 400 W racks, `rpp`/`msb` watts at those levels, and
+/// effectively unconstrained everywhere else.
+fn budgets(topology: &PowerTopology, rpp: f64, msb: f64) -> Vec<f64> {
+    topology
+        .nodes()
+        .iter()
+        .map(|n| match n.level() {
+            Level::Rack => 400.0,
+            Level::Rpp => rpp,
+            Level::Msb => msb,
+            _ => 100_000.0,
+        })
+        .collect()
+}
+
+fn flat(watts: f64) -> PowerTrace {
+    PowerTrace::new(vec![watts; 4], 60).unwrap()
+}
+
+/// One 300 W instance on rack 0, then a 200 W candidate probed.
+fn fixture(topology: &PowerTopology) -> (Vec<PowerTrace>, Assignment, NodeAggregates) {
+    let traces = vec![flat(300.0)];
+    let assignment = Assignment::new(vec![topology.racks()[0]], topology).unwrap();
+    let aggregates = NodeAggregates::compute(topology, &assignment, &traces).unwrap();
+    (traces, assignment, aggregates)
+}
+
+#[test]
+fn rpp_budget_rejects_a_rack_level_fit() {
+    let topology = topo();
+    // RPP budget 450 W: rack 1 alone could host the 200 W candidate
+    // (200 ≤ 400), but its RPP already carries rack 0's 300 W, and
+    // 300 + 200 = 500 > 450.
+    let budgets = budgets(&topology, 450.0, 100_000.0);
+    let (traces, assignment, aggregates) = fixture(&topology);
+    let candidate = flat(200.0);
+    let decisions =
+        admission_decisions(&topology, &assignment, &aggregates, &budgets, &candidate).unwrap();
+    let racks = topology.racks();
+    let of = |rack| decisions.iter().find(|d| d.rack == rack).unwrap();
+    assert!(!of(racks[0]).fits, "rack 0 breaches its own 400 W budget");
+    assert!(
+        !of(racks[1]).fits,
+        "rack 1 fits locally but must be rejected at the RPP"
+    );
+    assert!(of(racks[2]).fits, "the sibling RPP is unconstrained");
+    assert!(of(racks[3]).fits);
+    let _ = traces;
+}
+
+#[test]
+fn msb_budget_rejects_a_rack_level_fit() {
+    let topology = topo();
+    // Same shape one level up: the RPPs are generous, the loaded MSB is
+    // capped at 450 W.
+    let budgets = budgets(&topology, 100_000.0, 450.0);
+    let (_, assignment, aggregates) = fixture(&topology);
+    let candidate = flat(200.0);
+    let decisions =
+        admission_decisions(&topology, &assignment, &aggregates, &budgets, &candidate).unwrap();
+    let racks = topology.racks();
+    let of = |rack| decisions.iter().find(|d| d.rack == rack).unwrap();
+    assert!(!of(racks[1]).fits, "MSB budget must veto the local fit");
+    assert!(of(racks[2]).fits && of(racks[3]).fits);
+}
+
+#[test]
+fn online_engine_agrees_with_ancestor_rejection() {
+    let topology = topo();
+    let budgets = budgets(&topology, 450.0, 100_000.0);
+    let mut engine = OnlineFleet::new(
+        topology.clone(),
+        TimeGrid::new(60, 4),
+        OnlineConfig {
+            policy: CommitPolicy::WorstFit,
+            repair_budget: 0,
+            min_gain: 0.0,
+            sample_salt: 0,
+        },
+    )
+    .with_budgets(budgets)
+    .unwrap();
+    // Pin the 300 W instance onto rack 0: with equal headroom everywhere
+    // WorstFit's ascending tie-break picks the first rack.
+    let slot = engine.arrive(&flat(300.0)).unwrap().unwrap();
+    assert_eq!(engine.rack_of(slot).unwrap(), topology.racks()[0]);
+    let decisions = engine.decisions(&flat(200.0)).unwrap();
+    let of = |rack| decisions.iter().find(|d| d.rack == rack).unwrap();
+    assert!(!of(topology.racks()[0]).fits);
+    assert!(
+        !of(topology.racks()[1]).fits,
+        "fused path must apply the same RPP veto"
+    );
+    assert!(of(topology.racks()[2]).fits && of(topology.racks()[3]).fits);
+    // The commit itself lands under the open RPP.
+    let committed = engine.arrive(&flat(200.0)).unwrap().unwrap();
+    let rack = engine.rack_of(committed).unwrap();
+    assert!(rack == topology.racks()[2] || rack == topology.racks()[3]);
+}

@@ -1,4 +1,4 @@
-//! The seeded randomized battery: one fixture, all four oracle families.
+//! The seeded randomized battery: one fixture, all five oracle families.
 //!
 //! The battery is fully deterministic in `(seed, instances)` — the seed
 //! selects the scenario preset, perturbs fleet generation, and drives
@@ -9,7 +9,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use so_workloads::DcScenario;
 
-use crate::{arena, differential, invariant, metamorphic, Fixture, OracleError, OracleReport};
+use crate::{
+    arena, differential, invariant, metamorphic, online, Fixture, OracleError, OracleReport,
+};
 
 /// Battery parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +46,8 @@ pub struct BatteryOutcome {
 }
 
 /// Runs the full oracle battery: builds the seeded fixture, then the
-/// invariant, differential, metamorphic, and arena families in that order.
+/// invariant, differential, metamorphic, arena, and online families in
+/// that order.
 ///
 /// # Errors
 ///
@@ -63,6 +66,7 @@ pub fn run_battery(config: &BatteryConfig) -> Result<BatteryOutcome, OracleError
     differential::run(&fixture, &mut report)?;
     metamorphic::run(&fixture, &mut rng, &mut report)?;
     arena::run(&fixture, &mut report)?;
+    online::run(&fixture, &mut rng, &mut report)?;
     Ok(BatteryOutcome {
         scenario: scenario.name,
         instances: config.instances,

@@ -9,7 +9,7 @@
 //! randomized battery suitable for CI and for the `smoothop check`
 //! subcommand.
 //!
-//! Four oracle families (see `DESIGN.md` §7):
+//! Five oracle families (see `DESIGN.md` §7):
 //!
 //! * **Invariant** ([`invariant`]) — properties of a single run: score
 //!   bounds `1 ≤ A_M ≤ |M|`, peak-of-sum ≤ sum-of-peaks, remapping never
@@ -28,6 +28,12 @@
 //!   and peak kernels, embeddings, remap, and per-row quantiles (the
 //!   StatProf kernel) must all be *bit-identical* — the contract the
 //!   allocation-free hot paths rely on.
+//! * **Online** ([`online`]) — the resident [`so_core::online::OnlineFleet`]
+//!   engine vs offline recomputes: after any event sequence its aggregates,
+//!   peaks, and asynchrony scores must be bit-identical to a from-scratch
+//!   [`so_powertree::NodeAggregates::compute`] of the final fleet, and every
+//!   journaled commit/reject must match an independent materialized replay
+//!   of the commit policy.
 //!
 //! Oracle outcomes accumulate in an [`OracleReport`]; each evaluation also
 //! emits the telemetry counters `so_oracle_evaluations_total` and
@@ -61,11 +67,12 @@ pub mod differential;
 pub mod fixture;
 pub mod invariant;
 pub mod metamorphic;
+pub mod online;
 
 pub use battery::{run_battery, BatteryConfig, BatteryOutcome};
 pub use fixture::{fitting_topology, rotate_trace, Fixture};
 
-/// The four oracle families of the correctness harness.
+/// The five oracle families of the correctness harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OracleFamily {
     /// Properties that must hold for any single run.
@@ -77,15 +84,19 @@ pub enum OracleFamily {
     /// Columnar-arena pipelines must be bit-identical to their
     /// `Vec<PowerTrace>` twins.
     Arena,
+    /// The online placement engine must agree bit-for-bit with offline
+    /// recomputes of its resident state and commit decisions.
+    Online,
 }
 
 impl OracleFamily {
     /// All families, in reporting order.
-    pub const ALL: [OracleFamily; 4] = [
+    pub const ALL: [OracleFamily; 5] = [
         OracleFamily::Invariant,
         OracleFamily::Differential,
         OracleFamily::Metamorphic,
         OracleFamily::Arena,
+        OracleFamily::Online,
     ];
 
     /// Stable lower-case label, used for telemetry and reports.
@@ -95,6 +106,7 @@ impl OracleFamily {
             OracleFamily::Differential => "differential",
             OracleFamily::Metamorphic => "metamorphic",
             OracleFamily::Arena => "arena",
+            OracleFamily::Online => "online",
         }
     }
 
@@ -104,6 +116,7 @@ impl OracleFamily {
             OracleFamily::Differential => 1,
             OracleFamily::Metamorphic => 2,
             OracleFamily::Arena => 3,
+            OracleFamily::Online => 4,
         }
     }
 }
@@ -139,7 +152,7 @@ impl fmt::Display for Violation {
 /// the family, so recorded batteries show up in metric snapshots.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OracleReport {
-    evaluations: [u64; 4],
+    evaluations: [u64; 5],
     violations: Vec<Violation>,
 }
 

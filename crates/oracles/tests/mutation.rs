@@ -1,10 +1,16 @@
 //! Mutation smoke test: the oracle harness is only worth its keep if a
 //! deliberately broken implementation actually trips it. Each test plants
-//! a classic quantile bug and asserts at least one oracle objects; the
-//! production implementation passes the same probes untouched.
+//! a classic bug — quantile convention drift, a stale online aggregate, a
+//! wrong-leaf commit — and asserts at least one oracle objects; the
+//! production implementations pass the same probes untouched.
 
+use so_core::{CommitPolicy, OnlineConfig, OnlineFleet};
 use so_oracles::differential::quantile_matches_reference;
-use so_oracles::{OracleFamily, OracleReport};
+use so_oracles::online::{check_commit_decision, check_resident_aggregates};
+use so_oracles::{Fixture, OracleFamily, OracleReport};
+use so_powertrace::PowerTrace;
+use so_powertree::{NodeAggregates, NodeId};
+use so_workloads::DcScenario;
 
 fn samples() -> Vec<f64> {
     // Irregular but deterministic: enough spread that interpolation,
@@ -71,6 +77,160 @@ fn off_by_one_position_is_caught() {
     let mut report = OracleReport::new();
     quantile_matches_reference(broken, &samples(), &mut report);
     assert!(!report.is_clean());
+}
+
+/// A small fixture-driven engine with every fixture trace committed —
+/// the live state the online mutation probes corrupt.
+fn driven_engine() -> (OnlineFleet, Vec<PowerTrace>) {
+    let fixture = Fixture::generate(&DcScenario::dc1(), 16, 9).unwrap();
+    let traces = fixture.traces().to_vec();
+    let grid = traces[0].grid();
+    let cap = traces.iter().map(PowerTrace::peak).sum::<f64>() * 2.0 + 100.0;
+    let mut engine = OnlineFleet::new(
+        fixture.topology.clone(),
+        grid,
+        OnlineConfig {
+            policy: CommitPolicy::BestAsynchrony,
+            repair_budget: 0,
+            min_gain: 0.0,
+            sample_salt: 0,
+        },
+    )
+    .with_budgets(vec![cap; fixture.topology.len()])
+    .unwrap();
+    engine.apply(&traces, &[]).unwrap();
+    assert_eq!(engine.live_len(), traces.len());
+    (engine, traces)
+}
+
+fn live_racks(engine: &OnlineFleet) -> Vec<NodeId> {
+    engine
+        .live_slots()
+        .iter()
+        .map(|&s| engine.rack_of(s).unwrap())
+        .collect()
+}
+
+#[test]
+fn stale_aggregate_after_retirement_is_caught() {
+    // Bug: an engine that skips the aggregate subtraction on retirement —
+    // modeled by snapshotting the aggregates, retiring an instance, and
+    // presenting the stale snapshot as the claimed resident state.
+    let (mut engine, _) = driven_engine();
+    let stale = engine.aggregates().clone();
+    let victim = engine.live_slots()[0];
+    engine.retire(victim).unwrap();
+    let (traces, _, _) = engine.live_view().unwrap();
+    let racks = live_racks(&engine);
+    let mut report = OracleReport::new();
+    check_resident_aggregates(
+        engine.topology(),
+        engine.grid(),
+        &traces,
+        &racks,
+        &stale,
+        &mut report,
+    )
+    .unwrap();
+    assert!(
+        !report.is_clean(),
+        "stale aggregates slipped past the oracle"
+    );
+    assert!(report
+        .violations()
+        .iter()
+        .all(|v| v.family == OracleFamily::Online));
+}
+
+#[test]
+fn wrong_leaf_commit_is_caught() {
+    // Bug: an engine that evaluates the policy but commits to some other
+    // admissible rack — the journal claims a leaf the offline replay of
+    // the same pre-state would never pick.
+    let (engine, traces) = driven_engine();
+    let candidate = &traces[0];
+    let decisions = engine.decisions(candidate).unwrap();
+    let best = so_core::select_decision(&engine.config().policy, &decisions)
+        .expect("candidate is admissible somewhere")
+        .rack;
+    let wrong = decisions
+        .iter()
+        .find(|d| d.fits && d.rack != best)
+        .expect("more than one admissible rack")
+        .rack;
+    let (pre_traces, _, _) = engine.live_view().unwrap();
+    let pre_racks = live_racks(&engine);
+    let mut report = OracleReport::new();
+    check_commit_decision(
+        engine.topology(),
+        engine.budgets(),
+        engine.grid(),
+        &pre_traces,
+        &pre_racks,
+        candidate,
+        &engine.config().policy,
+        engine.config().sample_salt,
+        engine.arrivals_seen(),
+        Some(wrong),
+        &mut report,
+    )
+    .unwrap();
+    assert!(
+        !report.is_clean(),
+        "wrong-leaf commit slipped past the oracle"
+    );
+    assert_eq!(report.violations_in(OracleFamily::Online), 1);
+
+    // The engine's actual choice passes the same probe.
+    let mut clean = OracleReport::new();
+    check_commit_decision(
+        engine.topology(),
+        engine.budgets(),
+        engine.grid(),
+        &pre_traces,
+        &pre_racks,
+        candidate,
+        &engine.config().policy,
+        engine.config().sample_salt,
+        engine.arrivals_seen(),
+        Some(best),
+        &mut clean,
+    )
+    .unwrap();
+    assert!(clean.is_clean(), "{:#?}", clean.violations());
+}
+
+#[test]
+fn production_online_engine_is_clean() {
+    let (engine, _) = driven_engine();
+    let (traces, _, _) = engine.live_view().unwrap();
+    let racks = live_racks(&engine);
+    let mut report = OracleReport::new();
+    check_resident_aggregates(
+        engine.topology(),
+        engine.grid(),
+        &traces,
+        &racks,
+        engine.aggregates(),
+        &mut report,
+    )
+    .unwrap();
+    assert!(report.is_clean(), "{:#?}", report.violations());
+    assert!(report.evaluations(OracleFamily::Online) > 0);
+
+    // An empty claim against an empty fleet is clean too (the zeros path).
+    let empty = OnlineFleet::new(engine.topology().clone(), engine.grid(), *engine.config());
+    let mut zero_report = OracleReport::new();
+    check_resident_aggregates(
+        empty.topology(),
+        empty.grid(),
+        &[],
+        &[],
+        &NodeAggregates::zeros(empty.topology(), empty.grid()),
+        &mut zero_report,
+    )
+    .unwrap();
+    assert!(zero_report.is_clean(), "{:#?}", zero_report.violations());
 }
 
 #[test]

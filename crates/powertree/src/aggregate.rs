@@ -109,6 +109,106 @@ impl NodeAggregates {
         Ok(Self { traces })
     }
 
+    /// An all-zero aggregate set on `grid` — the starting state of an
+    /// incremental maintainer (an empty fleet sums to zero at every node).
+    ///
+    /// Unlike [`NodeAggregates::compute`] on an empty fleet (which has no
+    /// trace to take a grid from), the grid here is explicit, so the zero
+    /// traces live on the same grid later refreshes will use.
+    pub fn zeros(topology: &PowerTopology, grid: TimeGrid) -> Self {
+        Self {
+            traces: (0..topology.len())
+                .map(|_| PowerTrace::zeros(grid))
+                .collect(),
+        }
+    }
+
+    /// Canonically recomputes the aggregate of one rack from its member
+    /// sample rows.
+    ///
+    /// This is the leaf half of incremental maintenance: instead of
+    /// adding/subtracting the changed member in place (which leaves
+    /// floating-point residue — subtraction is not an exact inverse of
+    /// addition), the rack's sum is rebuilt from scratch with exactly the
+    /// float operations [`NodeAggregates::compute`] performs (members
+    /// accumulated in iteration order onto a zero buffer, then clamped via
+    /// the same materialization). Pass members in ascending instance order
+    /// to stay bit-identical to a from-scratch [`NodeAggregates::compute`]
+    /// of the same fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] for ids outside the topology,
+    /// [`TreeError::NotARack`] for internal nodes, and propagates row
+    /// length mismatches as [`TreeError::Trace`].
+    pub fn refresh_rack<'a>(
+        &mut self,
+        topology: &PowerTopology,
+        rack: NodeId,
+        members: impl IntoIterator<Item = &'a [f64]>,
+    ) -> Result<(), TreeError> {
+        let node = topology.node(rack)?;
+        if !node.is_rack() {
+            return Err(TreeError::NotARack(rack));
+        }
+        let grid = self.traces[rack.index()].grid();
+        let agg = NodeAggregate::from_samples(grid, members)?;
+        self.traces[rack.index()] = agg.to_trace()?;
+        Ok(())
+    }
+
+    /// Canonically recomputes every ancestor of the given racks, deepest
+    /// level first, after one or more [`refresh_rack`] calls.
+    ///
+    /// Each affected internal node re-sums its children in ascending id
+    /// order — the exact float work of [`NodeAggregates::compute`]'s upward
+    /// pass — so the refreshed traces are bit-identical to a from-scratch
+    /// recompute of the same fleet. Untouched subtrees are skipped, which
+    /// is what makes maintenance O(path) instead of O(tree).
+    ///
+    /// [`refresh_rack`]: NodeAggregates::refresh_rack
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] for ids outside the topology and
+    /// propagates grid mismatches as [`TreeError::Trace`].
+    pub fn refresh_ancestors(
+        &mut self,
+        topology: &PowerTopology,
+        racks: &[NodeId],
+    ) -> Result<(), TreeError> {
+        let Some(&first) = racks.first() else {
+            return Ok(());
+        };
+        let grid = self
+            .traces
+            .get(first.index())
+            .ok_or(TreeError::UnknownNode(first))?
+            .grid();
+        let mut affected = std::collections::BTreeSet::new();
+        for &rack in racks {
+            for ancestor in topology.ancestors(rack)? {
+                affected.insert(ancestor);
+            }
+        }
+        let mut level = Some(Level::Rpp);
+        while let Some(current) = level {
+            for &id in topology.nodes_at_level(current) {
+                if !affected.contains(&id) {
+                    continue;
+                }
+                let children = topology.node(id)?.children();
+                let agg = NodeAggregate::from_traces(
+                    grid,
+                    children.iter().map(|c| &self.traces[c.index()]),
+                )?;
+                self.traces[id.index()] = agg.to_trace()?;
+            }
+            level = current.parent();
+        }
+        Ok(())
+    }
+
     /// The aggregate trace at `node`.
     ///
     /// # Errors
@@ -229,6 +329,80 @@ mod tests {
         assert_eq!(agg.headroom(&t, rack).unwrap(), 400.0);
         let slack = agg.slack(&t, rack).unwrap();
         assert_eq!(slack.min_slack(), 400.0);
+    }
+
+    #[test]
+    fn incremental_refresh_is_bit_identical_to_compute() {
+        let t = topo();
+        let traces = traces();
+        let a = Assignment::round_robin(&t, 4).unwrap();
+        let grid = traces[0].grid();
+
+        // Maintain incrementally: start from zeros, refresh each rack from
+        // its members, then refresh the ancestor paths.
+        let mut inc = NodeAggregates::zeros(&t, grid);
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); t.len()];
+        for i in 0..traces.len() {
+            members[a.rack_of(i).unwrap().index()].push(i);
+        }
+        for &rack in t.racks() {
+            inc.refresh_rack(
+                &t,
+                rack,
+                members[rack.index()].iter().map(|&i| traces[i].samples()),
+            )
+            .unwrap();
+        }
+        inc.refresh_ancestors(&t, t.racks()).unwrap();
+
+        let scratch = NodeAggregates::compute(&t, &a, &traces).unwrap();
+        for id in t.nodes().iter().map(|n| n.id()) {
+            let got = inc.trace(id).unwrap().samples();
+            let want = scratch.trace(id).unwrap().samples();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "node {id} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_refresh_touches_only_named_paths() {
+        let t = topo();
+        let traces = traces();
+        let grid = traces[0].grid();
+        let mut inc = NodeAggregates::zeros(&t, grid);
+        let rack = t.racks()[0];
+        inc.refresh_rack(&t, rack, [traces[0].samples()]).unwrap();
+        inc.refresh_ancestors(&t, &[rack]).unwrap();
+        // The refreshed path carries the member; the sibling RPP stays zero.
+        assert_eq!(inc.trace(rack).unwrap().samples(), traces[0].samples());
+        assert_eq!(inc.peak(t.root()).unwrap(), 100.0);
+        let other_rpp = t.nodes_at_level(Level::Rpp)[1];
+        assert_eq!(inc.peak(other_rpp).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn refresh_rack_rejects_internal_nodes_and_unknown_ids() {
+        let t = topo();
+        let grid = traces()[0].grid();
+        let mut inc = NodeAggregates::zeros(&t, grid);
+        let err = inc
+            .refresh_rack(&t, t.root(), std::iter::empty())
+            .unwrap_err();
+        assert!(matches!(err, TreeError::NotARack(_)));
+        let bogus = crate::node::NodeId::new(t.len() + 5);
+        let err = inc.refresh_rack(&t, bogus, std::iter::empty()).unwrap_err();
+        assert!(matches!(err, TreeError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn refresh_ancestors_with_no_racks_is_a_no_op() {
+        let t = topo();
+        let grid = traces()[0].grid();
+        let mut inc = NodeAggregates::zeros(&t, grid);
+        inc.refresh_ancestors(&t, &[]).unwrap();
+        assert_eq!(inc.peak(t.root()).unwrap(), 0.0);
     }
 
     #[test]

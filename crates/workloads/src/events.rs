@@ -1,0 +1,199 @@
+//! Seedable arrival/retirement event synthesis for online placement.
+//!
+//! An online engine consumes a stream of *event batches*: each batch
+//! brings a set of newly provisioned instances (with averaged I-traces
+//! drawn from a [`DcScenario`]'s service mix, the same synthesis path as
+//! [`DcScenario::generate_fleet`]) and a set of retirement draws against
+//! the currently live fleet. Everything is a pure function of
+//! `(scenario, config)`, so a stream can be replayed bit-for-bit by
+//! differential oracles and across thread counts.
+
+use rand::Rng;
+use so_powertrace::{PowerTrace, TimeGrid};
+
+use crate::error::WorkloadError;
+use crate::instance::heterogeneous_instance;
+use crate::rng::stream_rng;
+use crate::scenario::DcScenario;
+
+/// Shape of a synthesized arrival/retirement stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventStreamConfig {
+    /// Stream seed, mixed with the scenario's own seed.
+    pub seed: u64,
+    /// Number of batches.
+    pub batches: usize,
+    /// Arrivals per batch.
+    pub arrivals_per_batch: usize,
+    /// Retirement draws per batch (resolved against the live fleet by the
+    /// consumer; duplicates collapse, so this is an upper bound).
+    pub retirements_per_batch: usize,
+}
+
+impl Default for EventStreamConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            batches: 4,
+            arrivals_per_batch: 16,
+            retirements_per_batch: 4,
+        }
+    }
+}
+
+/// One batch of online events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventBatch {
+    /// Averaged I-traces of the instances arriving in this batch.
+    pub arrivals: Vec<PowerTrace>,
+    /// Retirement draws: the consumer resolves each ordinal against its
+    /// live set (e.g. `live_slots[ordinal % len]`).
+    pub retire_ordinals: Vec<u64>,
+}
+
+/// Synthesizes a deterministic event stream from a scenario's service
+/// mix: each arrival picks a service by mix weight, derives a
+/// heterogeneous instance spec, and averages `train_weeks` of weekly
+/// traces into its I-trace — the per-instance synthesis of
+/// [`DcScenario::generate_fleet`], applied to an open-ended stream.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::EmptyMix`] for a scenario without services
+/// and propagates spec/trace errors.
+pub fn synthesize_events(
+    scenario: &DcScenario,
+    config: &EventStreamConfig,
+) -> Result<Vec<EventBatch>, WorkloadError> {
+    if scenario.mix.is_empty() {
+        return Err(WorkloadError::EmptyMix);
+    }
+    let total_weight: f64 = scenario.mix.iter().map(|(_, w)| w).sum();
+    if !(total_weight.is_finite() && total_weight > 0.0) {
+        return Err(WorkloadError::InvalidSpec {
+            field: "mix weight sum",
+            value: total_weight,
+        });
+    }
+    let grid = TimeGrid::one_week(scenario.step_minutes);
+    let mut rng = stream_rng(scenario.seed ^ config.seed.rotate_left(23), 0x0E7E);
+
+    let mut batches = Vec::with_capacity(config.batches);
+    let mut ordinal = 0u64;
+    for _ in 0..config.batches {
+        let mut arrivals = Vec::with_capacity(config.arrivals_per_batch);
+        for _ in 0..config.arrivals_per_batch {
+            let mut draw: f64 = rng.gen_range(0.0..total_weight);
+            let mut service = scenario.mix[0].0;
+            for &(s, w) in &scenario.mix {
+                service = s;
+                if draw < w {
+                    break;
+                }
+                draw -= w;
+            }
+            let spec = heterogeneous_instance(
+                service,
+                scenario.phase_jitter_sd_minutes,
+                scenario.amplitude_sd,
+                scenario.seed ^ ordinal.rotate_left(41),
+                &mut rng,
+            );
+            spec.validate()?;
+            let weeks = spec.weekly_traces(grid, scenario.train_weeks);
+            arrivals.push(PowerTrace::mean_of(weeks.iter()).map_err(WorkloadError::Trace)?);
+            ordinal += 1;
+        }
+        let retire_ordinals = (0..config.retirements_per_batch)
+            .map(|_| rng.gen::<u64>())
+            .collect();
+        batches.push(EventBatch {
+            arrivals,
+            retire_ordinals,
+        });
+    }
+    Ok(batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> EventStreamConfig {
+        EventStreamConfig {
+            seed: 7,
+            batches: 3,
+            arrivals_per_batch: 5,
+            retirements_per_batch: 2,
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let scenario = DcScenario::dc2();
+        let a = synthesize_events(&scenario, &config()).unwrap();
+        let b = synthesize_events(&scenario, &config()).unwrap();
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.retire_ordinals, y.retire_ordinals);
+            for (tx, ty) in x.arrivals.iter().zip(&y.arrivals) {
+                let bits =
+                    |t: &PowerTrace| t.samples().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(tx), bits(ty));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scenario = DcScenario::dc2();
+        let a = synthesize_events(&scenario, &config()).unwrap();
+        let b = synthesize_events(
+            &scenario,
+            &EventStreamConfig {
+                seed: 8,
+                ..config()
+            },
+        )
+        .unwrap();
+        let digest = |batches: &[EventBatch]| -> Vec<u64> {
+            batches
+                .iter()
+                .flat_map(|b| b.arrivals.iter())
+                .map(|t| {
+                    t.samples()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .fold(0u64, |a, x| a ^ x)
+                })
+                .collect()
+        };
+        assert_ne!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn arrivals_live_on_the_scenario_grid() {
+        let scenario = DcScenario::dc1();
+        let batches = synthesize_events(&scenario, &config()).unwrap();
+        let grid = TimeGrid::one_week(scenario.step_minutes);
+        for batch in &batches {
+            assert_eq!(batch.arrivals.len(), 5);
+            assert_eq!(batch.retire_ordinals.len(), 2);
+            for t in &batch.arrivals {
+                assert_eq!(t.len(), grid.len());
+                assert_eq!(t.step_minutes(), grid.step_minutes());
+                assert!(t.peak() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_mix_is_rejected() {
+        let mut scenario = DcScenario::dc1();
+        scenario.mix.clear();
+        assert!(matches!(
+            synthesize_events(&scenario, &config()),
+            Err(WorkloadError::EmptyMix)
+        ));
+    }
+}

@@ -40,6 +40,7 @@
 mod activity;
 mod burst;
 mod error;
+mod events;
 mod fleet;
 mod instance;
 mod load;
@@ -51,6 +52,7 @@ mod service;
 pub use activity::{backup_window, office_hours, user_activity};
 pub use burst::{inject_burst, BurstSpec};
 pub use error::WorkloadError;
+pub use events::{synthesize_events, EventBatch, EventStreamConfig};
 pub use fleet::Fleet;
 pub use instance::{heterogeneous_instance, InstanceSpec};
 pub use load::{activity_series, OfferedLoad};

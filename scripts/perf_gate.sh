@@ -8,7 +8,7 @@
 # (schema v2, pinned by tests/scale_golden.rs), so plain awk is enough —
 # no JSON tooling required on the runner.
 #
-# usage: perf_gate.sh <current.json> <baseline.json> [rung] [tolerance_pct]
+# usage: perf_gate.sh <current.json> <baseline.json> [rung] [tolerance_pct] [phases]
 #
 #   rung           instance count of the ladder point to compare
 #                  (default 100000 — large enough that phase timings are
@@ -16,6 +16,11 @@
 #   tolerance_pct  allowed per-phase slowdown vs baseline, percent
 #                  (default 35; phase wall time above
 #                  baseline * (1 + tol/100) fails the gate)
+#   phases         space-separated per-point `*_ms` fields to gate
+#                  (default: the scale tier's phases). The online rung
+#                  emitted by `OnlineScaleReport::to_json` uses the same
+#                  field-per-line format, so passing its phase names
+#                  gates BENCH_online.json with the same script.
 #
 # Phases whose baseline wall time is under MIN_GATED_MS are reported but
 # never gated: a 35% swing on a ~10 ms phase is scheduler jitter, not a
@@ -26,10 +31,11 @@
 # BENCH_scale.json (see DESIGN.md "Perf gate and baseline refresh").
 set -euo pipefail
 
-CURRENT=${1:?usage: perf_gate.sh <current.json> <baseline.json> [rung] [tolerance_pct]}
-BASELINE=${2:?usage: perf_gate.sh <current.json> <baseline.json> [rung] [tolerance_pct]}
+CURRENT=${1:?usage: perf_gate.sh <current.json> <baseline.json> [rung] [tolerance_pct] [phases]}
+BASELINE=${2:?usage: perf_gate.sh <current.json> <baseline.json> [rung] [tolerance_pct] [phases]}
 RUNG=${3:-100000}
 TOLERANCE_PCT=${4:-35}
+PHASES=${5:-"synth_ms row_peaks_ms quantiles_ms aggregation_ms swap_probe_ms total_ms"}
 MIN_GATED_MS=20
 
 for f in "$CURRENT" "$BASELINE"; do
@@ -55,8 +61,6 @@ for f in "$CURRENT" "$BASELINE"; do
         exit 2
     fi
 done
-
-PHASES="synth_ms row_peaks_ms quantiles_ms aggregation_ms swap_probe_ms total_ms"
 
 table=$'| Phase | Baseline (ms) | Current (ms) | Δ | Status |\n|---|---:|---:|---:|---|'
 failures=0

@@ -58,6 +58,7 @@ fn main() -> ExitCode {
         Some("simulate") => with_scenario(&args, |scenario, n| simulate_cmd(scenario, n, faults)),
         Some("check") => check_cmd(&args, flags.seed),
         Some("scale") => scale_cmd(&flags),
+        Some("online") => online_cmd(&flags),
         Some("report") => with_scenario(&args, |scenario, n| {
             report_cmd(
                 scenario,
@@ -117,9 +118,13 @@ fn print_usage() {
     println!("  smoothop report    <dc> [n]       instrumented place+drift+remap+simulate run,");
     println!("                                    printed as a telemetry summary");
     println!("  smoothop check     [n]            seeded correctness-oracle battery (invariant,");
-    println!("                                    differential, metamorphic, arena); n defaults");
-    println!("                                    to 1000");
+    println!("                                    differential, metamorphic, arena, online);");
+    println!("                                    n defaults to 1000");
     println!("  smoothop scale                    columnar scale ladder; writes BENCH_scale.json");
+    println!("  smoothop online                   online arrival/departure rung: streams batches");
+    println!("                                    through the resident engine and compares the");
+    println!("                                    churned placement against a one-pass offline");
+    println!("                                    re-placement; writes BENCH_online.json");
     println!();
     println!("  <dc> ∈ {{dc1, dc2, dc3}}; n = fleet size, default 240");
     println!();
@@ -133,15 +138,21 @@ fn print_usage() {
     println!("  --trace-out <path>    write the recorded span/point events as JSON lines");
     println!("  --seed <u64>          battery seed for `check` (default 7); the seed picks the");
     println!("                        scenario and drives every randomized probe");
-    println!("  --instances <list>    comma-separated ladder for `scale`");
-    println!("                        (default 10000,100000,1000000)");
-    println!("  --out <path>          output path for `scale` (default BENCH_scale.json)");
+    println!("  --instances <list>    comma-separated ladder for `scale` (default");
+    println!("                        10000,100000,1000000) and `online` (default 10000,100000)");
+    println!("  --out <path>          output path for `scale` / `online` (defaults");
+    println!("                        BENCH_scale.json / BENCH_online.json)");
     println!("  --quantiles <mode>    quantile phase for `scale`: `exact` (selection, the");
     println!("                        default, bit-reproducible) or `sketch` (streaming P²,");
     println!("                        approximate); `--exact` / `--sketch` are shorthands");
     println!("  --chunk-rows <n>      rows per streaming chunk for `scale` (0 = default;");
     println!("                        rounded up to a multiple of the group size; never");
     println!("                        changes checksums)");
+    println!("  --batches <n>         event batches for `online` (default 8)");
+    println!("  --probes <n>          candidate racks sampled per arrival for `online`");
+    println!("                        (default 64)");
+    println!("  --repair <n>          repair swaps allowed per between-batch pass for");
+    println!("                        `online` (default 8; 0 disables repair)");
     println!("  --threads <n>         thread-lane budget for the parallel kernels");
 }
 
@@ -252,6 +263,82 @@ fn scale_cmd(flags: &CliFlags) -> CliResult {
     Ok(())
 }
 
+/// `smoothop online [--instances n1,n2,...] [--seed s] [--out path]`: run
+/// the online arrival/departure rung and write `BENCH_online.json`.
+fn online_cmd(flags: &CliFlags) -> CliResult {
+    use smoothoperator::scale::{run_online_scale, OnlineScaleConfig};
+
+    let mut config = OnlineScaleConfig::default();
+    if let Some(seed) = flags.seed {
+        config.seed = seed;
+    }
+    if let Some(raw) = &flags.instances {
+        config.instances = raw
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("instance count `{part}` is not a number"))
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+    }
+    if let Some(batches) = flags.batches {
+        config.batches = batches;
+    }
+    if let Some(probes) = flags.probes {
+        config.sample_probes = probes;
+    }
+    if let Some(repair) = flags.repair {
+        config.repair_budget = repair;
+    }
+    let path = flags.out.as_deref().unwrap_or("BENCH_online.json");
+
+    println!(
+        "online rung — {} points, {} batches, {} probes/arrival, repair budget {}, seed {}, {} thread lane(s)",
+        config.instances.len(),
+        config.batches,
+        config.sample_probes,
+        config.repair_budget,
+        config.seed,
+        so_parallel::effective_lanes(),
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>9} {:>9} {:>11} {:>11} {:>6}",
+        "instances",
+        "arrive",
+        "retire",
+        "repair",
+        "offline",
+        "rows/s",
+        "async",
+        "off-asy",
+        "headroom W",
+        "off-hdr W",
+        "frag"
+    );
+    let report = run_online_scale(&config)?;
+    for p in &report.points {
+        println!(
+            "{:>10} {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>12.0} {:>9.4} {:>9.4} {:>11.1} {:>11.1} {:>6.3}",
+            p.instances,
+            p.arrive_ms,
+            p.retire_ms,
+            p.repair_ms,
+            p.offline_ms,
+            p.rows_per_sec,
+            p.online_mean_asynchrony,
+            p.offline_mean_asynchrony,
+            p.online_min_rack_headroom_watts,
+            p.offline_min_rack_headroom_watts,
+            p.rack_fragmentation_ratio,
+        );
+    }
+    let json = report.to_json();
+    std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("wrote {path} ({} bytes)", json.len());
+    Ok(())
+}
+
 fn with_scenario(args: &[String], f: impl FnOnce(DcScenario, usize) -> CliResult) -> CliResult {
     let dc = args
         .get(1)
@@ -284,6 +371,9 @@ struct CliFlags {
     out: Option<String>,
     quantile_mode: smoothoperator::scale::QuantileMode,
     chunk_rows: Option<usize>,
+    batches: Option<usize>,
+    probes: Option<usize>,
+    repair: Option<usize>,
 }
 
 /// Extracts `--faults`, `--metrics-out`, and `--trace-out` (in both
@@ -300,6 +390,9 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
         out: None,
         quantile_mode: smoothoperator::scale::QuantileMode::Exact,
         chunk_rows: None,
+        batches: None,
+        probes: None,
+        repair: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -343,6 +436,21 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
                 raw.parse()
                     .map_err(|_| format!("chunk rows `{raw}` is not a number"))?,
             );
+        } else if let Some(raw) = value_of("--batches", &arg, &mut iter)? {
+            let batches: usize = raw
+                .parse()
+                .map_err(|_| format!("batch count `{raw}` is not a number"))?;
+            flags.batches = Some(batches);
+        } else if let Some(raw) = value_of("--probes", &arg, &mut iter)? {
+            let probes: usize = raw
+                .parse()
+                .map_err(|_| format!("probe count `{raw}` is not a number"))?;
+            flags.probes = Some(probes);
+        } else if let Some(raw) = value_of("--repair", &arg, &mut iter)? {
+            let repair: usize = raw
+                .parse()
+                .map_err(|_| format!("repair budget `{raw}` is not a number"))?;
+            flags.repair = Some(repair);
         } else if let Some(raw) = value_of("--threads", &arg, &mut iter)? {
             let lanes: usize = raw
                 .parse()

@@ -111,7 +111,10 @@ pub mod prelude {
     pub use so_oracles::{run_battery, BatteryConfig, OracleFamily, OracleReport};
     pub use so_powertrace::{TraceArena, TraceView};
 
-    pub use crate::scale::{run_scale, QuantileMode, ScaleConfig, ScaleReport};
+    pub use crate::scale::{
+        run_online_scale, run_scale, OnlineScaleConfig, OnlineScalePoint, OnlineScaleReport,
+        QuantileMode, ScaleConfig, ScaleReport,
+    };
     pub use so_powertrace::{PowerTrace, SlackProfile, TimeGrid};
     pub use so_powertree::{
         Assignment, Level, NodeAggregates, NodeId, PowerTopology, TopologyShape,

@@ -43,8 +43,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use so_core::differential_score_excluding;
-use so_powertrace::{TimeGrid, TraceArena};
+use so_core::{differential_score_excluding, CommitPolicy, OnlineConfig, OnlineFleet};
+use so_powertrace::{PowerTrace, TimeGrid, TraceArena};
+use so_powertree::{Level, PowerTopology};
 
 /// How the per-row quantile phase computes p99.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -426,6 +427,386 @@ impl ScaleReport {
     }
 }
 
+/// Rack slots of the online rung's topology (the paper's rack size).
+const ONLINE_RACK_SLOTS: usize = 12;
+/// Rack budget of the online rung, watts — generous enough that capacity,
+/// not power, is the binding constraint for the synthesized waveforms
+/// (max sample ≈ 300 W × 12 slots = 3 600 W).
+const ONLINE_RACK_BUDGET_WATTS: f64 = 3_600.0;
+
+/// Online-rung parameters. The defaults match the committed
+/// `BENCH_online.json` ladder: 10k → 100k instances streamed through the
+/// resident [`OnlineFleet`] engine in churning batches, then re-placed
+/// from scratch as the offline comparator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnlineScaleConfig {
+    /// Target fleet sizes, in order. Each becomes one report point.
+    pub instances: Vec<usize>,
+    /// Samples per synthesized trace.
+    pub samples_per_trace: usize,
+    /// Sampling step of the synthesized grid, minutes.
+    pub step_minutes: u32,
+    /// Seed driving waveforms, retirement draws, and the sampling policy.
+    pub seed: u64,
+    /// Event batches the stream is split into (each arrives `n / batches`
+    /// instances and retires a fifth of that from the live set).
+    pub batches: usize,
+    /// Candidate racks probed per arrival ([`CommitPolicy::Sampling`]).
+    pub sample_probes: usize,
+    /// Remap swaps allowed per between-batch repair pass (0 disables).
+    pub repair_budget: usize,
+}
+
+impl Default for OnlineScaleConfig {
+    fn default() -> Self {
+        Self {
+            instances: vec![10_000, 100_000],
+            samples_per_trace: 168,
+            step_minutes: 60,
+            seed: 7,
+            batches: 8,
+            sample_probes: 64,
+            repair_budget: 8,
+        }
+    }
+}
+
+/// One online-rung point: phase timings plus the deterministic quality
+/// metrics comparing the churned online placement against a one-pass
+/// offline re-placement of the same final fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineScalePoint {
+    /// Target fleet size of this point.
+    pub instances: usize,
+    /// Thread lanes at run time.
+    pub threads: usize,
+    /// Instances live at the end of the stream.
+    pub live_instances: usize,
+    /// Arrivals committed across the stream.
+    pub committed: u64,
+    /// Arrivals rejected across the stream.
+    pub rejected: u64,
+    /// Instances retired across the stream.
+    pub retired: u64,
+    /// Instance moves performed by the repair passes.
+    pub repair_moves: usize,
+    /// Arrival (placement + commit) wall time, milliseconds.
+    pub arrive_ms: f64,
+    /// Retirement wall time, milliseconds.
+    pub retire_ms: f64,
+    /// Between-batch repair wall time, milliseconds.
+    pub repair_ms: f64,
+    /// Offline comparator (one-pass re-placement) wall time, milliseconds.
+    pub offline_ms: f64,
+    /// End-to-end wall time of the point, milliseconds.
+    pub total_ms: f64,
+    /// `committed / total_seconds` — the rung's throughput axis.
+    pub rows_per_sec: f64,
+    /// Process peak RSS after the point, bytes (`null` off Linux).
+    pub peak_rss_bytes: Option<u64>,
+    /// Mean per-rack asynchrony of the churned online placement.
+    pub online_mean_asynchrony: f64,
+    /// Mean per-rack asynchrony after re-placing the same final fleet in
+    /// one offline pass (no churn holes).
+    pub offline_mean_asynchrony: f64,
+    /// Worst rack headroom of the online placement, watts.
+    pub online_min_rack_headroom_watts: f64,
+    /// Worst rack headroom of the offline re-placement, watts.
+    pub offline_min_rack_headroom_watts: f64,
+    /// Rack-level stranded-headroom ratio of the online placement against
+    /// a 40 %-of-rack-budget reference job.
+    pub rack_fragmentation_ratio: f64,
+    /// Folded digest over the deterministic metrics; bit-identical across
+    /// runs and thread counts for one config.
+    pub checksum: f64,
+}
+
+/// A full online-rung run: config echo plus one point per target size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineScaleReport {
+    /// The configuration the report was produced under.
+    pub config: OnlineScaleConfig,
+    /// One point per requested instance count, in request order.
+    pub points: Vec<OnlineScalePoint>,
+}
+
+/// Schema version stamped into `BENCH_online.json`.
+pub const ONLINE_SCALE_SCHEMA_VERSION: u32 = 1;
+
+/// Runs the online-engine rung ladder described by `config`.
+///
+/// # Errors
+///
+/// Returns an error when `config` is degenerate (no instance counts, zero
+/// samples/batches/probes) or an engine operation fails.
+pub fn run_online_scale(
+    config: &OnlineScaleConfig,
+) -> Result<OnlineScaleReport, Box<dyn std::error::Error>> {
+    if config.instances.is_empty() {
+        return Err("online ladder needs at least one instance count".into());
+    }
+    if config.samples_per_trace == 0 || config.batches == 0 || config.sample_probes == 0 {
+        return Err("samples_per_trace, batches, and sample_probes must be positive".into());
+    }
+    if config.instances.contains(&0) {
+        return Err("instance counts must be positive".into());
+    }
+    let mut points = Vec::with_capacity(config.instances.len());
+    for &n in &config.instances {
+        points.push(run_online_point(config, n)?);
+    }
+    Ok(OnlineScaleReport {
+        config: config.clone(),
+        points,
+    })
+}
+
+/// The online rung's topology: the paper's tree shape (1 suite × 2 MSB ×
+/// 2 SB × r RPP × 4 racks) sized so rack slots cover `n` instances.
+fn online_topology(n: usize) -> Result<PowerTopology, so_powertree::TreeError> {
+    let racks_needed = n.div_ceil(ONLINE_RACK_SLOTS).max(1);
+    let rpps = racks_needed.div_ceil(2 * 2 * 4).max(1);
+    PowerTopology::builder()
+        .suites(1)
+        .msbs_per_suite(2)
+        .sbs_per_msb(2)
+        .rpps_per_sb(rpps)
+        .racks_per_rpp(4)
+        .rack_capacity(ONLINE_RACK_SLOTS)
+        .rack_budget_watts(ONLINE_RACK_BUDGET_WATTS)
+        .name("online-scale")
+        .build()
+}
+
+fn run_online_point(
+    config: &OnlineScaleConfig,
+    n: usize,
+) -> Result<OnlineScalePoint, Box<dyn std::error::Error>> {
+    let grid = TimeGrid::new(config.step_minutes, config.samples_per_trace);
+    let topology = online_topology(n)?;
+    let basis = SynthBasis::new(config.samples_per_trace);
+    let engine_config = OnlineConfig {
+        policy: CommitPolicy::Sampling {
+            probes: config.sample_probes,
+        },
+        // Repair is driven explicitly below so its wall time lands in its
+        // own phase; the budget still controls each pass's swap cap.
+        repair_budget: config.repair_budget,
+        min_gain: 0.02,
+        sample_salt: config.seed,
+    };
+    let mut engine = OnlineFleet::new(topology.clone(), grid, engine_config);
+
+    let started = Instant::now();
+    let per_batch = n.div_ceil(config.batches).max(1);
+    let retire_per_batch = per_batch / 5;
+    let mut arrive_ms = 0.0f64;
+    let mut retire_ms = 0.0f64;
+    let mut repair_ms = 0.0f64;
+    let mut repair_moves = 0usize;
+    let mut row = vec![0.0f64; config.samples_per_trace];
+    let mut synthesized = 0u64;
+
+    for b in 0..config.batches {
+        // Synthesis is the scale tier's own phase; here it only feeds the
+        // stream, so it counts toward total_ms but no placement phase.
+        let mut batch = Vec::with_capacity(per_batch);
+        for _ in 0..per_batch {
+            RowWave::new(config.seed ^ 0x0E7E, synthesized).fill(&basis, &mut row);
+            batch.push(PowerTrace::new(row.clone(), config.step_minutes)?);
+            synthesized += 1;
+        }
+
+        // Retirements first (none before anything arrived): deterministic
+        // draws against the live snapshot, deduped ascending — the same
+        // canonicalization `OnlineFleet::apply` performs.
+        let t0 = Instant::now();
+        if b > 0 && retire_per_batch > 0 {
+            let snapshot = engine.live_slots();
+            if !snapshot.is_empty() {
+                let mut slots: Vec<usize> = (0..retire_per_batch)
+                    .map(|k| {
+                        let draw = mix(config.seed ^ 0xDE7A11, (b * per_batch + k) as u64);
+                        snapshot[(draw % snapshot.len() as u64) as usize]
+                    })
+                    .collect();
+                slots.sort_unstable();
+                slots.dedup();
+                for slot in slots {
+                    engine.retire(slot)?;
+                }
+            }
+        }
+        retire_ms += ms_since(t0);
+
+        let t0 = Instant::now();
+        for trace in &batch {
+            let _ = engine.arrive(trace)?;
+        }
+        arrive_ms += ms_since(t0);
+
+        let t0 = Instant::now();
+        if config.repair_budget > 0 {
+            let report = engine.repair()?;
+            repair_moves += 2 * report.swaps.len();
+        }
+        repair_ms += ms_since(t0);
+    }
+
+    // Quality of the churned placement.
+    let online_mean_asynchrony = engine.mean_rack_asynchrony().unwrap_or(0.0);
+    let online_min_rack_headroom_watts = min_rack_headroom(&engine)?;
+    let reference = PowerTrace::new(
+        vec![0.4 * ONLINE_RACK_BUDGET_WATTS; config.samples_per_trace],
+        config.step_minutes,
+    )?;
+    let rack_fragmentation_ratio = engine
+        .fragmentation(&reference)?
+        .iter()
+        .find(|f| f.level == Level::Rack)
+        .map(|f| f.ratio)
+        .unwrap_or(0.0);
+
+    // Offline comparator: the same final fleet re-placed from scratch in
+    // one pass by a fresh engine — what the placement would look like
+    // with perfect foresight and no churn holes.
+    let t0 = Instant::now();
+    let (final_traces, _, _) = engine.live_view()?;
+    let mut offline = OnlineFleet::new(topology, grid, engine_config);
+    for trace in &final_traces {
+        let _ = offline.arrive(trace)?;
+    }
+    let offline_mean_asynchrony = offline.mean_rack_asynchrony().unwrap_or(0.0);
+    let offline_min_rack_headroom_watts = min_rack_headroom(&offline)?;
+    let offline_ms = ms_since(t0);
+
+    let total_ms = ms_since(started);
+    let checksum = fold_digest(&[
+        online_mean_asynchrony,
+        offline_mean_asynchrony,
+        online_min_rack_headroom_watts,
+        offline_min_rack_headroom_watts,
+        rack_fragmentation_ratio,
+        engine.committed() as f64,
+        engine.rejected() as f64,
+        engine.retired() as f64,
+        engine.live_len() as f64,
+    ]);
+    Ok(OnlineScalePoint {
+        instances: n,
+        threads: so_parallel::effective_lanes(),
+        live_instances: engine.live_len(),
+        committed: engine.committed(),
+        rejected: engine.rejected(),
+        retired: engine.retired(),
+        repair_moves,
+        arrive_ms,
+        retire_ms,
+        repair_ms,
+        offline_ms,
+        total_ms,
+        rows_per_sec: engine.committed() as f64 / (total_ms / 1e3).max(1e-9),
+        peak_rss_bytes: peak_rss_bytes(),
+        online_mean_asynchrony,
+        offline_mean_asynchrony,
+        online_min_rack_headroom_watts,
+        offline_min_rack_headroom_watts,
+        rack_fragmentation_ratio,
+        checksum,
+    })
+}
+
+/// Smallest per-rack headroom (budget minus resident peak), watts.
+fn min_rack_headroom(engine: &OnlineFleet) -> Result<f64, so_core::CoreError> {
+    let mut min = f64::INFINITY;
+    for &rack in engine.topology().racks() {
+        min = min.min(engine.headroom(rack)?);
+    }
+    Ok(min)
+}
+
+impl OnlineScaleReport {
+    /// Renders the report as the `BENCH_online.json` artifact — the same
+    /// field-per-line shape as [`ScaleReport::to_json`], so
+    /// `scripts/perf_gate.sh` can extract per-phase timings with the same
+    /// awk.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"online_scale\",");
+        let _ = writeln!(out, "  \"schema_version\": {ONLINE_SCALE_SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"seed\": {},", self.config.seed);
+        let _ = writeln!(
+            out,
+            "  \"samples_per_trace\": {},",
+            self.config.samples_per_trace
+        );
+        let _ = writeln!(out, "  \"step_minutes\": {},", self.config.step_minutes);
+        let _ = writeln!(out, "  \"batches\": {},", self.config.batches);
+        let _ = writeln!(out, "  \"sample_probes\": {},", self.config.sample_probes);
+        let _ = writeln!(out, "  \"repair_budget\": {},", self.config.repair_budget);
+        out.push_str("  \"points\": [\n");
+        let rendered: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut s = String::from("    {\n");
+                let _ = writeln!(s, "      \"instances\": {},", p.instances);
+                let _ = writeln!(s, "      \"threads\": {},", p.threads);
+                let _ = writeln!(s, "      \"live_instances\": {},", p.live_instances);
+                let _ = writeln!(s, "      \"committed\": {},", p.committed);
+                let _ = writeln!(s, "      \"rejected\": {},", p.rejected);
+                let _ = writeln!(s, "      \"retired\": {},", p.retired);
+                let _ = writeln!(s, "      \"repair_moves\": {},", p.repair_moves);
+                let _ = writeln!(s, "      \"arrive_ms\": {:.3},", p.arrive_ms);
+                let _ = writeln!(s, "      \"retire_ms\": {:.3},", p.retire_ms);
+                let _ = writeln!(s, "      \"repair_ms\": {:.3},", p.repair_ms);
+                let _ = writeln!(s, "      \"offline_ms\": {:.3},", p.offline_ms);
+                let _ = writeln!(s, "      \"total_ms\": {:.3},", p.total_ms);
+                let _ = writeln!(s, "      \"rows_per_sec\": {:.1},", p.rows_per_sec);
+                match p.peak_rss_bytes {
+                    Some(bytes) => {
+                        let _ = writeln!(s, "      \"peak_rss_bytes\": {bytes},");
+                    }
+                    None => {
+                        let _ = writeln!(s, "      \"peak_rss_bytes\": null,");
+                    }
+                }
+                let _ = writeln!(
+                    s,
+                    "      \"online_mean_asynchrony\": {:.6},",
+                    p.online_mean_asynchrony
+                );
+                let _ = writeln!(
+                    s,
+                    "      \"offline_mean_asynchrony\": {:.6},",
+                    p.offline_mean_asynchrony
+                );
+                let _ = writeln!(
+                    s,
+                    "      \"online_min_rack_headroom_watts\": {:.6},",
+                    p.online_min_rack_headroom_watts
+                );
+                let _ = writeln!(
+                    s,
+                    "      \"offline_min_rack_headroom_watts\": {:.6},",
+                    p.offline_min_rack_headroom_watts
+                );
+                let _ = writeln!(
+                    s,
+                    "      \"rack_fragmentation_ratio\": {:.6},",
+                    p.rack_fragmentation_ratio
+                );
+                let _ = writeln!(s, "      \"checksum\": {:.6}", p.checksum);
+                s.push_str("    }");
+                s
+            })
+            .collect();
+        out.push_str(&rendered.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
 /// Per-sample basis tables shared by every row of a ladder point: the
 /// diurnal sine/cosine pair and the weekly envelope, evaluated once per
 /// sample index instead of once per `(row, sample)`. A row's phase shift
@@ -716,5 +1097,75 @@ mod tests {
             Some(bytes) => assert!(bytes > 0),
             None => assert!(!std::path::Path::new("/proc/self/status").exists()),
         }
+    }
+
+    fn tiny_online_config() -> OnlineScaleConfig {
+        OnlineScaleConfig {
+            instances: vec![60, 120],
+            samples_per_trace: 24,
+            step_minutes: 60,
+            seed: 7,
+            batches: 4,
+            sample_probes: 3,
+            repair_budget: 2,
+        }
+    }
+
+    #[test]
+    fn online_rung_is_deterministic() {
+        let config = tiny_online_config();
+        let a = run_online_scale(&config).unwrap();
+        let b = run_online_scale(&config).unwrap();
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.checksum.to_bits(), y.checksum.to_bits());
+            assert_eq!(x.committed, y.committed);
+            assert_eq!(x.live_instances, y.live_instances);
+        }
+    }
+
+    #[test]
+    fn online_rung_metrics_are_sane() {
+        let report = run_online_scale(&tiny_online_config()).unwrap();
+        for p in &report.points {
+            assert!(p.committed > 0, "stream must commit instances");
+            assert_eq!(
+                p.committed + p.rejected,
+                (p.live_instances as u64) + p.retired + p.rejected
+            );
+            // A non-empty placement has asynchrony ≥ 1 by definition.
+            assert!(p.online_mean_asynchrony >= 1.0);
+            assert!(p.offline_mean_asynchrony >= 1.0);
+            assert!((0.0..=1.0).contains(&p.rack_fragmentation_ratio));
+            assert!(p.online_min_rack_headroom_watts <= ONLINE_RACK_BUDGET_WATTS);
+            assert!(p.rows_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn online_rung_rejects_degenerate_configs() {
+        let mut c = tiny_online_config();
+        c.instances.clear();
+        assert!(run_online_scale(&c).is_err());
+        let mut c = tiny_online_config();
+        c.batches = 0;
+        assert!(run_online_scale(&c).is_err());
+        let mut c = tiny_online_config();
+        c.instances = vec![0];
+        assert!(run_online_scale(&c).is_err());
+    }
+
+    #[test]
+    fn online_report_json_carries_every_point() {
+        let report = run_online_scale(&tiny_online_config()).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"online_scale\""));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"instances\": 60"));
+        assert!(json.contains("\"instances\": 120"));
+        for phase in ["arrive_ms", "retire_ms", "repair_ms", "offline_ms"] {
+            assert!(json.contains(&format!("\"{phase}\": ")), "missing {phase}");
+        }
+        assert!(json.contains("\"online_mean_asynchrony\": "));
+        assert!(json.contains("\"checksum\": "));
     }
 }
