@@ -43,10 +43,12 @@
 //! [`peak_of_sum_samples`]: crate::score::peak_of_sum_samples
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use so_parallel::par_map;
 use so_powertrace::{peak_of_samples, PowerTrace, TimeGrid, TraceArena, TraceError};
 use so_powertree::{Assignment, Level, NodeAggregates, NodeId, PowerTopology, TreeError};
+use so_telemetry::{AlertTransition, FlightKind, LivePlane};
 
 use crate::error::CoreError;
 use crate::remap::{remap_arena, RemapConfig, RemapReport};
@@ -107,6 +109,15 @@ pub struct OnlineConfig {
     pub min_gain: f64,
     /// Salt for the `Sampling` policy's candidate draw.
     pub sample_salt: u64,
+    /// Soft cap on the event journal's length; `0` keeps the journal
+    /// unbounded (the historical behaviour). With a cap, whenever the
+    /// journal grows past `max(journal_cap, 2 × live)` it is compacted
+    /// to a [`EventRecord::Checkpoint`] snapshot of the live occupancy
+    /// (one entry per live slot, ascending), so a resident daemon's
+    /// journal memory is bounded by the live fleet, not the event count.
+    /// The `2 × live` floor keeps compaction amortized O(1) per event
+    /// even when the cap is smaller than the live set.
+    pub journal_cap: usize,
 }
 
 impl Default for OnlineConfig {
@@ -116,6 +127,7 @@ impl Default for OnlineConfig {
             repair_budget: 8,
             min_gain: 0.02,
             sample_salt: 0,
+            journal_cap: 0,
         }
     }
 }
@@ -128,8 +140,16 @@ pub struct LeafDecision {
     /// The rack evaluated.
     pub rack: NodeId,
     /// Whether the rack has a free slot and its whole root path keeps a
-    /// non-negative headroom after admission.
+    /// non-negative headroom after admission (`has_slot && power_ok`).
     pub fits: bool,
+    /// Whether the rack has a free slot (capacity, ignoring power).
+    pub has_slot: bool,
+    /// Whether the rack and its whole root path keep non-negative
+    /// headroom after admission (power, ignoring capacity). A rejection
+    /// where some probed rack had `has_slot && !power_ok` is a
+    /// *breaker-budget violation*: capacity existed but a power budget
+    /// turned the arrival away.
+    pub power_ok: bool,
     /// The rack's aggregate peak after admission, watts.
     pub new_peak_watts: f64,
     /// How much the rack's peak rises, watts.
@@ -175,6 +195,76 @@ pub enum EventRecord {
         /// Destination rack.
         to: NodeId,
     },
+    /// A journal-compaction checkpoint: `slot` is live on `rack`. A
+    /// compacted journal starts with one checkpoint per live slot
+    /// (ascending slot order) that together pin the exact occupancy the
+    /// discarded prefix had produced; replay treats a checkpoint as a
+    /// direct insertion.
+    Checkpoint {
+        /// Arena row of the live instance.
+        slot: usize,
+        /// The rack hosting it.
+        rack: NodeId,
+    },
+}
+
+impl EventRecord {
+    /// Encodes the event for the telemetry flight recorder's generic
+    /// `(kind, a, b, c)` payload. Inverse of [`EventRecord::from_flight`].
+    pub fn flight_encoding(&self) -> (FlightKind, u64, u64, u64) {
+        match *self {
+            EventRecord::Committed {
+                slot,
+                ordinal,
+                rack,
+            } => (
+                FlightKind::Committed,
+                slot as u64,
+                ordinal,
+                rack.index() as u64,
+            ),
+            EventRecord::Rejected { ordinal } => (FlightKind::Rejected, 0, ordinal, 0),
+            EventRecord::Retired { slot, rack } => {
+                (FlightKind::Retired, slot as u64, 0, rack.index() as u64)
+            }
+            EventRecord::Moved { slot, from, to } => (
+                FlightKind::Moved,
+                slot as u64,
+                from.index() as u64,
+                to.index() as u64,
+            ),
+            EventRecord::Checkpoint { slot, rack } => {
+                (FlightKind::Checkpoint, slot as u64, 0, rack.index() as u64)
+            }
+        }
+    }
+
+    /// Decodes a flight-recorder payload back into a journal event
+    /// (`None` for non-journal kinds such as alert transitions).
+    pub fn from_flight(kind: FlightKind, a: u64, b: u64, c: u64) -> Option<EventRecord> {
+        match kind {
+            FlightKind::Committed => Some(EventRecord::Committed {
+                slot: a as usize,
+                ordinal: b,
+                rack: NodeId::new(c as usize),
+            }),
+            FlightKind::Rejected => Some(EventRecord::Rejected { ordinal: b }),
+            FlightKind::Retired => Some(EventRecord::Retired {
+                slot: a as usize,
+                rack: NodeId::new(c as usize),
+            }),
+            FlightKind::Moved => Some(EventRecord::Moved {
+                slot: a as usize,
+                from: NodeId::new(b as usize),
+                to: NodeId::new(c as usize),
+            }),
+            FlightKind::Checkpoint => Some(EventRecord::Checkpoint {
+                slot: a as usize,
+                rack: NodeId::new(c as usize),
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// Summary of one [`OnlineFleet::apply`] batch.
@@ -230,6 +320,26 @@ pub struct OnlineFleet {
     rejected: u64,
     retired: u64,
     journal: Vec<EventRecord>,
+    /// Journal entries discarded by compaction (see
+    /// [`OnlineConfig::journal_cap`]).
+    journal_dropped: u64,
+    journal_compactions: u64,
+    /// The attached live observability plane, if any. `Clone` shares the
+    /// plane: probe clones report into the same flight ring.
+    plane: Option<Arc<LivePlane>>,
+    /// Reference-candidate samples for incremental fragmentation
+    /// accounting (see [`OnlineFleet::set_fragmentation_reference`]).
+    frag_reference: Option<Vec<f64>>,
+    /// Per-node "the reference candidate fits under this node's budget"
+    /// bits, maintained alongside every canonical refresh while
+    /// `frag_reference` is set. Same arithmetic as
+    /// [`OnlineFleet::evaluate`]'s budget probes, so the cached
+    /// fragmentation is bit-identical to the full recompute.
+    fits_node: Vec<bool>,
+    /// Counter snapshots at the previous [`OnlineFleet::observe_batch`],
+    /// for per-batch rate signals.
+    last_obs_arrivals: u64,
+    last_obs_rejected: u64,
 }
 
 impl OnlineFleet {
@@ -254,6 +364,13 @@ impl OnlineFleet {
             rejected: 0,
             retired: 0,
             journal: Vec::new(),
+            journal_dropped: 0,
+            journal_compactions: 0,
+            plane: None,
+            frag_reference: None,
+            fits_node: Vec::new(),
+            last_obs_arrivals: 0,
+            last_obs_rejected: 0,
         }
     }
 
@@ -350,9 +467,168 @@ impl OnlineFleet {
         &self.aggregates
     }
 
-    /// The full event journal since construction.
+    /// The event journal: the full history since construction, or —
+    /// under a [`OnlineConfig::journal_cap`] — a checkpoint prefix plus
+    /// every event since the last compaction.
     pub fn journal(&self) -> &[EventRecord] {
         &self.journal
+    }
+
+    /// Journal entries discarded by compaction so far.
+    pub fn journal_dropped(&self) -> u64 {
+        self.journal_dropped
+    }
+
+    /// Compaction passes performed so far.
+    pub fn journal_compactions(&self) -> u64 {
+        self.journal_compactions
+    }
+
+    /// Attaches a live observability plane: every journal event is
+    /// mirrored into its flight recorder, breaker-budget violations
+    /// trigger postmortem dumps, and [`OnlineFleet::observe_batch`]
+    /// drives its alert engine. Cloning the fleet shares the plane.
+    pub fn attach_plane(&mut self, plane: Arc<LivePlane>) {
+        self.plane = Some(plane);
+    }
+
+    /// The attached observability plane, if any.
+    pub fn plane(&self) -> Option<&Arc<LivePlane>> {
+        self.plane.as_ref()
+    }
+
+    /// Sets (or clears) the reference candidate for *incremental*
+    /// fragmentation accounting. While set, every canonical refresh also
+    /// re-probes the touched nodes' budgets against the reference, so
+    /// [`OnlineFleet::fragmentation_cached`] — and the per-level
+    /// `so_online_stranded_watts` / `so_online_fragmentation_ratio`
+    /// gauges, which are re-emitted on **every** commit, retirement, and
+    /// repair — stay fresh between full [`OnlineFleet::fragmentation`]
+    /// recomputes (one O(T) probe per touched path node per event).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Trace`] for a grid mismatch.
+    pub fn set_fragmentation_reference(
+        &mut self,
+        reference: Option<&PowerTrace>,
+    ) -> Result<(), CoreError> {
+        let Some(reference) = reference else {
+            self.frag_reference = None;
+            self.fits_node = Vec::new();
+            return Ok(());
+        };
+        self.check_grid(reference)?;
+        self.frag_reference = Some(reference.samples().to_vec());
+        self.fits_node = vec![false; self.topology.len()];
+        let nodes: Vec<NodeId> = self.topology.nodes().iter().map(|n| n.id()).collect();
+        self.refresh_reference_fits(&nodes)?;
+        Ok(())
+    }
+
+    /// Per-level fragmentation from the incrementally maintained budget
+    /// probes — bit-identical to [`OnlineFleet::fragmentation`] against
+    /// the configured reference (the `observability` oracle family pins
+    /// this), or `None` when no reference is set. O(nodes) scalar work;
+    /// no trace arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree lookups.
+    pub fn fragmentation_cached(&self) -> Result<Option<Vec<FragmentationLevel>>, CoreError> {
+        if self.frag_reference.is_none() {
+            return Ok(None);
+        }
+        let mut admits = BTreeMap::new();
+        for &rack in self.topology.racks() {
+            admits.insert(rack, self.reference_admits(rack)?);
+        }
+        Ok(Some(self.fragmentation_from_admits(&admits)?))
+    }
+
+    /// Whether the reference candidate is admissible on `rack` according
+    /// to the cached per-node budget probes: a free slot, and every path
+    /// node's budget holds.
+    fn reference_admits(&self, rack: NodeId) -> Result<bool, CoreError> {
+        let capacity = self.topology.rack_capacity();
+        if self.members[rack.index()].len() >= capacity || !self.fits_node[rack.index()] {
+            return Ok(false);
+        }
+        for ancestor in self.topology.ancestors(rack).map_err(CoreError::Tree)? {
+            if !self.fits_node[ancestor.index()] {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// One observability heartbeat, called from the serial point at the
+    /// end of each event batch: publishes batch-level gauges, computes
+    /// the alert signal snapshot from resident state (all quantities are
+    /// thread-count-free, so alert streams are bit-identical at any
+    /// thread count), and drives the attached plane's alert engine.
+    /// Returns the alert transitions this batch caused (empty without a
+    /// plane).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree lookups.
+    pub fn observe_batch(&mut self) -> Result<Vec<AlertTransition>, CoreError> {
+        let arrivals = self.arrivals_seen - self.last_obs_arrivals;
+        let rejected = self.rejected - self.last_obs_rejected;
+        self.last_obs_arrivals = self.arrivals_seen;
+        self.last_obs_rejected = self.rejected;
+        let Some(plane) = self.plane.clone() else {
+            return Ok(Vec::new());
+        };
+        plane.note_batch();
+
+        let root = self.topology.root();
+        let root_power = self.aggregates.peak(root).map_err(CoreError::Tree)?;
+        let mut min_headroom = f64::INFINITY;
+        for &rack in self.topology.racks() {
+            let h = self.headroom(rack)?;
+            if h < min_headroom {
+                min_headroom = h;
+            }
+        }
+        let rejection_rate = if arrivals > 0 {
+            rejected as f64 / arrivals as f64
+        } else {
+            0.0
+        };
+
+        let mut signals: Vec<(String, f64)> = vec![
+            ("live_instances".to_string(), self.live as f64),
+            ("batch_rejection_rate".to_string(), rejection_rate),
+            ("root_power_watts".to_string(), root_power),
+            ("min_rack_headroom_watts".to_string(), min_headroom),
+        ];
+        if let Some(asynchrony) = self.mean_rack_asynchrony() {
+            signals.push(("mean_rack_asynchrony".to_string(), asynchrony));
+        }
+        if let Some(levels) = self.fragmentation_cached()? {
+            for level in &levels {
+                let short = level.level.short_name();
+                signals.push((format!("fragmentation_ratio_{short}"), level.ratio));
+                signals.push((format!("stranded_watts_{short}"), level.stranded_watts));
+            }
+        }
+        if so_telemetry::enabled() {
+            so_telemetry::gauge_set("so_online_root_power_watts", &[], root_power);
+            so_telemetry::gauge_set("so_online_min_rack_headroom_watts", &[], min_headroom);
+            so_telemetry::gauge_set("so_online_batch_rejection_rate", &[], rejection_rate);
+            if let Some((_, asynchrony)) = signals
+                .iter()
+                .find(|(k, _)| k == "mean_rack_asynchrony")
+                .map(|(k, v)| (k, *v))
+            {
+                so_telemetry::gauge_set("so_online_mean_rack_asynchrony", &[], asynchrony);
+            }
+        }
+
+        let borrowed: Vec<(&str, f64)> = signals.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        Ok(plane.evaluate_alerts(&borrowed))
     }
 
     /// Headroom at `node`: configured budget minus resident peak.
@@ -430,6 +706,8 @@ impl OnlineFleet {
         Ok(LeafDecision {
             rack,
             fits: has_slot && path_ok,
+            has_slot,
+            power_ok: path_ok,
             new_peak_watts: new_peak,
             peak_increase_watts: new_peak - old_peak,
             headroom_watts: self.budgets[rack.index()] - new_peak,
@@ -489,7 +767,21 @@ impl OnlineFleet {
 
         let Some(best) = choice else {
             self.rejected += 1;
-            self.journal.push(EventRecord::Rejected { ordinal });
+            // A rejection where some probed rack had the capacity but a
+            // power budget said no is a breaker-budget violation — the
+            // anomaly the paper's fragmentation accounting exists to
+            // surface. It triggers an immediate postmortem dump and
+            // feeds the plane's violation-delta alert signal.
+            let breaker_bound = decisions.iter().any(|d| d.has_slot && !d.power_ok);
+            self.push_journal(EventRecord::Rejected { ordinal });
+            if breaker_bound {
+                if let Some(plane) = &self.plane {
+                    plane.note_breaker_violation(ordinal, peak_of_samples(candidate.samples()));
+                }
+                if so_telemetry::enabled() {
+                    so_telemetry::counter_add("so_online_breaker_violations_total", &[], 1);
+                }
+            }
             if so_telemetry::enabled() {
                 so_telemetry::counter_add("so_online_arrivals_total", &[], 1);
                 so_telemetry::counter_add("so_online_rejections_total", &[], 1);
@@ -506,7 +798,7 @@ impl OnlineFleet {
         self.refresh_path(&[rack])?;
         self.live += 1;
         self.committed += 1;
-        self.journal.push(EventRecord::Committed {
+        self.push_journal(EventRecord::Committed {
             slot,
             ordinal,
             rack,
@@ -515,6 +807,7 @@ impl OnlineFleet {
             so_telemetry::counter_add("so_online_arrivals_total", &[], 1);
             so_telemetry::counter_add("so_online_commits_total", &[], 1);
             so_telemetry::gauge_set("so_online_live_instances", &[], self.live as f64);
+            self.emit_fragmentation_gauges()?;
         }
         Ok(Some(slot))
     }
@@ -541,10 +834,11 @@ impl OnlineFleet {
         self.refresh_path(&[rack])?;
         self.live -= 1;
         self.retired += 1;
-        self.journal.push(EventRecord::Retired { slot, rack });
+        self.push_journal(EventRecord::Retired { slot, rack });
         if so_telemetry::enabled() {
             so_telemetry::counter_add("so_online_retirements_total", &[], 1);
             so_telemetry::gauge_set("so_online_live_instances", &[], self.live as f64);
+            self.emit_fragmentation_gauges()?;
         }
         Ok(())
     }
@@ -652,7 +946,7 @@ impl OnlineFleet {
                     touched.insert(old_rack);
                     touched.insert(new_rack);
                     self.rack_of[slot] = Some(new_rack);
-                    self.journal.push(EventRecord::Moved {
+                    self.push_journal(EventRecord::Moved {
                         slot,
                         from: old_rack,
                         to: new_rack,
@@ -678,6 +972,7 @@ impl OnlineFleet {
                 &[],
                 2 * report.swaps.len() as u64,
             );
+            self.emit_fragmentation_gauges()?;
         }
         Ok(report)
     }
@@ -751,7 +1046,18 @@ impl OnlineFleet {
             .zip(&fits)
             .map(|(&rack, &fit)| (rack, fit))
             .collect();
+        self.fragmentation_from_admits(&admits)
+    }
 
+    /// The per-level stranded-headroom accounting shared by the full
+    /// recompute ([`OnlineFleet::fragmentation`]) and the incremental
+    /// path ([`OnlineFleet::fragmentation_cached`]) — one code path, so
+    /// the two agree bit-for-bit by construction. Emits the per-level
+    /// gauges when telemetry is installed.
+    fn fragmentation_from_admits(
+        &self,
+        admits: &BTreeMap<NodeId, bool>,
+    ) -> Result<Vec<FragmentationLevel>, CoreError> {
         let levels = [
             Level::Datacenter,
             Level::Suite,
@@ -797,6 +1103,16 @@ impl OnlineFleet {
         Ok(out)
     }
 
+    /// Re-emits the per-level fragmentation gauges from the cached
+    /// per-node probes — the satellite fix for scrape staleness: gauges
+    /// track every commit/retire/move, not just the repair path. A no-op
+    /// unless a fragmentation reference is configured.
+    fn emit_fragmentation_gauges(&self) -> Result<(), CoreError> {
+        // `fragmentation_cached` routes through `fragmentation_from_admits`,
+        // which performs the gauge emission itself.
+        self.fragmentation_cached().map(|_| ())
+    }
+
     /// Canonically refreshes the given racks and their ancestor paths.
     fn refresh_path(&mut self, racks: &[NodeId]) -> Result<(), CoreError> {
         for &rack in racks {
@@ -810,7 +1126,79 @@ impl OnlineFleet {
         self.aggregates
             .refresh_ancestors(&self.topology, racks)
             .map_err(CoreError::Tree)?;
+        if self.frag_reference.is_some() {
+            let mut touched = BTreeSet::new();
+            for &rack in racks {
+                touched.insert(rack);
+                for ancestor in self.topology.ancestors(rack).map_err(CoreError::Tree)? {
+                    touched.insert(ancestor);
+                }
+            }
+            let touched: Vec<NodeId> = touched.into_iter().collect();
+            self.refresh_reference_fits(&touched)?;
+        }
         Ok(())
+    }
+
+    /// Recomputes the cached reference-fit bit for each of `nodes`: one
+    /// fused [`peak_of_sum_samples`] probe per node against its resident
+    /// aggregate row — the same arithmetic as
+    /// [`OnlineFleet::evaluate`]'s budget checks.
+    fn refresh_reference_fits(&mut self, nodes: &[NodeId]) -> Result<(), CoreError> {
+        let Some(reference) = &self.frag_reference else {
+            return Ok(());
+        };
+        for &node in nodes {
+            let row = self
+                .aggregates
+                .trace(node)
+                .map_err(CoreError::Tree)?
+                .samples();
+            let new_peak = peak_of_sum_samples(row, reference)?;
+            self.fits_node[node.index()] = new_peak <= self.budgets[node.index()];
+        }
+        Ok(())
+    }
+
+    /// Appends `event` to the journal, mirrors it into the attached
+    /// flight recorder, and compacts the journal when it exceeds the
+    /// configured cap (see [`OnlineConfig::journal_cap`]).
+    fn push_journal(&mut self, event: EventRecord) {
+        if let Some(plane) = &self.plane {
+            let (kind, a, b, c) = event.flight_encoding();
+            plane.record_event(kind, a, b, c, 0.0);
+        }
+        self.journal.push(event);
+        let cap = self.config.journal_cap;
+        if cap > 0 && self.journal.len() > cap.max(2 * self.live) {
+            self.compact_journal();
+        }
+    }
+
+    /// Replaces the journal with a [`EventRecord::Checkpoint`] snapshot
+    /// of the live occupancy (ascending slot order). The checkpoints are
+    /// also mirrored into the flight recorder, so the flight ring's
+    /// journal-event suffix still bit-matches the journal's suffix.
+    fn compact_journal(&mut self) {
+        let dropped = self.journal.len() as u64;
+        let mut fresh = Vec::with_capacity(self.live);
+        for slot in 0..self.rack_of.len() {
+            if let Some(rack) = self.rack_of[slot] {
+                fresh.push(EventRecord::Checkpoint { slot, rack });
+            }
+        }
+        self.journal = fresh;
+        self.journal_dropped += dropped;
+        self.journal_compactions += 1;
+        if let Some(plane) = self.plane.clone() {
+            for event in &self.journal {
+                let (kind, a, b, c) = event.flight_encoding();
+                plane.record_event(kind, a, b, c, 0.0);
+            }
+        }
+        if so_telemetry::enabled() {
+            so_telemetry::counter_add("so_online_journal_compactions_total", &[], 1);
+        }
     }
 
     fn check_grid(&self, trace: &PowerTrace) -> Result<(), CoreError> {
@@ -942,6 +1330,8 @@ pub fn offline_choose(
         decisions.push(LeafDecision {
             rack,
             fits: has_slot && path_ok,
+            has_slot,
+            power_ok: path_ok,
             new_peak_watts: new_peak,
             peak_increase_watts: new_peak - old_peak,
             headroom_watts: budgets[rack.index()] - new_peak,
@@ -1181,7 +1571,7 @@ mod tests {
                 policy: CommitPolicy::FirstFit,
                 repair_budget: 4,
                 min_gain: 0.0,
-                sample_salt: 0,
+                ..OnlineConfig::default()
             },
         );
         // FirstFit piles synchronous and complementary traces onto the
@@ -1231,6 +1621,7 @@ mod tests {
                 repair_budget: 0,
                 min_gain: 0.02,
                 sample_salt: 9,
+                ..OnlineConfig::default()
             },
         );
         let arrivals = [

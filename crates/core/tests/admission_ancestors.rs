@@ -100,7 +100,7 @@ fn online_engine_agrees_with_ancestor_rejection() {
             policy: CommitPolicy::WorstFit,
             repair_budget: 0,
             min_gain: 0.0,
-            sample_salt: 0,
+            ..OnlineConfig::default()
         },
     )
     .with_budgets(budgets)

@@ -32,7 +32,7 @@ fn engine(policy: CommitPolicy) -> OnlineFleet {
             policy,
             repair_budget: 0,
             min_gain: 0.0,
-            sample_salt: 0,
+            ..OnlineConfig::default()
         },
     )
 }

@@ -1,4 +1,4 @@
-//! The seeded randomized battery: one fixture, all five oracle families.
+//! The seeded randomized battery: one fixture, all six oracle families.
 //!
 //! The battery is fully deterministic in `(seed, instances)` — the seed
 //! selects the scenario preset, perturbs fleet generation, and drives
@@ -10,7 +10,8 @@ use rand::SeedableRng;
 use so_workloads::DcScenario;
 
 use crate::{
-    arena, differential, invariant, metamorphic, online, Fixture, OracleError, OracleReport,
+    arena, differential, invariant, metamorphic, observability, online, Fixture, OracleError,
+    OracleReport,
 };
 
 /// Battery parameters.
@@ -46,8 +47,8 @@ pub struct BatteryOutcome {
 }
 
 /// Runs the full oracle battery: builds the seeded fixture, then the
-/// invariant, differential, metamorphic, arena, and online families in
-/// that order.
+/// invariant, differential, metamorphic, arena, online, and
+/// observability families in that order.
 ///
 /// # Errors
 ///
@@ -67,6 +68,7 @@ pub fn run_battery(config: &BatteryConfig) -> Result<BatteryOutcome, OracleError
     metamorphic::run(&fixture, &mut rng, &mut report)?;
     arena::run(&fixture, &mut report)?;
     online::run(&fixture, &mut rng, &mut report)?;
+    observability::run(&fixture, &mut rng, &mut report)?;
     Ok(BatteryOutcome {
         scenario: scenario.name,
         instances: config.instances,

@@ -9,7 +9,7 @@
 //! randomized battery suitable for CI and for the `smoothop check`
 //! subcommand.
 //!
-//! Five oracle families (see `DESIGN.md` §7):
+//! Six oracle families (see `DESIGN.md` §7):
 //!
 //! * **Invariant** ([`invariant`]) — properties of a single run: score
 //!   bounds `1 ≤ A_M ≤ |M|`, peak-of-sum ≤ sum-of-peaks, remapping never
@@ -34,6 +34,13 @@
 //!   [`so_powertree::NodeAggregates::compute`] of the final fleet, and every
 //!   journaled commit/reject must match an independent materialized replay
 //!   of the commit policy.
+//! * **Observability** ([`observability`]) — the live plane must tell the
+//!   truth: the flight recorder's journal-event suffix is bit-identical to
+//!   the engine journal's suffix, a clean stream fires no violation-class
+//!   alert while a planted breaker-budget violation fires *exactly one*
+//!   `AlertFired` (with a postmortem dump) per excursion, the cached
+//!   fragmentation path matches the full recompute bit-for-bit, and
+//!   journal compaction keeps the replay oracle sound.
 //!
 //! Oracle outcomes accumulate in an [`OracleReport`]; each evaluation also
 //! emits the telemetry counters `so_oracle_evaluations_total` and
@@ -67,12 +74,13 @@ pub mod differential;
 pub mod fixture;
 pub mod invariant;
 pub mod metamorphic;
+pub mod observability;
 pub mod online;
 
 pub use battery::{run_battery, BatteryConfig, BatteryOutcome};
 pub use fixture::{fitting_topology, rotate_trace, Fixture};
 
-/// The five oracle families of the correctness harness.
+/// The six oracle families of the correctness harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OracleFamily {
     /// Properties that must hold for any single run.
@@ -87,16 +95,20 @@ pub enum OracleFamily {
     /// The online placement engine must agree bit-for-bit with offline
     /// recomputes of its resident state and commit decisions.
     Online,
+    /// The live observability plane (flight recorder, alert engine,
+    /// journal compaction) must report exactly what the engine did.
+    Observability,
 }
 
 impl OracleFamily {
     /// All families, in reporting order.
-    pub const ALL: [OracleFamily; 5] = [
+    pub const ALL: [OracleFamily; 6] = [
         OracleFamily::Invariant,
         OracleFamily::Differential,
         OracleFamily::Metamorphic,
         OracleFamily::Arena,
         OracleFamily::Online,
+        OracleFamily::Observability,
     ];
 
     /// Stable lower-case label, used for telemetry and reports.
@@ -107,6 +119,7 @@ impl OracleFamily {
             OracleFamily::Metamorphic => "metamorphic",
             OracleFamily::Arena => "arena",
             OracleFamily::Online => "online",
+            OracleFamily::Observability => "observability",
         }
     }
 
@@ -117,6 +130,7 @@ impl OracleFamily {
             OracleFamily::Metamorphic => 2,
             OracleFamily::Arena => 3,
             OracleFamily::Online => 4,
+            OracleFamily::Observability => 5,
         }
     }
 }
@@ -152,7 +166,7 @@ impl fmt::Display for Violation {
 /// the family, so recorded batteries show up in metric snapshots.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OracleReport {
-    evaluations: [u64; 5],
+    evaluations: [u64; 6],
     violations: Vec<Violation>,
 }
 

@@ -76,6 +76,7 @@ pub fn run(
             repair_budget,
             min_gain: 0.0,
             sample_salt: fixture.seed,
+            ..OnlineConfig::default()
         };
         let mut engine = OnlineFleet::new(fixture.topology.clone(), grid, config)
             .with_budgets(vec![cap; fixture.topology.len()])
@@ -257,7 +258,7 @@ fn asynchrony_matches_materialized(
 /// [`check_commit_decision`] against the reconstructed pre-state, every
 /// retirement/move must name the rack the replay says the slot lives on,
 /// and the final occupancy must reproduce the engine's live view.
-fn journal_replays_offline(
+pub(crate) fn journal_replays_offline(
     engine: &OnlineFleet,
     report: &mut OracleReport,
 ) -> Result<(), OracleError> {
@@ -317,6 +318,12 @@ fn journal_replays_offline(
                     was == Some(from),
                     || format!("slot {slot}: journal moves from {from}, replay hosts {was:?}"),
                 );
+            }
+            // A compaction checkpoint pins one live slot directly — the
+            // exact occupancy the discarded journal prefix had produced
+            // — so replay inserts it without a commit decision to check.
+            EventRecord::Checkpoint { slot, rack } => {
+                live.insert(slot, rack);
             }
         }
     }

@@ -93,7 +93,7 @@ fn driven_engine() -> (OnlineFleet, Vec<PowerTrace>) {
             policy: CommitPolicy::BestAsynchrony,
             repair_budget: 0,
             min_gain: 0.0,
-            sample_salt: 0,
+            ..OnlineConfig::default()
         },
     )
     .with_budgets(vec![cap; fixture.topology.len()])

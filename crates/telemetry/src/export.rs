@@ -11,7 +11,7 @@ use crate::registry::{MetricsRegistry, BUCKET_BOUNDS};
 use crate::sink::{Event, FieldValue};
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -29,7 +29,7 @@ fn json_escape(s: &str) -> String {
 
 /// Renders a float as a JSON number (`null` for non-finite values,
 /// which JSON cannot represent).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format_f64(v)
     } else {

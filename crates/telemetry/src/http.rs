@@ -1,0 +1,227 @@
+//! A tiny dependency-free blocking HTTP listener serving the live
+//! observability plane.
+//!
+//! Deliberately minimal — this is a scrape surface, not a web server:
+//! one `std::net::TcpListener`, one service thread, one connection at a
+//! time, HTTP/1.x `GET` only. That is exactly what a Prometheus scraper
+//! or a `curl` in a runbook needs, and it keeps the crate free of
+//! dependencies and the request path free of surprises.
+//!
+//! Endpoints:
+//!
+//! | Path          | Body                                            |
+//! |---------------|-------------------------------------------------|
+//! | `/metrics`    | Prometheus text snapshot of the plane's sink    |
+//! | `/health`     | JSON liveness + headline counters               |
+//! | `/alerts`     | JSON alert engine state (active + journal)      |
+//! | `/flight?n=K` | JSONL of the last `K` flight records (all if no `n`) |
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::plane::LivePlane;
+
+/// A running metrics listener. Shuts down (blocking until the service
+/// thread exits) on [`shutdown`](MetricsServer::shutdown) or drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for ephemeral) and
+    /// serves `plane` from a background thread.
+    pub fn spawn(addr: &str, plane: Arc<LivePlane>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("so-metrics-http".to_string())
+            .spawn(move || serve(listener, plane, thread_stop))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins the service thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // The service thread is parked in `accept`; a throwaway
+        // connection wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve(listener: TcpListener, plane: Arc<LivePlane>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // A wedged client must not wedge the scrape surface.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle_connection(stream, &plane);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, plane: &LivePlane) -> std::io::Result<()> {
+    let mut buf = [0u8; 2048];
+    let mut read = 0;
+    // Read until the request line is complete (ends with \r\n). Headers
+    // beyond the first line are irrelevant and may still be in flight.
+    while read < buf.len() {
+        let n = stream.read(&mut buf[read..])?;
+        if n == 0 {
+            break;
+        }
+        read += n;
+        if buf[..read].windows(2).any(|w| w == b"\r\n") {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..read]);
+    let Some(line) = request.lines().next() else {
+        return Ok(());
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &plane.metrics_text(),
+        ),
+        "/health" => respond(&mut stream, 200, "application/json", &plane.health_json()),
+        "/alerts" => respond(&mut stream, 200, "application/json", &plane.alerts_json()),
+        "/flight" => {
+            let n = query
+                .split('&')
+                .find_map(|pair| pair.strip_prefix("n="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            respond(
+                &mut stream,
+                200,
+                "application/x-ndjson",
+                &plane.flight_jsonl(n),
+            )
+        }
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alerts::AlertRule;
+    use crate::sink::{RecordingSink, TelemetrySink};
+
+    fn get(addr: SocketAddr, target: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_four_endpoints() {
+        let sink = Arc::new(RecordingSink::with_virtual_clock());
+        sink.gauge_set("so_test_gauge", &[], 4.0);
+        let plane = Arc::new(LivePlane::new(
+            sink,
+            8,
+            vec![AlertRule::above("hot", "t", 1.0, 0.5, 1)],
+        ));
+        plane.evaluate_alerts(&[("t", 2.0)]);
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&plane)).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(body.contains("so_test_gauge 4"));
+
+        let (head, body) = get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(body.contains("\"status\":\"alerting\""));
+
+        let (_, body) = get(addr, "/alerts");
+        assert!(body.contains("\"active\":[\"hot\"]"));
+
+        let (_, body) = get(addr, "/flight?n=1");
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"kind\":\"alert_fired\""));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+}

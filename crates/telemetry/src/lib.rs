@@ -28,6 +28,13 @@
 //!    ([`export::events_to_jsonl`]) and Prometheus text-format snapshots
 //!    ([`export::registry_to_prometheus`]).
 //!
+//! On top of the batch substrate sits the *live plane* for resident
+//! engines: a bounded [`FlightRecorder`] ring of recent events, a
+//! declarative [`AlertEngine`] with hysteresis, the [`LivePlane`] bundle
+//! tying them to a [`RecordingSink`], and a dependency-free blocking
+//! [`MetricsServer`] serving `/metrics`, `/health`, `/alerts`, and
+//! `/flight?n=K`.
+//!
 //! # Examples
 //!
 //! ```
@@ -49,14 +56,24 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod alerts;
 mod clock;
 pub mod export;
+mod flight;
+mod http;
+mod plane;
 mod registry;
 mod report;
 mod sink;
 mod span;
 
+pub use alerts::{
+    default_online_rules, stranded_watts_rule, AlertEngine, AlertKind, AlertRule, AlertTransition,
+};
 pub use clock::TelemetryClock;
+pub use flight::{FlightKind, FlightRecord, FlightRecorder};
+pub use http::MetricsServer;
+pub use plane::{FlightDump, LivePlane};
 pub use registry::{Histogram, MetricKey, MetricsRegistry, BUCKET_BOUNDS};
 pub use report::render_report;
 pub use sink::{

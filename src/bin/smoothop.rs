@@ -36,9 +36,14 @@ fn main() -> ExitCode {
     let command = args.first().map(String::as_str);
 
     // A recording sink is attached when any command asked for exported
-    // telemetry, and always for `report` (whose output *is* the metrics).
-    let wants_sink =
-        flags.metrics_out.is_some() || flags.trace_out.is_some() || command == Some("report");
+    // telemetry, always for `report` (whose output *is* the metrics), and
+    // whenever a live plane exists (`watch`, `--listen`): the plane
+    // serves `/metrics` from the same sink the engine gauges land in.
+    let wants_sink = flags.metrics_out.is_some()
+        || flags.trace_out.is_some()
+        || flags.listen.is_some()
+        || command == Some("report")
+        || command == Some("watch");
     let sink = if wants_sink {
         let sink = Arc::new(RecordingSink::with_wall_clock());
         so_telemetry::install(sink.clone());
@@ -58,7 +63,8 @@ fn main() -> ExitCode {
         Some("simulate") => with_scenario(&args, |scenario, n| simulate_cmd(scenario, n, faults)),
         Some("check") => check_cmd(&args, flags.seed),
         Some("scale") => scale_cmd(&flags),
-        Some("online") => online_cmd(&flags),
+        Some("online") => online_cmd(&flags, sink.as_ref()),
+        Some("watch") => watch_cmd(&flags, sink.as_ref()),
         Some("report") => with_scenario(&args, |scenario, n| {
             report_cmd(
                 scenario,
@@ -118,13 +124,17 @@ fn print_usage() {
     println!("  smoothop report    <dc> [n]       instrumented place+drift+remap+simulate run,");
     println!("                                    printed as a telemetry summary");
     println!("  smoothop check     [n]            seeded correctness-oracle battery (invariant,");
-    println!("                                    differential, metamorphic, arena, online);");
-    println!("                                    n defaults to 1000");
+    println!("                                    differential, metamorphic, arena, online,");
+    println!("                                    observability); n defaults to 1000");
     println!("  smoothop scale                    columnar scale ladder; writes BENCH_scale.json");
     println!("  smoothop online                   online arrival/departure rung: streams batches");
     println!("                                    through the resident engine and compares the");
     println!("                                    churned placement against a one-pass offline");
     println!("                                    re-placement; writes BENCH_online.json");
+    println!("  smoothop watch                    live observability session: streams one fleet");
+    println!("                                    through the online engine and emits per-batch");
+    println!("                                    JSONL heartbeats, alert transitions, and");
+    println!("                                    flight-recorder dumps");
     println!();
     println!("  <dc> ∈ {{dc1, dc2, dc3}}; n = fleet size, default 240");
     println!();
@@ -154,6 +164,17 @@ fn print_usage() {
     println!("  --repair <n>          repair swaps allowed per between-batch pass for");
     println!("                        `online` (default 8; 0 disables repair)");
     println!("  --threads <n>         thread-lane budget for the parallel kernels");
+    println!("  --listen <addr>       serve /metrics /health /alerts /flight?n=K over HTTP");
+    println!("                        while `online` or `watch` runs (e.g. 127.0.0.1:9184)");
+    println!("  --watch-out <path>    buffer the `watch` JSONL stream to a file instead of");
+    println!("                        stdout (for CI smoke runs)");
+    println!("  --flight-out <path>   dump the full flight-recorder ring as JSONL on exit");
+    println!("                        (`watch`, or `online --listen`)");
+    println!("  --flight-capacity <n> flight-recorder ring capacity (default 4096)");
+    println!("  --journal-cap <n>     compact the online event journal above this length");
+    println!("                        (0 = unbounded, the default)");
+    println!("  --plant-violation     `watch` only: inject one oversized arrival mid-run to");
+    println!("                        force a breaker-budget violation, alert, and dump");
 }
 
 /// `smoothop check [n] [--seed s]`: run the seeded oracle battery and fail
@@ -263,10 +284,48 @@ fn scale_cmd(flags: &CliFlags) -> CliResult {
     Ok(())
 }
 
-/// `smoothop online [--instances n1,n2,...] [--seed s] [--out path]`: run
-/// the online arrival/departure rung and write `BENCH_online.json`.
-fn online_cmd(flags: &CliFlags) -> CliResult {
-    use smoothoperator::scale::{run_online_scale, OnlineScaleConfig};
+/// Builds the live plane for `watch` / `--listen` sessions over the
+/// process-global recording sink (so engine gauges land on `/metrics`),
+/// and spawns the HTTP listener when an address was requested.
+fn live_plane(
+    flags: &CliFlags,
+    sink: Option<&Arc<RecordingSink>>,
+) -> Result<
+    (
+        Arc<so_telemetry::LivePlane>,
+        Option<so_telemetry::MetricsServer>,
+    ),
+    Box<dyn std::error::Error>,
+> {
+    let sink = sink
+        .cloned()
+        .unwrap_or_else(|| Arc::new(RecordingSink::with_wall_clock()));
+    let plane = Arc::new(so_telemetry::LivePlane::new(
+        sink,
+        flags.flight_capacity.unwrap_or(4_096),
+        so_telemetry::default_online_rules(),
+    ));
+    let server = match &flags.listen {
+        Some(addr) => {
+            let server = so_telemetry::MetricsServer::spawn(addr, plane.clone())
+                .map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+            eprintln!(
+                "serving /metrics /health /alerts /flight on http://{}",
+                server.addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
+    Ok((plane, server))
+}
+
+/// `smoothop online [--instances n1,n2,...] [--seed s] [--out path]
+/// [--listen addr]`: run the online arrival/departure rung and write
+/// `BENCH_online.json`, optionally serving the observability plane over
+/// HTTP while the rung runs.
+fn online_cmd(flags: &CliFlags, sink: Option<&Arc<RecordingSink>>) -> CliResult {
+    use smoothoperator::scale::{run_online_scale_with_plane, OnlineScaleConfig};
 
     let mut config = OnlineScaleConfig::default();
     if let Some(seed) = flags.seed {
@@ -292,6 +351,12 @@ fn online_cmd(flags: &CliFlags) -> CliResult {
         config.repair_budget = repair;
     }
     let path = flags.out.as_deref().unwrap_or("BENCH_online.json");
+    let (plane, server) = if flags.listen.is_some() {
+        let (plane, server) = live_plane(flags, sink)?;
+        (Some(plane), server)
+    } else {
+        (None, None)
+    };
 
     println!(
         "online rung — {} points, {} batches, {} probes/arrival, repair budget {}, seed {}, {} thread lane(s)",
@@ -316,10 +381,14 @@ fn online_cmd(flags: &CliFlags) -> CliResult {
         "off-hdr W",
         "frag"
     );
-    let report = run_online_scale(&config)?;
+    let report = run_online_scale_with_plane(&config, plane.clone());
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    let report = report?;
     for p in &report.points {
         println!(
-            "{:>10} {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>12.0} {:>9.4} {:>9.4} {:>11.1} {:>11.1} {:>6.3}",
+            "{:>10} {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>12.0} {:>9.4} {:>9.4} {:>11.1} {:>11.1} {:>6.3} {:>6}",
             p.instances,
             p.arrive_ms,
             p.retire_ms,
@@ -331,11 +400,111 @@ fn online_cmd(flags: &CliFlags) -> CliResult {
             p.online_min_rack_headroom_watts,
             p.offline_min_rack_headroom_watts,
             p.rack_fragmentation_ratio,
+            p.alerts_fired,
         );
     }
+    write_flight(flags, plane.as_ref())?;
     let json = report.to_json();
     std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
     println!("wrote {path} ({} bytes)", json.len());
+    Ok(())
+}
+
+/// `smoothop watch [--instances n] [--batches b] [--listen addr]
+/// [--watch-out path] [--flight-out path] [--plant-violation]`: run one
+/// live watch session over the online engine, emitting per-batch JSONL
+/// heartbeats plus alert and flight-dump lines.
+fn watch_cmd(flags: &CliFlags, sink: Option<&Arc<RecordingSink>>) -> CliResult {
+    use smoothoperator::watch::{run_watch, WatchConfig};
+
+    let mut config = WatchConfig::default();
+    if let Some(seed) = flags.seed {
+        config.seed = seed;
+    }
+    if let Some(raw) = &flags.instances {
+        // Watch streams one fleet, not a ladder: take the first count.
+        let first = raw.split(',').next().unwrap_or(raw).trim();
+        config.instances = first
+            .parse()
+            .map_err(|_| format!("instance count `{first}` is not a number"))?;
+    }
+    if let Some(batches) = flags.batches {
+        config.batches = batches;
+    }
+    if let Some(probes) = flags.probes {
+        config.sample_probes = probes;
+    }
+    if let Some(repair) = flags.repair {
+        config.repair_budget = repair;
+    }
+    if let Some(cap) = flags.flight_capacity {
+        config.flight_capacity = cap;
+    }
+    if let Some(cap) = flags.journal_cap {
+        config.journal_cap = cap;
+    }
+    config.plant_violation = flags.plant_violation;
+
+    let (plane, server) = live_plane(flags, sink)?;
+    eprintln!(
+        "watch — {} instances over {} batches, seed {}, {} thread lane(s){}",
+        config.instances,
+        config.batches,
+        config.seed,
+        so_parallel::effective_lanes(),
+        if config.plant_violation {
+            ", planting one breaker-budget violation"
+        } else {
+            ""
+        },
+    );
+    let mut buffered = String::new();
+    let to_file = flags.watch_out.is_some();
+    let outcome = run_watch(&config, plane.clone(), |line| {
+        if to_file {
+            buffered.push_str(line);
+            buffered.push('\n');
+        } else {
+            println!("{line}");
+        }
+    });
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    let outcome = outcome?;
+    if let Some(path) = &flags.watch_out {
+        std::fs::write(path, &buffered).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote watch JSONL to {path} ({} bytes)", buffered.len());
+    }
+    write_flight(flags, Some(&plane))?;
+    eprintln!(
+        "watch done — {} committed, {} rejected, {} live, {} alert(s) fired, {} resolved, {} breaker violation(s), {} flight dump(s)",
+        outcome.committed,
+        outcome.rejected,
+        outcome.live_instances,
+        outcome.alerts_fired,
+        outcome.alerts_resolved,
+        outcome.breaker_violations,
+        outcome.dumps_total,
+    );
+    Ok(())
+}
+
+/// Writes the plane's full flight ring as JSONL when `--flight-out` was
+/// requested.
+fn write_flight(flags: &CliFlags, plane: Option<&Arc<so_telemetry::LivePlane>>) -> CliResult {
+    let Some(path) = &flags.flight_out else {
+        return Ok(());
+    };
+    let Some(plane) = plane else {
+        return Err("--flight-out needs a live plane (use `watch` or `online --listen`)".into());
+    };
+    let jsonl = plane.flight_jsonl(0);
+    std::fs::write(path, &jsonl).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    eprintln!(
+        "wrote flight recorder JSONL to {path} ({} bytes)",
+        jsonl.len()
+    );
     Ok(())
 }
 
@@ -374,6 +543,12 @@ struct CliFlags {
     batches: Option<usize>,
     probes: Option<usize>,
     repair: Option<usize>,
+    listen: Option<String>,
+    watch_out: Option<String>,
+    flight_out: Option<String>,
+    flight_capacity: Option<usize>,
+    journal_cap: Option<usize>,
+    plant_violation: bool,
 }
 
 /// Extracts `--faults`, `--metrics-out`, and `--trace-out` (in both
@@ -393,6 +568,12 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
         batches: None,
         probes: None,
         repair: None,
+        listen: None,
+        watch_out: None,
+        flight_out: None,
+        flight_capacity: None,
+        journal_cap: None,
+        plant_violation: false,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -451,6 +632,27 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
                 .parse()
                 .map_err(|_| format!("repair budget `{raw}` is not a number"))?;
             flags.repair = Some(repair);
+        } else if let Some(addr) = value_of("--listen", &arg, &mut iter)? {
+            flags.listen = Some(addr);
+        } else if let Some(path) = value_of("--watch-out", &arg, &mut iter)? {
+            flags.watch_out = Some(path);
+        } else if let Some(path) = value_of("--flight-out", &arg, &mut iter)? {
+            flags.flight_out = Some(path);
+        } else if let Some(raw) = value_of("--flight-capacity", &arg, &mut iter)? {
+            let cap: usize = raw
+                .parse()
+                .map_err(|_| format!("flight capacity `{raw}` is not a number"))?;
+            if cap == 0 {
+                return Err("--flight-capacity must be at least 1".to_string());
+            }
+            flags.flight_capacity = Some(cap);
+        } else if let Some(raw) = value_of("--journal-cap", &arg, &mut iter)? {
+            let cap: usize = raw
+                .parse()
+                .map_err(|_| format!("journal cap `{raw}` is not a number"))?;
+            flags.journal_cap = Some(cap);
+        } else if arg == "--plant-violation" {
+            flags.plant_violation = true;
         } else if let Some(raw) = value_of("--threads", &arg, &mut iter)? {
             let lanes: usize = raw
                 .parse()

@@ -99,6 +99,10 @@ pub use so_oracles as oracles;
 /// `BENCH_scale.json` emitter.
 pub mod scale;
 
+/// Live observability sessions: the `smoothop watch` runner over the
+/// online engine's flight recorder, alert engine, and scrape surface.
+pub mod watch;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use so_baselines::{

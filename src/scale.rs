@@ -41,11 +41,13 @@
 //! pins the JSON schema and the determinism of the numeric fields.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use so_core::{differential_score_excluding, CommitPolicy, OnlineConfig, OnlineFleet};
 use so_powertrace::{PowerTrace, TimeGrid, TraceArena};
 use so_powertree::{Level, PowerTopology};
+use so_telemetry::{default_online_rules, LivePlane, RecordingSink};
 
 /// How the per-row quantile phase computes p99.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -428,11 +430,11 @@ impl ScaleReport {
 }
 
 /// Rack slots of the online rung's topology (the paper's rack size).
-const ONLINE_RACK_SLOTS: usize = 12;
+pub(crate) const ONLINE_RACK_SLOTS: usize = 12;
 /// Rack budget of the online rung, watts — generous enough that capacity,
 /// not power, is the binding constraint for the synthesized waveforms
 /// (max sample ≈ 300 W × 12 slots = 3 600 W).
-const ONLINE_RACK_BUDGET_WATTS: f64 = 3_600.0;
+pub(crate) const ONLINE_RACK_BUDGET_WATTS: f64 = 3_600.0;
 
 /// Online-rung parameters. The defaults match the committed
 /// `BENCH_online.json` ladder: 10k → 100k instances streamed through the
@@ -516,6 +518,12 @@ pub struct OnlineScalePoint {
     /// Rack-level stranded-headroom ratio of the online placement against
     /// a 40 %-of-rack-budget reference job.
     pub rack_fragmentation_ratio: f64,
+    /// `AlertFired` transitions across the point's per-batch alert
+    /// evaluations (deterministic: alert decisions depend only on the
+    /// resident-state signal stream).
+    pub alerts_fired: u64,
+    /// `AlertResolved` transitions across the point's alert evaluations.
+    pub alerts_resolved: u64,
     /// Folded digest over the deterministic metrics; bit-identical across
     /// runs and thread counts for one config.
     pub checksum: f64,
@@ -530,8 +538,10 @@ pub struct OnlineScaleReport {
     pub points: Vec<OnlineScalePoint>,
 }
 
-/// Schema version stamped into `BENCH_online.json`.
-pub const ONLINE_SCALE_SCHEMA_VERSION: u32 = 1;
+/// Schema version stamped into `BENCH_online.json`. v2 added the
+/// `alerts_fired`/`alerts_resolved` observability counts (and folded them
+/// into `checksum`).
+pub const ONLINE_SCALE_SCHEMA_VERSION: u32 = 2;
 
 /// Runs the online-engine rung ladder described by `config`.
 ///
@@ -541,6 +551,24 @@ pub const ONLINE_SCALE_SCHEMA_VERSION: u32 = 1;
 /// samples/batches/probes) or an engine operation fails.
 pub fn run_online_scale(
     config: &OnlineScaleConfig,
+) -> Result<OnlineScaleReport, Box<dyn std::error::Error>> {
+    run_online_scale_with_plane(config, None)
+}
+
+/// [`run_online_scale`] with an externally owned observability plane
+/// (what `smoothop online --listen` serves HTTP from while the ladder
+/// runs). Without one, each point gets its own headless virtual-clock
+/// plane, so the reported `alerts_fired`/`alerts_resolved` counts are a
+/// pure function of the config; a shared external plane carries alert
+/// state across points, so its counts reflect the whole session instead.
+///
+/// # Errors
+///
+/// Returns an error when `config` is degenerate (no instance counts, zero
+/// samples/batches/probes) or an engine operation fails.
+pub fn run_online_scale_with_plane(
+    config: &OnlineScaleConfig,
+    plane: Option<Arc<LivePlane>>,
 ) -> Result<OnlineScaleReport, Box<dyn std::error::Error>> {
     if config.instances.is_empty() {
         return Err("online ladder needs at least one instance count".into());
@@ -553,7 +581,7 @@ pub fn run_online_scale(
     }
     let mut points = Vec::with_capacity(config.instances.len());
     for &n in &config.instances {
-        points.push(run_online_point(config, n)?);
+        points.push(run_online_point(config, n, plane.clone())?);
     }
     Ok(OnlineScaleReport {
         config: config.clone(),
@@ -563,7 +591,7 @@ pub fn run_online_scale(
 
 /// The online rung's topology: the paper's tree shape (1 suite × 2 MSB ×
 /// 2 SB × r RPP × 4 racks) sized so rack slots cover `n` instances.
-fn online_topology(n: usize) -> Result<PowerTopology, so_powertree::TreeError> {
+pub(crate) fn online_topology(n: usize) -> Result<PowerTopology, so_powertree::TreeError> {
     let racks_needed = n.div_ceil(ONLINE_RACK_SLOTS).max(1);
     let rpps = racks_needed.div_ceil(2 * 2 * 4).max(1);
     PowerTopology::builder()
@@ -581,6 +609,7 @@ fn online_topology(n: usize) -> Result<PowerTopology, so_powertree::TreeError> {
 fn run_online_point(
     config: &OnlineScaleConfig,
     n: usize,
+    plane: Option<Arc<LivePlane>>,
 ) -> Result<OnlineScalePoint, Box<dyn std::error::Error>> {
     let grid = TimeGrid::new(config.step_minutes, config.samples_per_trace);
     let topology = online_topology(n)?;
@@ -594,8 +623,22 @@ fn run_online_point(
         repair_budget: config.repair_budget,
         min_gain: 0.02,
         sample_salt: config.seed,
+        ..OnlineConfig::default()
     };
     let mut engine = OnlineFleet::new(topology.clone(), grid, engine_config);
+    // Headless fallback: a virtual-clock plane per point keeps the alert
+    // counts deterministic in `BENCH_online.json` while exercising the
+    // full observe path the live `--listen` plane uses.
+    let plane = plane.unwrap_or_else(|| {
+        Arc::new(LivePlane::new(
+            Arc::new(RecordingSink::with_virtual_clock()),
+            256,
+            default_online_rules(),
+        ))
+    });
+    engine.attach_plane(plane);
+    let mut alerts_fired = 0u64;
+    let mut alerts_resolved = 0u64;
 
     let started = Instant::now();
     let per_batch = n.div_ceil(config.batches).max(1);
@@ -651,6 +694,16 @@ fn run_online_point(
             repair_moves += 2 * report.swaps.len();
         }
         repair_ms += ms_since(t0);
+
+        // Observability heartbeat: one alert evaluation per batch, from
+        // the serial point — deterministic at any thread count.
+        for transition in engine.observe_batch()? {
+            if transition.fired {
+                alerts_fired += 1;
+            } else {
+                alerts_resolved += 1;
+            }
+        }
     }
 
     // Quality of the churned placement.
@@ -691,6 +744,8 @@ fn run_online_point(
         engine.rejected() as f64,
         engine.retired() as f64,
         engine.live_len() as f64,
+        alerts_fired as f64,
+        alerts_resolved as f64,
     ]);
     Ok(OnlineScalePoint {
         instances: n,
@@ -712,12 +767,14 @@ fn run_online_point(
         online_min_rack_headroom_watts,
         offline_min_rack_headroom_watts,
         rack_fragmentation_ratio,
+        alerts_fired,
+        alerts_resolved,
         checksum,
     })
 }
 
 /// Smallest per-rack headroom (budget minus resident peak), watts.
-fn min_rack_headroom(engine: &OnlineFleet) -> Result<f64, so_core::CoreError> {
+pub(crate) fn min_rack_headroom(engine: &OnlineFleet) -> Result<f64, so_core::CoreError> {
     let mut min = f64::INFINITY;
     for &rack in engine.topology().racks() {
         min = min.min(engine.headroom(rack)?);
@@ -796,6 +853,8 @@ impl OnlineScaleReport {
                     "      \"rack_fragmentation_ratio\": {:.6},",
                     p.rack_fragmentation_ratio
                 );
+                let _ = writeln!(s, "      \"alerts_fired\": {},", p.alerts_fired);
+                let _ = writeln!(s, "      \"alerts_resolved\": {},", p.alerts_resolved);
                 let _ = writeln!(s, "      \"checksum\": {:.6}", p.checksum);
                 s.push_str("    }");
                 s
@@ -813,14 +872,14 @@ impl OnlineScaleReport {
 /// folds in via the angle-addition identity
 /// `sin(day + φ) = sin(day)·cos(φ) + cos(day)·sin(φ)`, so the per-sample
 /// inner loop is pure multiply-add — no trigonometry.
-struct SynthBasis {
+pub(crate) struct SynthBasis {
     day_sin: Vec<f64>,
     day_cos: Vec<f64>,
     week_sin: Vec<f64>,
 }
 
 impl SynthBasis {
-    fn new(samples_per_trace: usize) -> Self {
+    pub(crate) fn new(samples_per_trace: usize) -> Self {
         // A week of samples regardless of resolution: the fundamental
         // completes 7 cycles over the trace, the weekly envelope one.
         let steps_per_week = samples_per_trace as f64;
@@ -847,7 +906,7 @@ impl SynthBasis {
 /// amplitude, and baseline over a 24-hour fundamental plus a weekly
 /// harmonic. Pure integer hashing — no RNG state, so neither synthesis
 /// order nor chunking can change the samples.
-struct RowWave {
+pub(crate) struct RowWave {
     baseline: f64,
     amplitude: f64,
     cos_phase: f64,
@@ -856,7 +915,7 @@ struct RowWave {
 }
 
 impl RowWave {
-    fn new(seed: u64, row: u64) -> Self {
+    pub(crate) fn new(seed: u64, row: u64) -> Self {
         let h = mix(seed, row);
         // Spread the hash into three independent unit floats.
         let u0 = unit(h);
@@ -877,7 +936,7 @@ impl RowWave {
     /// envelope, −1)` per sample, ~6 flops each. The `−1` clamp keeps
     /// every sample at `baseline − amplitude ≥ 20`, so rows are always
     /// valid power draws.
-    fn fill(&self, basis: &SynthBasis, out: &mut [f64]) {
+    pub(crate) fn fill(&self, basis: &SynthBasis, out: &mut [f64]) {
         for (t, v) in out.iter_mut().enumerate() {
             let envelope = basis.day_sin[t] * self.cos_phase
                 + basis.day_cos[t] * self.sin_phase
@@ -888,13 +947,13 @@ impl RowWave {
 }
 
 /// Elapsed milliseconds since `t0`.
-fn ms_since(t0: Instant) -> f64 {
+pub(crate) fn ms_since(t0: Instant) -> f64 {
     t0.elapsed().as_secs_f64() * 1e3
 }
 
 /// SplitMix64 — the standard 64-bit finalizer, enough to decorrelate
 /// adjacent row indices.
-fn mix(seed: u64, x: u64) -> u64 {
+pub(crate) fn mix(seed: u64, x: u64) -> u64 {
     let mut z = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(x.wrapping_mul(0xBF58_476D_1CE4_E5B9))
@@ -1159,13 +1218,40 @@ mod tests {
         let report = run_online_scale(&tiny_online_config()).unwrap();
         let json = report.to_json();
         assert!(json.contains("\"benchmark\": \"online_scale\""));
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"instances\": 60"));
         assert!(json.contains("\"instances\": 120"));
         for phase in ["arrive_ms", "retire_ms", "repair_ms", "offline_ms"] {
             assert!(json.contains(&format!("\"{phase}\": ")), "missing {phase}");
         }
         assert!(json.contains("\"online_mean_asynchrony\": "));
+        assert!(json.contains("\"alerts_fired\": "));
+        assert!(json.contains("\"alerts_resolved\": "));
         assert!(json.contains("\"checksum\": "));
+    }
+
+    #[test]
+    fn online_rung_attaches_a_headless_plane() {
+        let config = tiny_online_config();
+        let plane = Arc::new(LivePlane::new(
+            Arc::new(RecordingSink::with_virtual_clock()),
+            64,
+            default_online_rules(),
+        ));
+        let with_plane = run_online_scale_with_plane(&config, Some(plane.clone())).unwrap();
+        // One heartbeat per batch per point flowed through the shared
+        // plane, and the engine mirrored its journal into the flight ring.
+        let (held, total, _) = plane.flight_counts();
+        assert!(held > 0 && total > 0, "flight ring saw journal events");
+        // Deterministic alert counts: the headless per-point path yields
+        // the same bits as a fresh run.
+        let headless = run_online_scale(&config).unwrap();
+        let again = run_online_scale(&config).unwrap();
+        for (x, y) in headless.points.iter().zip(&again.points) {
+            assert_eq!(x.alerts_fired, y.alerts_fired);
+            assert_eq!(x.alerts_resolved, y.alerts_resolved);
+            assert_eq!(x.checksum.to_bits(), y.checksum.to_bits());
+        }
+        let _ = with_plane;
     }
 }
