@@ -52,6 +52,7 @@
 mod admission;
 mod analysis;
 mod constraints;
+pub mod daemon;
 pub mod degraded;
 mod embedding;
 mod error;
@@ -66,6 +67,7 @@ mod straces;
 pub use admission::{admission_decisions, best_rack_for, AdmissionDecision};
 pub use analysis::{peak_reduction_by_level, FragmentationReport, LevelFragmentation};
 pub use constraints::PlacementConstraints;
+pub use daemon::{DaemonFleet, IngestReport, SampleUpdate};
 pub use degraded::{
     complete_traces, complete_with_derived_priors, service_priors, DegradedReport, TraceSource,
 };

@@ -1020,6 +1020,66 @@ impl OnlineFleet {
         (count > 0).then(|| sum / count as f64)
     }
 
+    /// Live member slots of `rack`, ascending. Empty for non-rack nodes
+    /// and empty racks.
+    pub(crate) fn members_of(&self, rack: NodeId) -> &[usize] {
+        &self.members[rack.index()]
+    }
+
+    /// Overwrites one sample of a live slot's resident window *without*
+    /// refreshing aggregates. The daemon's ring-buffer ingest
+    /// ([`crate::daemon::DaemonFleet`]) writes a whole batch of these and
+    /// then canonically refreshes each touched rack path once via
+    /// [`OnlineFleet::refresh_racks`]; a write without a matching refresh
+    /// leaves the resident aggregates stale, so this stays crate-private.
+    ///
+    /// # Errors
+    ///
+    /// Rejects retired/unknown slots and out-of-window positions with
+    /// [`TraceError::OutOfBounds`], and non-finite or negative watts with
+    /// [`TraceError::InvalidSample`] — the same validity rule
+    /// [`PowerTrace::new`] enforces, so resident windows always
+    /// materialize into valid traces.
+    pub(crate) fn write_window_sample(
+        &mut self,
+        slot: usize,
+        pos: usize,
+        watts: f64,
+    ) -> Result<(), CoreError> {
+        if slot >= self.rack_of.len() || self.rack_of[slot].is_none() {
+            return Err(CoreError::Trace(TraceError::OutOfBounds {
+                requested: slot,
+                len: self.rack_of.len(),
+            }));
+        }
+        if pos >= self.grid.len() {
+            return Err(CoreError::Trace(TraceError::OutOfBounds {
+                requested: pos,
+                len: self.grid.len(),
+            }));
+        }
+        if !watts.is_finite() || watts < 0.0 {
+            return Err(CoreError::Trace(TraceError::InvalidSample {
+                index: pos,
+                value: watts,
+            }));
+        }
+        self.arena.view_mut(slot).samples_mut()[pos] = watts;
+        Ok(())
+    }
+
+    /// Canonically refreshes `racks` and their ancestor paths — the same
+    /// O(touched path) repair every commit/retire runs, exposed within
+    /// the crate so the daemon's batched sample ingest can settle all of
+    /// a batch's window writes in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree lookups.
+    pub(crate) fn refresh_racks(&mut self, racks: &[NodeId]) -> Result<(), CoreError> {
+        self.refresh_path(racks)
+    }
+
     /// Per-level fragmentation of the live fleet against `reference`: at
     /// each level, headroom under nodes whose subtree cannot admit the
     /// reference candidate is stranded. Exported as

@@ -1,4 +1,4 @@
-//! The seeded randomized battery: one fixture, all six oracle families.
+//! The seeded randomized battery: one fixture, all seven oracle families.
 //!
 //! The battery is fully deterministic in `(seed, instances)` — the seed
 //! selects the scenario preset, perturbs fleet generation, and drives
@@ -10,8 +10,8 @@ use rand::SeedableRng;
 use so_workloads::DcScenario;
 
 use crate::{
-    arena, differential, invariant, metamorphic, observability, online, Fixture, OracleError,
-    OracleReport,
+    arena, daemon, differential, invariant, metamorphic, observability, online, Fixture,
+    OracleError, OracleReport,
 };
 
 /// Battery parameters.
@@ -47,8 +47,8 @@ pub struct BatteryOutcome {
 }
 
 /// Runs the full oracle battery: builds the seeded fixture, then the
-/// invariant, differential, metamorphic, arena, online, and
-/// observability families in that order.
+/// invariant, differential, metamorphic, arena, online, observability,
+/// and daemon families in that order.
 ///
 /// # Errors
 ///
@@ -69,6 +69,7 @@ pub fn run_battery(config: &BatteryConfig) -> Result<BatteryOutcome, OracleError
     arena::run(&fixture, &mut report)?;
     online::run(&fixture, &mut rng, &mut report)?;
     observability::run(&fixture, &mut rng, &mut report)?;
+    daemon::run(&fixture, &mut rng, &mut report)?;
     Ok(BatteryOutcome {
         scenario: scenario.name,
         instances: config.instances,

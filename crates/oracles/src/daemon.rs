@@ -1,0 +1,313 @@
+//! Daemon oracles: the resident [`DaemonFleet`] streaming-ingest path
+//! diffed against batch recomputes of everything it maintains.
+//!
+//! | oracle | sides | agreement |
+//! |---|---|---|
+//! | `ring_replay_reconstructs_every_window_cell` | arena rows after an ingest stream vs an independent ring-replay model | bit-identical cells |
+//! | `ingest_aggregates_match_batch_recompute` | resident aggregates after ingest vs [`NodeAggregates::compute`] on the materialized windows | bit-identical samples |
+//! | `ingest_peaks_match_batch_recompute` | resident per-node peaks vs the recomputed aggregates' peaks | bit-identical |
+//! | `cached_asynchrony_matches_fused_score` | cached-peak [`DaemonFleet::rack_asynchrony`] vs the fused [`OnlineFleet::rack_asynchrony`] recompute | bit-identical |
+//! | `cached_asynchrony_matches_materialized_score` | cached-peak scores vs [`asynchrony_score`] over materialized member traces | bit-identical |
+//! | `cached_mean_asynchrony_matches_fused` | [`DaemonFleet::mean_rack_asynchrony`] vs the engine's recompute | bit-identical |
+//! | `empty_ingest_is_identity` | root aggregate bits before vs after an empty batch | bit-identical |
+//! | `malformed_batch_rejects_without_mutation` | root aggregate bits around a NaN-bearing batch | rejected + bit-identical |
+//! | `ingest_accounting_is_exact` | per-batch applied/dropped vs the submitted updates and lifetime counters | exact |
+//!
+//! Every identity here is *exact*: ingest settles each touched rack path
+//! with the same canonical refresh every commit runs, so the resident
+//! state after any stream — including ring wrap-around and interleaved
+//! arrival/retirement churn — must match a from-scratch recompute to the
+//! bit. [`check_daemon_state`] is exported so mutation tests can feed
+//! deliberately broken daemons through the same checker the battery runs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use so_core::asynchrony_score;
+use so_core::daemon::{DaemonFleet, SampleUpdate};
+use so_core::online::{CommitPolicy, OnlineConfig, OnlineFleet};
+use so_powertrace::PowerTrace;
+use so_powertree::NodeAggregates;
+
+use crate::{Fixture, OracleError, OracleFamily, OracleReport};
+
+const FAMILY: OracleFamily = OracleFamily::Daemon;
+
+/// Streamed ingest rounds per battery run.
+const ROUNDS: usize = 6;
+
+/// Runs every daemon oracle over the fixture: a [`DaemonFleet`] is
+/// seeded with the fixture fleet, driven through `ROUNDS` randomized
+/// sample batches (watt draws come from `rng`, so distinct battery seeds
+/// exercise distinct streams) interleaved with retirement/arrival churn
+/// and a repair pass, while an independent ring-replay model shadows
+/// every window write. The resident state is then held against batch
+/// recomputes after every round.
+///
+/// # Errors
+///
+/// Returns [`OracleError`] when an oracle cannot be evaluated at all;
+/// failed evaluations are recorded in `report` instead.
+pub fn run(
+    fixture: &Fixture,
+    rng: &mut StdRng,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let traces = fixture.traces();
+    let grid = traces[0].grid();
+    // Generous budgets so the stream commits deeply; the ingest oracles
+    // probe maintenance, not admission (the online family covers that).
+    let cap = traces.iter().map(PowerTrace::peak).sum::<f64>() * 2.0 + 100.0;
+    let config = OnlineConfig {
+        policy: CommitPolicy::BestAsynchrony,
+        repair_budget: 1,
+        min_gain: 0.0,
+        sample_salt: fixture.seed,
+        ..OnlineConfig::default()
+    };
+    let engine = OnlineFleet::new(fixture.topology.clone(), grid, config)
+        .with_budgets(vec![cap; fixture.topology.len()])
+        .map_err(OracleError::Core)?;
+    let mut daemon = DaemonFleet::new(engine);
+
+    // The independent ring-replay model: per-slot window + cursor,
+    // maintained with nothing but slice writes and modular arithmetic.
+    let mut model: Vec<(Vec<f64>, usize)> = Vec::new();
+    for trace in traces {
+        if let Some(slot) = daemon.arrive(trace).map_err(OracleError::Core)? {
+            debug_assert_eq!(slot, model.len());
+            model.push((trace.samples().to_vec(), 0));
+        }
+    }
+
+    let window = daemon.window();
+    for round in 0..ROUNDS {
+        let slot_count = daemon.fleet().slot_count();
+        let batch_len = (slot_count / 2).max(1) + round;
+        let mut updates = Vec::with_capacity(batch_len + 2);
+        for _ in 0..batch_len {
+            updates.push(SampleUpdate {
+                slot: rng.gen_range(0..slot_count),
+                watts: rng.gen_range(0.0..400.0),
+            });
+        }
+        // Two deliberate drops: a never-committed slot and (after the
+        // churn round below) retired slots hit the same skip path.
+        updates.push(SampleUpdate {
+            slot: slot_count + 7,
+            watts: 1.0,
+        });
+        let submitted = updates.len();
+        let outcome = daemon.ingest_batch(&updates).map_err(OracleError::Core)?;
+        let mut expect_applied = 0usize;
+        for update in &updates {
+            if daemon.fleet().rack_of(update.slot).is_some() {
+                let (row, cursor) = &mut model[update.slot];
+                row[*cursor] = update.watts;
+                *cursor = (*cursor + 1) % window;
+                expect_applied += 1;
+            }
+        }
+        report.check(
+            FAMILY,
+            "ingest_accounting_is_exact",
+            outcome.applied == expect_applied && outcome.applied + outcome.dropped == submitted,
+            || {
+                format!(
+                    "round {round}: applied {} dropped {} of {submitted} submitted, expected {expect_applied} applied",
+                    outcome.applied, outcome.dropped
+                )
+            },
+        );
+
+        if round == ROUNDS / 2 {
+            // Interleave churn mid-stream: retire a random live slot,
+            // commit a fresh arrival, run one repair pass. None of it
+            // may disturb the bit-identity of later recomputes.
+            let live = daemon.fleet().live_slots();
+            let victim = live[rng.gen_range(0..live.len())];
+            daemon.retire(victim).map_err(OracleError::Core)?;
+            let fresh = traces[rng.gen_range(0..traces.len())].clone();
+            if let Some(slot) = daemon.arrive(&fresh).map_err(OracleError::Core)? {
+                debug_assert_eq!(slot, model.len());
+                model.push((fresh.samples().to_vec(), 0));
+            }
+            daemon.repair().map_err(OracleError::Core)?;
+        }
+
+        check_ring_replay(&daemon, &model, report);
+        check_daemon_state(&daemon, report)?;
+    }
+
+    empty_ingest_is_identity(&mut daemon, report)?;
+    malformed_batch_rejects(&mut daemon, report)?;
+    counters_cover_lifetime(&daemon, report);
+    Ok(())
+}
+
+/// Every live slot's arena row must equal the ring-replay model's window
+/// bit-for-bit: the daemon's cursor arithmetic and the model's were
+/// written independently, so any indexing bug shows up as a cell diff.
+fn check_ring_replay(daemon: &DaemonFleet, model: &[(Vec<f64>, usize)], report: &mut OracleReport) {
+    for slot in daemon.fleet().live_slots() {
+        let got = daemon.fleet().row(slot);
+        let want = &model[slot].0;
+        report.check(
+            FAMILY,
+            "ring_replay_reconstructs_every_window_cell",
+            got.len() == want.len()
+                && got
+                    .iter()
+                    .zip(want)
+                    .all(|(g, w)| g.to_bits() == w.to_bits()),
+            || format!("slot {slot}: resident window diverges from the ring-replay model"),
+        );
+    }
+}
+
+/// Diffs a daemon's incrementally maintained state against batch
+/// recomputes: aggregates and peaks vs [`NodeAggregates::compute`] of
+/// the materialized windows, cached asynchrony vs both the fused engine
+/// recompute and [`asynchrony_score`] over materialized member traces.
+/// Exported so mutation tests can present deliberately stale daemons to
+/// the same checker the battery runs.
+///
+/// # Errors
+///
+/// Propagates assignment/aggregation errors (the *claimed* side is only
+/// read, never validated).
+pub fn check_daemon_state(
+    daemon: &DaemonFleet,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let engine = daemon.fleet();
+    let (traces, assignment, _) = engine.live_view().map_err(OracleError::Core)?;
+    let offline = if traces.is_empty() {
+        NodeAggregates::zeros(engine.topology(), engine.grid())
+    } else {
+        NodeAggregates::compute(engine.topology(), &assignment, &traces)?
+    };
+    for node in engine.topology().nodes().iter().map(|n| n.id()) {
+        let got = engine.aggregates().trace(node)?.samples();
+        let want = offline.trace(node)?.samples();
+        report.check(
+            FAMILY,
+            "ingest_aggregates_match_batch_recompute",
+            got.len() == want.len()
+                && got
+                    .iter()
+                    .zip(want)
+                    .all(|(g, w)| g.to_bits() == w.to_bits()),
+            || format!("node {node}: resident aggregate drifts from the batch recompute"),
+        );
+        report.check_exact(
+            FAMILY,
+            "ingest_peaks_match_batch_recompute",
+            engine.aggregates().peak(node)?,
+            offline.peak(node)?,
+        );
+    }
+    if !traces.is_empty() {
+        for (rack, members) in assignment.by_rack() {
+            if members.is_empty() {
+                continue;
+            }
+            let cached = daemon.rack_asynchrony(rack).map_err(OracleError::Core)?;
+            let fused = engine.rack_asynchrony(rack).map_err(OracleError::Core)?;
+            let materialized =
+                asynchrony_score(members.iter().map(|&i| &traces[i])).map_err(OracleError::Core)?;
+            report.check_exact(
+                FAMILY,
+                "cached_asynchrony_matches_fused_score",
+                cached,
+                fused,
+            );
+            report.check_exact(
+                FAMILY,
+                "cached_asynchrony_matches_materialized_score",
+                cached,
+                materialized,
+            );
+        }
+        let got_mean = daemon.mean_rack_asynchrony();
+        let want_mean = engine.mean_rack_asynchrony();
+        report.check(
+            FAMILY,
+            "cached_mean_asynchrony_matches_fused",
+            got_mean.map(f64::to_bits) == want_mean.map(f64::to_bits),
+            || format!("cached mean {got_mean:?} vs fused mean {want_mean:?}"),
+        );
+    }
+    Ok(())
+}
+
+/// An empty batch must be a perfect no-op on the resident aggregates.
+fn empty_ingest_is_identity(
+    daemon: &mut DaemonFleet,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let before = root_bits(daemon)?;
+    daemon.ingest_batch(&[]).map_err(OracleError::Core)?;
+    let after = root_bits(daemon)?;
+    report.check(FAMILY, "empty_ingest_is_identity", before == after, || {
+        "an empty ingest batch perturbed the root aggregate".to_string()
+    });
+    Ok(())
+}
+
+/// A batch containing one malformed reading must be rejected whole —
+/// the error surfaces *before* any window write, so no partial state
+/// leaks.
+fn malformed_batch_rejects(
+    daemon: &mut DaemonFleet,
+    report: &mut OracleReport,
+) -> Result<(), OracleError> {
+    let before = root_bits(daemon)?;
+    let ingested = daemon.samples_ingested();
+    let live = daemon.fleet().live_slots();
+    let mut updates: Vec<SampleUpdate> = live
+        .iter()
+        .take(3)
+        .map(|&slot| SampleUpdate { slot, watts: 5.0 })
+        .collect();
+    updates.push(SampleUpdate {
+        slot: live[0],
+        watts: f64::NAN,
+    });
+    let rejected = daemon.ingest_batch(&updates).is_err();
+    let after = root_bits(daemon)?;
+    report.check(
+        FAMILY,
+        "malformed_batch_rejects_without_mutation",
+        rejected && before == after && daemon.samples_ingested() == ingested,
+        || "a NaN-bearing batch was not rejected atomically".to_string(),
+    );
+    Ok(())
+}
+
+/// Lifetime counters must be plain sums of what the battery streamed.
+fn counters_cover_lifetime(daemon: &DaemonFleet, report: &mut OracleReport) {
+    report.check(
+        FAMILY,
+        "ingest_accounting_is_exact",
+        daemon.batches_ingested() >= ROUNDS as u64 && daemon.samples_ingested() > 0,
+        || {
+            format!(
+                "lifetime counters implausible: {} batches, {} samples",
+                daemon.batches_ingested(),
+                daemon.samples_ingested()
+            )
+        },
+    );
+}
+
+fn root_bits(daemon: &DaemonFleet) -> Result<Vec<u64>, OracleError> {
+    let root = daemon.fleet().topology().root();
+    Ok(daemon
+        .fleet()
+        .aggregates()
+        .trace(root)?
+        .samples()
+        .iter()
+        .map(|s| s.to_bits())
+        .collect())
+}

@@ -9,7 +9,7 @@
 //! randomized battery suitable for CI and for the `smoothop check`
 //! subcommand.
 //!
-//! Six oracle families (see `DESIGN.md` §7):
+//! Seven oracle families (see `DESIGN.md` §7):
 //!
 //! * **Invariant** ([`invariant`]) — properties of a single run: score
 //!   bounds `1 ≤ A_M ≤ |M|`, peak-of-sum ≤ sum-of-peaks, remapping never
@@ -41,6 +41,13 @@
 //!   `AlertFired` (with a postmortem dump) per excursion, the cached
 //!   fragmentation path matches the full recompute bit-for-bit, and
 //!   journal compaction keeps the replay oracle sound.
+//! * **Daemon** ([`daemon`]) — the resident [`so_core::daemon::DaemonFleet`]
+//!   ingest path vs batch recomputes: after *any* streamed sample sequence
+//!   (including ring wrap-around and interleaved arrival/retirement churn)
+//!   the incrementally maintained aggregates, window peaks, and cached
+//!   asynchrony scores must be bit-identical to a from-scratch
+//!   [`so_powertree::NodeAggregates::compute`] of the materialized windows,
+//!   and an independent ring-replay model must agree on every window cell.
 //!
 //! Oracle outcomes accumulate in an [`OracleReport`]; each evaluation also
 //! emits the telemetry counters `so_oracle_evaluations_total` and
@@ -70,6 +77,7 @@ use std::fmt;
 
 pub mod arena;
 pub mod battery;
+pub mod daemon;
 pub mod differential;
 pub mod fixture;
 pub mod invariant;
@@ -80,7 +88,7 @@ pub mod online;
 pub use battery::{run_battery, BatteryConfig, BatteryOutcome};
 pub use fixture::{fitting_topology, rotate_trace, Fixture};
 
-/// The six oracle families of the correctness harness.
+/// The seven oracle families of the correctness harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OracleFamily {
     /// Properties that must hold for any single run.
@@ -98,17 +106,21 @@ pub enum OracleFamily {
     /// The live observability plane (flight recorder, alert engine,
     /// journal compaction) must report exactly what the engine did.
     Observability,
+    /// The resident daemon's incremental ring-buffer ingest must be
+    /// bit-identical to batch recomputes of the materialized windows.
+    Daemon,
 }
 
 impl OracleFamily {
     /// All families, in reporting order.
-    pub const ALL: [OracleFamily; 6] = [
+    pub const ALL: [OracleFamily; 7] = [
         OracleFamily::Invariant,
         OracleFamily::Differential,
         OracleFamily::Metamorphic,
         OracleFamily::Arena,
         OracleFamily::Online,
         OracleFamily::Observability,
+        OracleFamily::Daemon,
     ];
 
     /// Stable lower-case label, used for telemetry and reports.
@@ -120,6 +132,7 @@ impl OracleFamily {
             OracleFamily::Arena => "arena",
             OracleFamily::Online => "online",
             OracleFamily::Observability => "observability",
+            OracleFamily::Daemon => "daemon",
         }
     }
 
@@ -131,6 +144,7 @@ impl OracleFamily {
             OracleFamily::Arena => 3,
             OracleFamily::Online => 4,
             OracleFamily::Observability => 5,
+            OracleFamily::Daemon => 6,
         }
     }
 }
@@ -166,7 +180,7 @@ impl fmt::Display for Violation {
 /// the family, so recorded batteries show up in metric snapshots.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OracleReport {
-    evaluations: [u64; 6],
+    evaluations: [u64; 7],
     violations: Vec<Violation>,
 }
 

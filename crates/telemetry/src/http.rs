@@ -3,21 +3,32 @@
 //!
 //! Deliberately minimal — this is a scrape surface, not a web server:
 //! one `std::net::TcpListener`, one service thread, one connection at a
-//! time, HTTP/1.x `GET` only. That is exactly what a Prometheus scraper
-//! or a `curl` in a runbook needs, and it keeps the crate free of
-//! dependencies and the request path free of surprises.
+//! time. That is exactly what a Prometheus scraper or a `curl` in a
+//! runbook needs, and it keeps the crate free of dependencies and the
+//! request path free of surprises.
 //!
-//! Endpoints:
+//! Two layers live here:
+//!
+//! * [`HttpServer`] — the generic listener: parses a request line (plus
+//!   a `Content-Length`-framed body for non-GET methods), hands an
+//!   [`HttpRequest`] to a routing closure, and writes the returned
+//!   [`HttpResponse`]. Resident services (the `smoothop serve` daemon)
+//!   mount their own routes on it.
+//! * [`MetricsServer`] — the scrape surface built on top: routes
+//!   `/metrics`, `/health`, `/alerts`, and `/flight` to a [`LivePlane`]
+//!   via [`route_plane`].
+//!
+//! Endpoints served by [`MetricsServer`]:
 //!
 //! | Path          | Body                                            |
 //! |---------------|-------------------------------------------------|
 //! | `/metrics`    | Prometheus text snapshot of the plane's sink    |
 //! | `/health`     | JSON liveness + headline counters               |
 //! | `/alerts`     | JSON alert engine state (active + journal)      |
-//! | `/flight?n=K` | JSONL of the last `K` flight records (all if no `n`) |
+//! | `/flight?n=K` | JSONL of the last `K` flight records (all if `n` omitted, none for `n=0`) |
 
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,26 +36,143 @@ use std::time::Duration;
 
 use crate::plane::LivePlane;
 
-/// A running metrics listener. Shuts down (blocking until the service
-/// thread exits) on [`shutdown`](MetricsServer::shutdown) or drop.
-#[derive(Debug)]
-pub struct MetricsServer {
+/// The request line must terminate within this many bytes; longer lines
+/// are answered `414 URI Too Long` instead of being parsed truncated.
+const MAX_REQUEST_LINE: usize = 2048;
+/// Header block cap for methods that carry a body.
+const MAX_HEAD: usize = 16 * 1024;
+/// Body cap; larger payloads are answered `413 Payload Too Large`.
+const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One parsed inbound request, as handed to an [`HttpServer`] router.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...), verbatim.
+    pub method: String,
+    /// Target path with the query string stripped (e.g. `/flight`).
+    pub path: String,
+    /// Raw query string without the leading `?` (empty if absent).
+    pub query: String,
+    /// Request body (empty for `GET`).
+    pub body: String,
+}
+
+impl HttpRequest {
+    /// The value of query parameter `key`, if present (first match).
+    /// `Some("")` distinguishes `?n=` from an absent `?n` — both parse,
+    /// the router decides what empty means.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// A response for the listener to serialize: status, content type, body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 400, 404, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` with the given content type.
+    #[must_use]
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn json(body: impl Into<String>) -> Self {
+        Self::ok("application/json", body)
+    }
+
+    /// A plain-text error response with the given status.
+    #[must_use]
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        let mut body = message.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+
+    /// The canonical `404 Not Found`.
+    #[must_use]
+    pub fn not_found() -> Self {
+        Self::error(404, "not found")
+    }
+
+    /// The canonical `405 Method Not Allowed`.
+    #[must_use]
+    pub fn method_not_allowed() -> Self {
+        Self::error(405, "method not allowed")
+    }
+
+    /// The canonical `400 Bad Request` with a reason.
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::error(400, message)
+    }
+}
+
+/// The routing closure an [`HttpServer`] dispatches every request to.
+pub type HttpHandler = dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync;
+
+/// A running dependency-free HTTP listener. One service thread, one
+/// connection at a time, blocking I/O with 2 s read/write timeouts.
+/// Shuts down (blocking until the service thread exits) on
+/// [`shutdown`](HttpServer::shutdown) or drop.
+pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
-impl MetricsServer {
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("stopped", &self.stop.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+impl HttpServer {
     /// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for ephemeral) and
-    /// serves `plane` from a background thread.
-    pub fn spawn(addr: &str, plane: Arc<LivePlane>) -> std::io::Result<Self> {
+    /// serves requests through `handler` from a background thread named
+    /// `thread_name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / thread-spawn failures.
+    pub fn spawn(
+        addr: &str,
+        thread_name: &str,
+        handler: Arc<HttpHandler>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
-            .name("so-metrics-http".to_string())
-            .spawn(move || serve(listener, plane, thread_stop))?;
+            .name(thread_name.to_string())
+            .spawn(move || serve(&listener, &handler, &thread_stop))?;
         Ok(Self {
             addr: local,
             stop,
@@ -53,6 +181,7 @@ impl MetricsServer {
     }
 
     /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
@@ -68,19 +197,107 @@ impl MetricsServer {
         };
         self.stop.store(true, Ordering::Release);
         // The service thread is parked in `accept`; a throwaway
-        // connection wakes it so it can observe the stop flag.
-        let _ = TcpStream::connect(self.addr);
+        // connection wakes it so it can observe the stop flag. Connect
+        // to loopback, not the literal bound address: a wildcard bind
+        // reports `0.0.0.0:<port>` (or `[::]:<port>`), which is not a
+        // connectable destination on every platform — a failed wake
+        // would leave `join` hanging until a real scrape arrives.
+        let _ = TcpStream::connect(wake_addr(self.addr));
         let _ = handle.join();
     }
 }
 
-impl Drop for MetricsServer {
+impl Drop for HttpServer {
     fn drop(&mut self) {
         self.stop_and_join();
     }
 }
 
-fn serve(listener: TcpListener, plane: Arc<LivePlane>, stop: Arc<AtomicBool>) {
+/// The address the shutdown wake-up connection should dial for a
+/// listener bound at `bound`: wildcard addresses (`0.0.0.0`, `[::]`)
+/// map to the same-family loopback on the bound port, concrete
+/// addresses pass through unchanged.
+#[must_use]
+pub fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    let ip = match bound.ip() {
+        IpAddr::V4(v4) if v4.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(v6) if v6.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        other => other,
+    };
+    SocketAddr::new(ip, bound.port())
+}
+
+/// A running metrics listener serving a [`LivePlane`]. Shuts down
+/// (blocking until the service thread exits) on
+/// [`shutdown`](MetricsServer::shutdown) or drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    inner: HttpServer,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for ephemeral) and
+    /// serves `plane` from a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / thread-spawn failures.
+    pub fn spawn(addr: &str, plane: Arc<LivePlane>) -> std::io::Result<Self> {
+        let inner = HttpServer::spawn(
+            addr,
+            "so-metrics-http",
+            Arc::new(move |req| route_plane(&plane, req)),
+        )?;
+        Ok(Self { inner })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr()
+    }
+
+    /// Stops the listener and joins the service thread.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+}
+
+/// Routes one request against a [`LivePlane`]: the four scrape
+/// endpoints, `405` for non-GET methods, `404` otherwise. Exported so
+/// resident services can mount the scrape surface alongside their own
+/// routes on a single [`HttpServer`].
+#[must_use]
+pub fn route_plane(plane: &LivePlane, req: &HttpRequest) -> HttpResponse {
+    if req.method != "GET" {
+        return HttpResponse::method_not_allowed();
+    }
+    match req.path.as_str() {
+        "/metrics" => HttpResponse::ok(
+            "text/plain; version=0.0.4; charset=utf-8",
+            plane.metrics_text(),
+        ),
+        "/health" => HttpResponse::json(plane.health_json()),
+        "/alerts" => HttpResponse::json(plane.alerts_json()),
+        "/flight" => route_flight(plane, req),
+        _ => HttpResponse::not_found(),
+    }
+}
+
+/// `/flight` query semantics: `n` omitted → all held records, explicit
+/// `n=0` → zero records, `n=K` → the last `K`, malformed `n` → `400`.
+fn route_flight(plane: &LivePlane, req: &HttpRequest) -> HttpResponse {
+    match req.query_param("n") {
+        None => HttpResponse::ok("application/x-ndjson", plane.flight_jsonl(0)),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(0) => HttpResponse::ok("application/x-ndjson", String::new()),
+            Ok(k) => HttpResponse::ok("application/x-ndjson", plane.flight_jsonl(k)),
+            Err(_) => HttpResponse::bad_request(format!("malformed flight count n={raw:?}")),
+        },
+    }
+}
+
+fn serve(listener: &TcpListener, handler: &Arc<HttpHandler>, stop: &Arc<AtomicBool>) {
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             break;
@@ -89,88 +306,181 @@ fn serve(listener: TcpListener, plane: Arc<LivePlane>, stop: Arc<AtomicBool>) {
         // A wedged client must not wedge the scrape surface.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = handle_connection(stream, &plane);
+        let _ = handle_connection(stream, handler);
     }
 }
 
-fn handle_connection(mut stream: TcpStream, plane: &LivePlane) -> std::io::Result<()> {
-    let mut buf = [0u8; 2048];
-    let mut read = 0;
-    // Read until the request line is complete (ends with \r\n). Headers
-    // beyond the first line are irrelevant and may still be in flight.
-    while read < buf.len() {
-        let n = stream.read(&mut buf[read..])?;
-        if n == 0 {
-            break;
+/// Outcome of reading enough of the request to route it.
+enum ReadOutcome {
+    Request(HttpRequest),
+    /// Protocol-level rejection decided before routing (414, 413, 400).
+    Reject(HttpResponse),
+    /// Peer vanished before sending a complete request line.
+    Closed,
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &Arc<HttpHandler>) -> std::io::Result<()> {
+    let response = match read_request(&mut stream)? {
+        ReadOutcome::Request(req) => handler(&req),
+        ReadOutcome::Reject(resp) => {
+            // The peer may still be mid-send (that is usually why the
+            // request was rejected). Closing with unread inbound data
+            // turns into an RST that can destroy the response before
+            // the client reads it; drain a bounded amount first so the
+            // close is a clean FIN.
+            drain_excess(&mut stream);
+            resp
         }
-        read += n;
-        if buf[..read].windows(2).any(|w| w == b"\r\n") {
-            break;
-        }
-    }
-    let request = String::from_utf8_lossy(&buf[..read]);
-    let Some(line) = request.lines().next() else {
-        return Ok(());
+        ReadOutcome::Closed => return Ok(()),
     };
+    respond(&mut stream, &response)
+}
+
+fn read_request(stream: &mut TcpStream) -> std::io::Result<ReadOutcome> {
+    let mut buf = Vec::with_capacity(MAX_REQUEST_LINE);
+    // Read until the request line is complete (ends with \r\n). A line
+    // that has not terminated within MAX_REQUEST_LINE bytes would
+    // previously be parsed truncated and mis-routed to 404; reject it
+    // explicitly instead.
+    let line_end = loop {
+        if let Some(pos) = find_crlf(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_REQUEST_LINE {
+            return Ok(ReadOutcome::Reject(HttpResponse::error(
+                414,
+                "request line too long",
+            )));
+        }
+        if read_chunk(stream, &mut buf)? == 0 {
+            if buf.is_empty() {
+                return Ok(ReadOutcome::Closed);
+            }
+            break buf.len();
+        }
+    };
+    let line = String::from_utf8_lossy(&buf[..line_end]).into_owned();
     let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let target = parts.next().unwrap_or("");
-    if method != "GET" {
-        return respond(
-            &mut stream,
-            405,
-            "text/plain; charset=utf-8",
-            "method not allowed\n",
-        );
-    }
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
     let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
     };
-    match path {
-        "/metrics" => respond(
-            &mut stream,
-            200,
-            "text/plain; version=0.0.4; charset=utf-8",
-            &plane.metrics_text(),
-        ),
-        "/health" => respond(&mut stream, 200, "application/json", &plane.health_json()),
-        "/alerts" => respond(&mut stream, 200, "application/json", &plane.alerts_json()),
-        "/flight" => {
-            let n = query
-                .split('&')
-                .find_map(|pair| pair.strip_prefix("n="))
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(0);
-            respond(
-                &mut stream,
-                200,
-                "application/x-ndjson",
-                &plane.flight_jsonl(n),
-            )
+    // GET carries no body: respond as soon as the request line is in,
+    // exactly as a scrape client expects. Other methods are framed by
+    // Content-Length, so the full head plus body must be read first.
+    let body = if method == "GET" {
+        String::new()
+    } else {
+        match read_body(stream, &mut buf)? {
+            Ok(body) => body,
+            Err(reject) => return Ok(ReadOutcome::Reject(reject)),
         }
-        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    };
+    Ok(ReadOutcome::Request(HttpRequest {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+/// Reads the rest of the header block and the `Content-Length`-framed
+/// body. Returns `Err(response)` for protocol rejections.
+fn read_body(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Result<String, HttpResponse>> {
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD {
+            return Ok(Err(HttpResponse::error(431, "header block too large")));
+        }
+        if read_chunk(stream, buf)? == 0 {
+            return Ok(Err(HttpResponse::bad_request("truncated request head")));
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    // Absent Content-Length means an empty body; a present but
+    // unparseable one is a protocol error.
+    let content_length = match head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().parse::<usize>())
+    }) {
+        None => 0,
+        Some(Ok(length)) => length,
+        Some(Err(_)) => {
+            return Ok(Err(HttpResponse::bad_request("malformed content-length")));
+        }
+    };
+    if content_length > MAX_BODY {
+        return Ok(Err(HttpResponse::error(413, "payload too large")));
+    }
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        if read_chunk(stream, buf)? == 0 {
+            return Ok(Err(HttpResponse::bad_request("truncated request body")));
+        }
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+    Ok(Ok(body))
+}
+
+/// Discards whatever the peer has already sent, bounded in both bytes
+/// (256 KiB) and time (250 ms), so rejects close cleanly.
+fn drain_excess(stream: &mut TcpStream) {
+    const DRAIN_CAP: usize = 256 * 1024;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut chunk = [0u8; 2048];
+    let mut drained = 0;
+    while drained < DRAIN_CAP {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
     }
 }
 
-fn respond(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let reason = match status {
+fn read_chunk(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+    let mut chunk = [0u8; 2048];
+    let n = stream.read(&mut chunk)?;
+    buf.extend_from_slice(&chunk[..n]);
+    Ok(n)
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn respond(stream: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+    let reason = match response.status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         _ => "Error",
     };
     let header = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.content_type,
+        response.body.len()
     );
     stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }
 
@@ -191,8 +501,7 @@ mod tests {
         (head.to_string(), body.to_string())
     }
 
-    #[test]
-    fn serves_all_four_endpoints() {
+    fn test_plane() -> Arc<LivePlane> {
         let sink = Arc::new(RecordingSink::with_virtual_clock());
         sink.gauge_set("so_test_gauge", &[], 4.0);
         let plane = Arc::new(LivePlane::new(
@@ -201,6 +510,12 @@ mod tests {
             vec![AlertRule::above("hot", "t", 1.0, 0.5, 1)],
         ));
         plane.evaluate_alerts(&[("t", 2.0)]);
+        plane
+    }
+
+    #[test]
+    fn serves_all_four_endpoints() {
+        let plane = test_plane();
         let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&plane)).unwrap();
         let addr = server.addr();
 
@@ -221,6 +536,204 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn flight_count_semantics_cover_omitted_zero_and_malformed() {
+        let plane = test_plane();
+        // Two more alert evaluations so the ring holds several records.
+        plane.evaluate_alerts(&[("t", 0.0)]);
+        plane.evaluate_alerts(&[("t", 2.0)]);
+        let held = plane.flight_jsonl(0).lines().count();
+        assert!(held >= 2, "fixture should hold >= 2 records, got {held}");
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&plane)).unwrap();
+        let addr = server.addr();
+
+        // Omitted n: every held record.
+        let (head, body) = get(addr, "/flight");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body.lines().count(), held);
+
+        // Explicit n=0: zero records, still 200.
+        let (head, body) = get(addr, "/flight?n=0");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "");
+
+        // Malformed n: 400, not a full dump.
+        for target in [
+            "/flight?n=zzz",
+            "/flight?n=",
+            "/flight?n=-1",
+            "/flight?n=1x",
+        ] {
+            let (head, body) = get(addr, target);
+            assert!(
+                head.starts_with("HTTP/1.1 400"),
+                "{target} should be rejected: {head}"
+            );
+            assert!(body.contains("malformed"), "{target}: {body}");
+        }
+
+        // Bounded n still works and other params are ignored.
+        let (head, body) = get(addr, "/flight?pretty=1&n=1");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body.lines().count(), 1);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_gets_414_not_a_truncated_route() {
+        let plane = test_plane();
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&plane)).unwrap();
+        let addr = server.addr();
+
+        // A /metrics prefix plus a huge query: the pre-fix code would
+        // truncate at the buffer boundary and route the mangled target.
+        let long_target = format!("/metrics?pad={}", "x".repeat(3 * MAX_REQUEST_LINE));
+        let (head, _) = get(addr, &long_target);
+        assert!(head.starts_with("HTTP/1.1 414"), "{head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected_with_405() {
+        let plane = test_plane();
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&plane)).unwrap();
+        let addr = server.addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\nhi")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn wake_addr_maps_wildcards_to_loopback() {
+        let cases = [
+            ("0.0.0.0:9184", "127.0.0.1:9184"),
+            ("[::]:9184", "[::1]:9184"),
+            ("127.0.0.1:9184", "127.0.0.1:9184"),
+            ("192.0.2.7:80", "192.0.2.7:80"),
+        ];
+        for (bound, expect) in cases {
+            let bound: SocketAddr = bound.parse().unwrap();
+            let expect: SocketAddr = expect.parse().unwrap();
+            assert_eq!(wake_addr(bound), expect, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn wildcard_bind_shuts_down_without_traffic() {
+        let plane = test_plane();
+        let server = MetricsServer::spawn("0.0.0.0:0", Arc::clone(&plane)).unwrap();
+        assert!(server.addr().ip().is_unspecified());
+        // Must return promptly with no scrape ever arriving: the wake
+        // connection has to reach the listener through loopback.
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown hung for {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn slow_client_hits_read_timeout_without_wedging_the_server() {
+        let plane = test_plane();
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&plane)).unwrap();
+        let addr = server.addr();
+
+        // A client that connects and sends only half a request line,
+        // then stalls. The 2 s read timeout must reclaim the service
+        // thread so later scrapes still succeed.
+        let mut wedged = TcpStream::connect(addr).unwrap();
+        wedged.write_all(b"GET /met").unwrap();
+
+        let (head, _) = get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        drop(wedged);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_survive_shutdown() {
+        let plane = test_plane();
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&plane)).unwrap();
+        let addr = server.addr();
+
+        // Scrapers race the shutdown: every connection must either get
+        // a well-formed response or a clean connection error — never a
+        // hang past the read timeout.
+        let scrapers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        let Ok(mut stream) = TcpStream::connect(addr) else {
+                            return;
+                        };
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                        if stream
+                            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                            .is_err()
+                        {
+                            return;
+                        }
+                        let mut response = String::new();
+                        if stream.read_to_string(&mut response).is_err() {
+                            return;
+                        }
+                        if !response.is_empty() {
+                            assert!(response.starts_with("HTTP/1.1 "), "{response}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        server.shutdown();
+        for scraper in scrapers {
+            scraper.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn generic_server_routes_post_bodies() {
+        let handler: Arc<HttpHandler> = Arc::new(|req| {
+            if req.method == "POST" && req.path == "/echo" {
+                HttpResponse::ok("text/plain; charset=utf-8", req.body.clone())
+            } else {
+                HttpResponse::not_found()
+            }
+        });
+        let server = HttpServer::spawn("127.0.0.1:0", "so-test-http", handler).unwrap();
+        let addr = server.addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let body = "slot 3 120.5\nslot 4 80.25\n";
+        stream
+            .write_all(
+                format!(
+                    "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, got) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(got, body);
 
         server.shutdown();
     }

@@ -72,7 +72,9 @@ pub use alerts::{
 };
 pub use clock::TelemetryClock;
 pub use flight::{FlightKind, FlightRecord, FlightRecorder};
-pub use http::MetricsServer;
+pub use http::{
+    route_plane, wake_addr, HttpHandler, HttpRequest, HttpResponse, HttpServer, MetricsServer,
+};
 pub use plane::{FlightDump, LivePlane};
 pub use registry::{Histogram, MetricKey, MetricsRegistry, BUCKET_BOUNDS};
 pub use report::render_report;

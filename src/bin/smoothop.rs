@@ -43,7 +43,8 @@ fn main() -> ExitCode {
         || flags.trace_out.is_some()
         || flags.listen.is_some()
         || command == Some("report")
-        || command == Some("watch");
+        || command == Some("watch")
+        || command == Some("serve");
     let sink = if wants_sink {
         let sink = Arc::new(RecordingSink::with_wall_clock());
         so_telemetry::install(sink.clone());
@@ -65,6 +66,8 @@ fn main() -> ExitCode {
         Some("scale") => scale_cmd(&flags),
         Some("online") => online_cmd(&flags, sink.as_ref()),
         Some("watch") => watch_cmd(&flags, sink.as_ref()),
+        Some("serve") => serve_cmd(&flags, sink.as_ref()),
+        Some("daemon") => daemon_cmd(&flags),
         Some("report") => with_scenario(&args, |scenario, n| {
             report_cmd(
                 scenario,
@@ -125,7 +128,7 @@ fn print_usage() {
     println!("                                    printed as a telemetry summary");
     println!("  smoothop check     [n]            seeded correctness-oracle battery (invariant,");
     println!("                                    differential, metamorphic, arena, online,");
-    println!("                                    observability); n defaults to 1000");
+    println!("                                    observability, daemon); n defaults to 1000");
     println!("  smoothop scale                    columnar scale ladder; writes BENCH_scale.json");
     println!("  smoothop online                   online arrival/departure rung: streams batches");
     println!("                                    through the resident engine and compares the");
@@ -135,6 +138,18 @@ fn print_usage() {
     println!("                                    through the online engine and emits per-batch");
     println!("                                    JSONL heartbeats, alert transitions, and");
     println!("                                    flight-recorder dumps");
+    println!(
+        "  smoothop serve                    smoothopd: resident placement daemon — streaming"
+    );
+    println!("                                    sample ingest into per-instance ring buffers,");
+    println!("                                    live headroom/asynchrony/what-if queries, and");
+    println!("                                    a background repair loop, over one HTTP port");
+    println!(
+        "  smoothop daemon                   daemon load rung: streams sample batches through"
+    );
+    println!("                                    the in-process ingest path and writes");
+    println!("                                    BENCH_daemon.json with throughput + latency");
+    println!("                                    quantiles");
     println!();
     println!("  <dc> ∈ {{dc1, dc2, dc3}}; n = fleet size, default 240");
     println!();
@@ -165,7 +180,15 @@ fn print_usage() {
     println!("                        `online` (default 8; 0 disables repair)");
     println!("  --threads <n>         thread-lane budget for the parallel kernels");
     println!("  --listen <addr>       serve /metrics /health /alerts /flight?n=K over HTTP");
-    println!("                        while `online` or `watch` runs (e.g. 127.0.0.1:9184)");
+    println!("                        while `online` or `watch` runs (e.g. 127.0.0.1:9184);");
+    println!("                        for `serve` this is the daemon's port (default");
+    println!("                        127.0.0.1:0, an ephemeral port announced on stdout)");
+    println!("  --repair-interval-ms <n>  `serve` only: run one budgeted repair pass every");
+    println!("                        n milliseconds in the background (0, the default,");
+    println!("                        repairs only on explicit POST /repair)");
+    println!("  --ttl-ms <n>          `serve` only: auto-shutdown after n milliseconds");
+    println!("                        (safety net for CI smoke jobs; default: run until");
+    println!("                        POST /shutdown)");
     println!("  --watch-out <path>    buffer the `watch` JSONL stream to a file instead of");
     println!("                        stdout (for CI smoke runs)");
     println!("  --flight-out <path>   dump the full flight-recorder ring as JSONL on exit");
@@ -490,6 +513,141 @@ fn watch_cmd(flags: &CliFlags, sink: Option<&Arc<RecordingSink>>) -> CliResult {
     Ok(())
 }
 
+/// `smoothop serve [--listen addr] [--instances n] [--seed s]
+/// [--probes p] [--repair b] [--repair-interval-ms n] [--ttl-ms n]`:
+/// run the resident placement daemon until `POST /shutdown` (or the
+/// TTL), serving ingest, queries, and the scrape surface on one port.
+fn serve_cmd(flags: &CliFlags, sink: Option<&Arc<RecordingSink>>) -> CliResult {
+    use smoothoperator::serve::{run_serve, ServeConfig};
+
+    let mut config = ServeConfig::default();
+    if let Some(addr) = &flags.listen {
+        config.listen = addr.clone();
+    }
+    if let Some(seed) = flags.seed {
+        config.seed = seed;
+    }
+    if let Some(raw) = &flags.instances {
+        // Serve hosts one resident fleet, not a ladder: take the first.
+        let first = raw.split(',').next().unwrap_or(raw).trim();
+        config.instances = first
+            .parse()
+            .map_err(|_| format!("instance count `{first}` is not a number"))?;
+    }
+    if let Some(probes) = flags.probes {
+        config.sample_probes = probes;
+    }
+    if let Some(repair) = flags.repair {
+        config.repair_budget = repair;
+    }
+    if let Some(interval) = flags.repair_interval_ms {
+        config.repair_interval_ms = interval;
+    }
+    config.ttl_ms = flags.ttl_ms;
+
+    let sink = sink
+        .cloned()
+        .unwrap_or_else(|| Arc::new(RecordingSink::with_wall_clock()));
+    let plane = Arc::new(so_telemetry::LivePlane::new(
+        sink,
+        flags.flight_capacity.unwrap_or(4_096),
+        so_telemetry::default_online_rules(),
+    ));
+    eprintln!(
+        "smoothopd — {} instances resident, window {}, repair budget {} every {}ms, seed {}",
+        config.instances,
+        config.samples_per_trace,
+        config.repair_budget,
+        config.repair_interval_ms,
+        config.seed,
+    );
+    // The announce line goes to stdout so scripts can parse the bound
+    // (possibly ephemeral) address without scraping stderr.
+    let outcome = run_serve(&config, plane.clone(), |line| println!("{line}"))?;
+    write_flight(flags, Some(&plane))?;
+    eprintln!(
+        "smoothopd done — {} batches / {} samples ingested ({} dropped), {} live, {} committed, {} rejected, {} retired, {} repair pass(es)",
+        outcome.batches_ingested,
+        outcome.samples_ingested,
+        outcome.samples_dropped,
+        outcome.live_instances,
+        outcome.committed,
+        outcome.rejected,
+        outcome.retired,
+        outcome.repair_passes,
+    );
+    Ok(())
+}
+
+/// `smoothop daemon [--instances n1,n2,...] [--seed s] [--out path]`:
+/// run the daemon ingest load rung and write `BENCH_daemon.json`.
+fn daemon_cmd(flags: &CliFlags) -> CliResult {
+    use smoothoperator::serve::{run_daemon_scale, DaemonScaleConfig};
+
+    let mut config = DaemonScaleConfig::default();
+    if let Some(seed) = flags.seed {
+        config.seed = seed;
+    }
+    if let Some(raw) = &flags.instances {
+        config.instances = raw
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("instance count `{part}` is not a number"))
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+    }
+    if let Some(sweeps) = flags.batches {
+        // The daemon rung's unit of work is one full fleet sweep.
+        config.sweeps = sweeps;
+    }
+    if let Some(probes) = flags.probes {
+        config.sample_probes = probes;
+    }
+    if let Some(repair) = flags.repair {
+        config.repair_budget = repair;
+    }
+    let path = flags.out.as_deref().unwrap_or("BENCH_daemon.json");
+
+    println!(
+        "daemon rung — {} points, {} sweeps of {}-slot batches, {} samples/window, seed {}, {} thread lane(s)",
+        config.instances.len(),
+        config.sweeps,
+        config.batch_slots,
+        config.samples_per_trace,
+        config.seed,
+        so_parallel::effective_lanes(),
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>9} {:>9} {:>10}",
+        "instances", "seed", "ingest", "query", "repair", "samples/s", "p50 µs", "p99 µs", "rss"
+    );
+    let report = run_daemon_scale(&config)?;
+    for p in &report.points {
+        let rss = match p.peak_rss_bytes {
+            Some(bytes) => format!("{}MB", bytes / (1024 * 1024)),
+            None => "n/a".to_string(),
+        };
+        println!(
+            "{:>10} {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>12.0} {:>9.1} {:>9.1} {:>10}",
+            p.instances,
+            p.seed_ms,
+            p.ingest_ms,
+            p.query_ms,
+            p.repair_ms,
+            p.rows_per_sec,
+            p.ingest_p50_us,
+            p.ingest_p99_us,
+            rss,
+        );
+    }
+    let json = report.to_json();
+    std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("wrote {path} ({} bytes)", json.len());
+    Ok(())
+}
+
 /// Writes the plane's full flight ring as JSONL when `--flight-out` was
 /// requested.
 fn write_flight(flags: &CliFlags, plane: Option<&Arc<so_telemetry::LivePlane>>) -> CliResult {
@@ -549,6 +707,8 @@ struct CliFlags {
     flight_capacity: Option<usize>,
     journal_cap: Option<usize>,
     plant_violation: bool,
+    repair_interval_ms: Option<u64>,
+    ttl_ms: Option<u64>,
 }
 
 /// Extracts `--faults`, `--metrics-out`, and `--trace-out` (in both
@@ -574,6 +734,8 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
         flight_capacity: None,
         journal_cap: None,
         plant_violation: false,
+        repair_interval_ms: None,
+        ttl_ms: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -653,6 +815,16 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
             flags.journal_cap = Some(cap);
         } else if arg == "--plant-violation" {
             flags.plant_violation = true;
+        } else if let Some(raw) = value_of("--repair-interval-ms", &arg, &mut iter)? {
+            let interval: u64 = raw
+                .parse()
+                .map_err(|_| format!("repair interval `{raw}` is not a number"))?;
+            flags.repair_interval_ms = Some(interval);
+        } else if let Some(raw) = value_of("--ttl-ms", &arg, &mut iter)? {
+            let ttl: u64 = raw
+                .parse()
+                .map_err(|_| format!("ttl `{raw}` is not a number"))?;
+            flags.ttl_ms = Some(ttl);
         } else if let Some(raw) = value_of("--threads", &arg, &mut iter)? {
             let lanes: usize = raw
                 .parse()

@@ -103,6 +103,11 @@ pub mod scale;
 /// online engine's flight recorder, alert engine, and scrape surface.
 pub mod watch;
 
+/// `smoothopd`: the resident placement daemon behind `smoothop serve` —
+/// streaming ring-buffer ingest, live queries, background repair — and
+/// the `BENCH_daemon.json` load rung.
+pub mod serve;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use so_baselines::{
@@ -118,6 +123,10 @@ pub mod prelude {
     pub use crate::scale::{
         run_online_scale, run_scale, OnlineScaleConfig, OnlineScalePoint, OnlineScaleReport,
         QuantileMode, ScaleConfig, ScaleReport,
+    };
+    pub use crate::serve::{
+        run_daemon_scale, run_serve, DaemonScaleConfig, DaemonScaleReport, ServeConfig,
+        ServeOutcome,
     };
     pub use so_powertrace::{PowerTrace, SlackProfile, TimeGrid};
     pub use so_powertree::{

@@ -970,7 +970,7 @@ fn unit(h: u64) -> f64 {
 
 /// Order-fixed digest of the phase outputs; summing in a documented order
 /// keeps it bit-stable for the golden test.
-fn fold_digest(parts: &[f64]) -> f64 {
+pub(crate) fn fold_digest(parts: &[f64]) -> f64 {
     let mut acc = 0.0f64;
     for &p in parts {
         acc += p;
