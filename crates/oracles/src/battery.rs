@@ -1,4 +1,4 @@
-//! The seeded randomized battery: one fixture, all seven oracle families.
+//! The seeded randomized battery: one fixture, all eight oracle families.
 //!
 //! The battery is fully deterministic in `(seed, instances)` — the seed
 //! selects the scenario preset, perturbs fleet generation, and drives
@@ -10,7 +10,7 @@ use rand::SeedableRng;
 use so_workloads::DcScenario;
 
 use crate::{
-    arena, daemon, differential, invariant, metamorphic, observability, online, Fixture,
+    arena, daemon, differential, invariant, metamorphic, observability, online, plan, Fixture,
     OracleError, OracleReport,
 };
 
@@ -48,7 +48,7 @@ pub struct BatteryOutcome {
 
 /// Runs the full oracle battery: builds the seeded fixture, then the
 /// invariant, differential, metamorphic, arena, online, observability,
-/// and daemon families in that order.
+/// daemon, and plan families in that order.
 ///
 /// # Errors
 ///
@@ -70,6 +70,7 @@ pub fn run_battery(config: &BatteryConfig) -> Result<BatteryOutcome, OracleError
     online::run(&fixture, &mut rng, &mut report)?;
     observability::run(&fixture, &mut rng, &mut report)?;
     daemon::run(&fixture, &mut rng, &mut report)?;
+    plan::run(&fixture, &mut report)?;
     Ok(BatteryOutcome {
         scenario: scenario.name,
         instances: config.instances,

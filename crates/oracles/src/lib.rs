@@ -9,7 +9,7 @@
 //! randomized battery suitable for CI and for the `smoothop check`
 //! subcommand.
 //!
-//! Seven oracle families (see `DESIGN.md` §7):
+//! Eight oracle families (see `DESIGN.md` §7):
 //!
 //! * **Invariant** ([`invariant`]) — properties of a single run: score
 //!   bounds `1 ≤ A_M ≤ |M|`, peak-of-sum ≤ sum-of-peaks, remapping never
@@ -48,6 +48,12 @@
 //!   asynchrony scores must be bit-identical to a from-scratch
 //!   [`so_powertree::NodeAggregates::compute`] of the materialized windows,
 //!   and an independent ring-replay model must agree on every window cell.
+//! * **Plan** ([`plan`]) — the capacity-planning sweep's laws: requirement
+//!   series are monotone in rack count, peak-of-sum ≤ sum-of-peaks at every
+//!   sweep point (so SmoothOperator never fits fewer racks than StatProf),
+//!   racks-fit is monotone non-decreasing in the overbooking allowance δ
+//!   and non-increasing under a burstiness-raising trace transform, and a
+//!   planned-then-simulated fleet never exceeds the overbooked budget.
 //!
 //! Oracle outcomes accumulate in an [`OracleReport`]; each evaluation also
 //! emits the telemetry counters `so_oracle_evaluations_total` and
@@ -84,11 +90,12 @@ pub mod invariant;
 pub mod metamorphic;
 pub mod observability;
 pub mod online;
+pub mod plan;
 
 pub use battery::{run_battery, BatteryConfig, BatteryOutcome};
 pub use fixture::{fitting_topology, rotate_trace, Fixture};
 
-/// The seven oracle families of the correctness harness.
+/// The eight oracle families of the correctness harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OracleFamily {
     /// Properties that must hold for any single run.
@@ -109,11 +116,15 @@ pub enum OracleFamily {
     /// The resident daemon's incremental ring-buffer ingest must be
     /// bit-identical to batch recomputes of the materialized windows.
     Daemon,
+    /// The capacity-planning sweep must obey its monotonicity and
+    /// budget-safety laws (SmoothOperator racks-fit ≥ StatProf racks-fit,
+    /// δ-monotonicity, planned fleets stay within the overbooked cap).
+    Plan,
 }
 
 impl OracleFamily {
     /// All families, in reporting order.
-    pub const ALL: [OracleFamily; 7] = [
+    pub const ALL: [OracleFamily; 8] = [
         OracleFamily::Invariant,
         OracleFamily::Differential,
         OracleFamily::Metamorphic,
@@ -121,6 +132,7 @@ impl OracleFamily {
         OracleFamily::Online,
         OracleFamily::Observability,
         OracleFamily::Daemon,
+        OracleFamily::Plan,
     ];
 
     /// Stable lower-case label, used for telemetry and reports.
@@ -133,6 +145,7 @@ impl OracleFamily {
             OracleFamily::Online => "online",
             OracleFamily::Observability => "observability",
             OracleFamily::Daemon => "daemon",
+            OracleFamily::Plan => "plan",
         }
     }
 
@@ -145,6 +158,7 @@ impl OracleFamily {
             OracleFamily::Online => 4,
             OracleFamily::Observability => 5,
             OracleFamily::Daemon => 6,
+            OracleFamily::Plan => 7,
         }
     }
 }
@@ -180,7 +194,7 @@ impl fmt::Display for Violation {
 /// the family, so recorded batteries show up in metric snapshots.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OracleReport {
-    evaluations: [u64; 7],
+    evaluations: [u64; 8],
     violations: Vec<Violation>,
 }
 

@@ -1,0 +1,335 @@
+//! Plan oracles: the capacity-planning sweep's laws, checked on real
+//! fixture traces.
+//!
+//! `smoothop plan` answers "how many additional racks of workload `W`
+//! fit under this MSB at overbooking allowance δ?" for two provisioning
+//! schemes — StatProf (sum of per-instance peaks) and SmoothOperator
+//! (peak of the aggregate sum). This family rebuilds a miniature sweep
+//! from a fixture's traces (base fleet = first half, candidate racks =
+//! chunks of the rest) and pins the laws every correct sweep must obey:
+//!
+//! * both requirement series are monotone non-decreasing in rack count
+//!   (racks only ever add non-negative power);
+//! * peak-of-sum ≤ sum-of-peaks at every sweep point, hence
+//!   SmoothOperator racks-fit ≥ StatProf racks-fit *for any budget*;
+//! * racks-fit is monotone non-decreasing in δ;
+//! * a planned-then-simulated fleet — independently re-summed from the
+//!   raw traces — never exceeds the overbooked cap `budget · (1 + δ)`;
+//! * raising every candidate trace's burstiness pointwise
+//!   (`r′(t) = 2·r(t) − min r`, which lifts peak-to-mean while keeping
+//!   `r′ ≥ r`) never lets *more* racks fit;
+//! * the fit extraction itself obeys its boundary laws: the fitted
+//!   count's requirement is within the cap (≤, inclusive at equality)
+//!   and the next rack's requirement exceeds it — the off-by-one the
+//!   mutation suite plants.
+
+use so_powertrace::PowerTrace;
+
+use crate::{Fixture, OracleError, OracleFamily, OracleReport};
+
+/// Overbooking allowances the family sweeps, strictly ascending.
+pub const PLAN_DELTAS: [f64; 3] = [0.0, 0.05, 0.10];
+
+/// Budget headroom over the base fleet's sum-of-peaks used by the
+/// fixture sweep (mirrors the CLI default, but any budget satisfies the
+/// laws checked here).
+const HEADROOM: f64 = 0.10;
+
+/// Independent restatement of the racks-fit extraction: the number of
+/// leading sweep points whose requirement stays within
+/// `budget · (1 + delta)`. Equality at the cap counts as fitting.
+pub fn reference_racks_fit(required: &[f64], budget: f64, delta: f64) -> usize {
+    let cap = budget * (1.0 + delta);
+    required.iter().take_while(|&&req| req <= cap).count()
+}
+
+/// Checks a racks-fit implementation against the reference and the
+/// boundary laws, one δ at a time plus δ-monotonicity across the set.
+///
+/// `fit_fn` is the implementation under test (the production
+/// `racks_fit_from_series`, or a deliberately broken closure in the
+/// mutation suite). `required` must be monotone non-decreasing — which
+/// every real sweep series is — for the "next rack exceeds" law to be
+/// meaningful.
+pub fn check_sweep_fit<F>(
+    fit_fn: &F,
+    required: &[f64],
+    budget: f64,
+    deltas: &[f64],
+    report: &mut OracleReport,
+) where
+    F: Fn(&[f64], f64, f64) -> usize,
+{
+    let mut previous_fit = None;
+    for &delta in deltas {
+        let cap = budget * (1.0 + delta);
+        let fit = fit_fn(required, budget, delta);
+        report.check(
+            OracleFamily::Plan,
+            "racks_fit_within_sweep_depth",
+            fit <= required.len(),
+            || format!("fit {fit} exceeds sweep depth {}", required.len()),
+        );
+        report.check(
+            OracleFamily::Plan,
+            "racks_fit_matches_reference",
+            fit == reference_racks_fit(required, budget, delta),
+            || {
+                format!(
+                    "fit {fit} vs reference {} at δ {delta}",
+                    reference_racks_fit(required, budget, delta)
+                )
+            },
+        );
+        if fit > 0 && fit <= required.len() {
+            report.check(
+                OracleFamily::Plan,
+                "fitted_requirement_within_cap",
+                required[fit - 1] <= cap,
+                || {
+                    format!(
+                        "requirement {} of fitted rack {fit} exceeds cap {cap} at δ {delta}",
+                        required[fit - 1]
+                    )
+                },
+            );
+        }
+        if fit < required.len() {
+            report.check(
+                OracleFamily::Plan,
+                "next_rack_exceeds_cap",
+                required[fit] > cap,
+                || {
+                    format!(
+                        "rack {} (requirement {}) still fits cap {cap} at δ {delta} — \
+                         off-by-one in the sweep loop",
+                        fit + 1,
+                        required[fit]
+                    )
+                },
+            );
+        }
+        if let Some(prev) = previous_fit {
+            report.check(
+                OracleFamily::Plan,
+                "racks_fit_monotone_in_delta",
+                fit >= prev,
+                || format!("fit dropped from {prev} to {fit} as δ rose to {delta}"),
+            );
+        }
+        previous_fit = Some(fit);
+    }
+}
+
+/// Builds both requirement series for `base` plus `racks` appended in
+/// order: (statprof = cumulative sum-of-peaks, smoop = cumulative
+/// peak-of-sum).
+fn requirement_series(base: &[&PowerTrace], racks: &[Vec<&PowerTrace>]) -> (Vec<f64>, Vec<f64>) {
+    let samples = base[0].samples().len();
+    let mut running = vec![0.0f64; samples];
+    let mut sum_of_peaks = 0.0f64;
+    for trace in base {
+        for (acc, &v) in running.iter_mut().zip(trace.samples()) {
+            *acc += v;
+        }
+        sum_of_peaks += trace.peak();
+    }
+    let mut statprof = Vec::with_capacity(racks.len());
+    let mut smoop = Vec::with_capacity(racks.len());
+    for rack in racks {
+        for trace in rack {
+            for (acc, &v) in running.iter_mut().zip(trace.samples()) {
+                *acc += v;
+            }
+            sum_of_peaks += trace.peak();
+        }
+        statprof.push(sum_of_peaks);
+        smoop.push(running.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+    (statprof, smoop)
+}
+
+/// Runs the plan family against a fixture: base fleet = first half of
+/// the traces, candidate racks = equal chunks of the rest.
+///
+/// # Errors
+///
+/// Currently infallible (kept fallible for uniformity with the other
+/// families' runners).
+pub fn run(fixture: &Fixture, report: &mut OracleReport) -> Result<(), OracleError> {
+    let traces: Vec<&PowerTrace> = fixture.traces().iter().collect();
+    let base: Vec<&PowerTrace> = traces[..traces.len() / 2].to_vec();
+    let rest = &traces[traces.len() / 2..];
+    let rack_size = (rest.len() / 6).max(1);
+    let racks: Vec<Vec<&PowerTrace>> = rest.chunks(rack_size).map(|c| c.to_vec()).collect();
+    if base.is_empty() || racks.len() < 2 {
+        return Ok(());
+    }
+
+    let (statprof, smoop) = requirement_series(&base, &racks);
+    let base_sum_of_peaks: f64 = base.iter().map(|t| t.peak()).sum();
+    let budget = base_sum_of_peaks * (1.0 + HEADROOM);
+
+    // Law 1: peak-of-sum ≤ sum-of-peaks at every sweep point (tiny
+    // relative slack for summation-order float error).
+    for (k, (&so, &sp)) in smoop.iter().zip(&statprof).enumerate() {
+        report.check(
+            OracleFamily::Plan,
+            "peak_of_sum_le_sum_of_peaks_per_sweep_point",
+            so <= sp * (1.0 + 1e-9),
+            || format!("rack {}: peak-of-sum {so} > sum-of-peaks {sp}", k + 1),
+        );
+    }
+
+    // Law 2: both requirement series are monotone non-decreasing.
+    for (name, series) in [("statprof", &statprof), ("smoothoperator", &smoop)] {
+        report.check(
+            OracleFamily::Plan,
+            "requirement_series_monotone_in_racks",
+            series.windows(2).all(|w| w[0] <= w[1]),
+            || format!("{name} requirement series decreases: {series:?}"),
+        );
+    }
+
+    // Laws 3–4: SmoothOperator fits at least as many racks as StatProf
+    // at every δ, and each scheme's fit is δ-monotone.
+    let mut prev: Option<(usize, usize)> = None;
+    for &delta in &PLAN_DELTAS {
+        let fit_sp = reference_racks_fit(&statprof, budget, delta);
+        let fit_so = reference_racks_fit(&smoop, budget, delta);
+        report.check(
+            OracleFamily::Plan,
+            "smoothoperator_fits_at_least_statprof",
+            fit_so >= fit_sp,
+            || format!("δ {delta}: smoothoperator fit {fit_so} < statprof fit {fit_sp}"),
+        );
+        if let Some((psp, pso)) = prev {
+            report.check(
+                OracleFamily::Plan,
+                "scheme_fits_monotone_in_delta",
+                fit_sp >= psp && fit_so >= pso,
+                || {
+                    format!(
+                        "fits dropped at δ {delta}: statprof {psp}→{fit_sp}, smoop {pso}→{fit_so}"
+                    )
+                },
+            );
+        }
+        prev = Some((fit_sp, fit_so));
+
+        // Law 5: the planned fleet, re-simulated independently (fresh
+        // per-sample accumulation over base + fitted racks), stays
+        // within the overbooked cap.
+        let cap = budget * (1.0 + delta);
+        let samples = base[0].samples().len();
+        let mut replay = vec![0.0f64; samples];
+        for trace in base.iter().chain(racks[..fit_so].iter().flatten()) {
+            for (acc, &v) in replay.iter_mut().zip(trace.samples()) {
+                *acc += v;
+            }
+        }
+        let replay_peak = replay.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        report.check(
+            OracleFamily::Plan,
+            "planned_fleet_stays_within_budget",
+            replay_peak <= cap * (1.0 + 1e-9),
+            || format!("δ {delta}: planned fleet peaks at {replay_peak}, cap {cap}"),
+        );
+    }
+
+    // Law 6: raising every candidate trace's burstiness pointwise never
+    // fits more racks. `r′(t) = 2·r(t) − min r` keeps r′ ≥ r everywhere
+    // (so both requirement series rise pointwise) while lifting the
+    // peak-to-mean ratio of every non-constant trace.
+    let burstier_storage: Vec<Vec<PowerTrace>> = racks
+        .iter()
+        .map(|rack| {
+            rack.iter()
+                .map(|t| {
+                    let min = t.min();
+                    let samples: Vec<f64> = t.samples().iter().map(|&v| 2.0 * v - min).collect();
+                    PowerTrace::new(samples, t.grid().step_minutes())
+                        .expect("same step, finite non-negative samples")
+                })
+                .collect()
+        })
+        .collect();
+    let burstier: Vec<Vec<&PowerTrace>> = burstier_storage
+        .iter()
+        .map(|rack| rack.iter().collect())
+        .collect();
+    let (statprof_b, smoop_b) = requirement_series(&base, &burstier);
+    for &delta in &PLAN_DELTAS {
+        let pairs = [
+            ("statprof", &statprof, &statprof_b),
+            ("smoothoperator", &smoop, &smoop_b),
+        ];
+        for (name, original, bursty) in pairs {
+            let fit = reference_racks_fit(original, budget, delta);
+            let fit_bursty = reference_racks_fit(bursty, budget, delta);
+            report.check(
+                OracleFamily::Plan,
+                "burstier_racks_never_fit_more",
+                fit_bursty <= fit,
+                || {
+                    format!(
+                        "δ {delta} {name}: burstier candidates fit {fit_bursty} > original {fit}"
+                    )
+                },
+            );
+        }
+    }
+
+    // Law 7: the fit extraction's boundary behaviour on the real series.
+    check_sweep_fit(&reference_racks_fit, &smoop, budget, &PLAN_DELTAS, report);
+    check_sweep_fit(
+        &reference_racks_fit,
+        &statprof,
+        budget,
+        &PLAN_DELTAS,
+        report,
+    );
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_fit_is_inclusive_at_the_cap() {
+        let required = [10.0, 20.0, 30.0];
+        assert_eq!(reference_racks_fit(&required, 20.0, 0.0), 2);
+        assert_eq!(reference_racks_fit(&required, 20.0, 0.5), 3);
+        assert_eq!(reference_racks_fit(&required, 9.0, 0.0), 0);
+    }
+
+    #[test]
+    fn family_is_clean_on_a_fixture() {
+        let fixture = Fixture::generate(&so_workloads::DcScenario::dc2(), 36, 7).unwrap();
+        let mut report = OracleReport::new();
+        run(&fixture, &mut report).unwrap();
+        assert!(report.is_clean(), "{:#?}", report.violations());
+        assert!(report.evaluations(OracleFamily::Plan) > 10);
+    }
+
+    #[test]
+    fn check_sweep_fit_flags_an_off_by_one() {
+        let required = [80.0, 100.0, 120.0, 140.0];
+        let broken = |series: &[f64], budget: f64, delta: f64| {
+            reference_racks_fit(series, budget, delta) + 1
+        };
+        let mut report = OracleReport::new();
+        check_sweep_fit(&broken, &required, 100.0, &PLAN_DELTAS, &mut report);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn tiny_fixtures_are_skipped_not_failed() {
+        let fixture = Fixture::generate(&so_workloads::DcScenario::dc1(), 2, 7).unwrap();
+        let mut report = OracleReport::new();
+        run(&fixture, &mut report).unwrap();
+        assert!(report.is_clean());
+    }
+}

@@ -244,3 +244,48 @@ fn production_quantile_is_clean() {
     assert!(report.is_clean(), "{:#?}", report.violations());
     assert!(report.evaluations(OracleFamily::Differential) > 0);
 }
+
+#[test]
+fn off_by_one_sweep_fit_is_caught() {
+    // Bug: the plan sweep loop admits one rack past the cap (`k + 1`
+    // fitted where `k` fit) — the classic off-by-one in "largest k with
+    // required[k-1] ≤ cap". The budget sits exactly on a sweep point so
+    // the inclusive-boundary law is exercised too.
+    let required = [80.0, 100.0, 120.0, 140.0];
+    let deltas = so_oracles::plan::PLAN_DELTAS;
+    let one_past = |series: &[f64], budget: f64, delta: f64| {
+        (so_oracles::plan::reference_racks_fit(series, budget, delta) + 1).min(series.len())
+    };
+    let mut report = OracleReport::new();
+    so_oracles::plan::check_sweep_fit(&one_past, &required, 100.0, &deltas, &mut report);
+    assert!(!report.is_clean(), "off-by-one sweep fit slipped past");
+    assert!(report
+        .violations()
+        .iter()
+        .all(|v| v.family == OracleFamily::Plan));
+
+    // Bug variant: strict `<` at the cap — a rack whose requirement
+    // exactly equals the overbooked budget must still fit.
+    let exclusive = |series: &[f64], budget: f64, delta: f64| {
+        let cap = budget * (1.0 + delta);
+        series.iter().take_while(|&&req| req < cap).count()
+    };
+    let mut strict_report = OracleReport::new();
+    so_oracles::plan::check_sweep_fit(&exclusive, &required, 100.0, &deltas, &mut strict_report);
+    assert!(
+        !strict_report.is_clean(),
+        "exclusive cap comparison slipped past"
+    );
+
+    // The reference itself passes the same probe clean.
+    let mut clean = OracleReport::new();
+    so_oracles::plan::check_sweep_fit(
+        &so_oracles::plan::reference_racks_fit,
+        &required,
+        100.0,
+        &deltas,
+        &mut clean,
+    );
+    assert!(clean.is_clean(), "{:#?}", clean.violations());
+    assert!(clean.evaluations(OracleFamily::Plan) > 0);
+}

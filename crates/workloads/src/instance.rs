@@ -90,6 +90,12 @@ impl InstanceSpec {
             }
             DiurnalShape::FlatLow => 0.30,
             DiurnalShape::OfficeHours => 0.08 + 0.88 * office_hours(minute_of_day, day_of_week),
+            // The burst clock runs on the *raw* minute (shared service
+            // traffic); only the demand envelope follows the instance's
+            // shifted clock. See `llm.rs`.
+            DiurnalShape::TokenBursty => {
+                crate::llm::token_bursty_utilization(self.service, self.seed, minute, shifted)
+            }
         }
         .clamp(0.0, 1.0)
     }

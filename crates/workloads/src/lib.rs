@@ -43,6 +43,7 @@ mod error;
 mod events;
 mod fleet;
 mod instance;
+pub mod llm;
 mod load;
 mod profile;
 pub mod rng;
@@ -55,6 +56,7 @@ pub use error::WorkloadError;
 pub use events::{synthesize_events, EventBatch, EventStreamConfig};
 pub use fleet::Fleet;
 pub use instance::{heterogeneous_instance, InstanceSpec};
+pub use llm::{burst_correlation_report, residual_correlation, CorrelationReport, LlmBasis};
 pub use load::{activity_series, OfferedLoad};
 pub use profile::{profile_services, ServiceProfile};
 pub use scenario::DcScenario;

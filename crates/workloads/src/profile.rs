@@ -29,6 +29,10 @@ pub struct ServiceProfile {
     /// Coefficient of variation of instance peaks — the instance-level
     /// heterogeneity §3.3 exploits.
     pub peak_cv: f64,
+    /// Mean per-instance peak over mean per-instance power — the
+    /// burstiness that separates token-level LLM serving (≥ 3×) from the
+    /// paper's diurnal web/db/hadoop families.
+    pub peak_to_mean: f64,
 }
 
 impl ServiceProfile {
@@ -88,6 +92,8 @@ pub fn profile_services(fleet: &Fleet) -> Result<Vec<ServiceProfile>, TraceError
             0.0
         };
 
+        let mean_of_means =
+            traces.iter().map(|t| t.mean()).sum::<f64>() / traces.len().max(1) as f64;
         profiles.push(ServiceProfile {
             service,
             instances: members.len(),
@@ -96,6 +102,11 @@ pub fn profile_services(fleet: &Fleet) -> Result<Vec<ServiceProfile>, TraceError
             peak_minute_of_day: decomposition.peak_minute_of_day(),
             seasonality: decomposition.seasonality(),
             peak_cv: cv,
+            peak_to_mean: if mean_of_means > 0.0 {
+                mean_peak / mean_of_means
+            } else {
+                0.0
+            },
         });
     }
     profiles.sort_by(|a, b| {
@@ -147,6 +158,26 @@ mod tests {
 
         // Heterogeneity exists (amplitude skew).
         assert!(web.peak_cv > 0.02);
+    }
+
+    #[test]
+    fn llm_profiles_are_far_burstier_than_web() {
+        let fleet = DcScenario::llm().generate_fleet(120).unwrap();
+        let profiles = profile_services(&fleet).unwrap();
+        let chat = profiles
+            .iter()
+            .find(|p| p.service == ServiceClass::LlmChat)
+            .expect("llmchat is in the mix");
+        let web = profiles
+            .iter()
+            .find(|p| p.service == ServiceClass::Frontend)
+            .expect("frontend is in the mix");
+        assert!(
+            chat.peak_to_mean >= 3.0,
+            "llmchat peak-to-mean {}",
+            chat.peak_to_mean
+        );
+        assert!(chat.peak_to_mean > web.peak_to_mean + 0.5);
     }
 
     #[test]

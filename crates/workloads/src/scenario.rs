@@ -126,7 +126,35 @@ impl DcScenario {
         }
     }
 
-    /// All three presets, in order.
+    /// An LLM-inference-dominant datacenter: the modern mix the paper
+    /// never saw. Token-bursty serving tiers dominate power, with a web
+    /// front and storage/batch tail. High peak-to-mean and correlated
+    /// bursts make this the regime where heterogeneity-aware placement
+    /// should beat StatProf the most (`smoothop plan` quantifies it).
+    pub fn llm() -> Self {
+        Self {
+            name: "DC-LLM".to_string(),
+            mix: vec![
+                (ServiceClass::LlmChat, 0.38),
+                (ServiceClass::LlmCode, 0.22),
+                (ServiceClass::Frontend, 0.12),
+                (ServiceClass::Cache, 0.08),
+                (ServiceClass::Db, 0.08),
+                (ServiceClass::Hadoop, 0.07),
+                (ServiceClass::PhotoStorage, 0.05),
+            ],
+            phase_jitter_sd_minutes: 45.0,
+            amplitude_sd: 0.18,
+            baseline_mixing: 0.10,
+            train_weeks: 2,
+            step_minutes: 10,
+            seed: 0x11_a1_77,
+        }
+    }
+
+    /// The paper's three DC presets, in order. The [`llm`](Self::llm)
+    /// preset is deliberately excluded: `all()` feeds the paper-claims
+    /// suites, which assert Figure-10/12–14 shapes specific to DC1–DC3.
     pub fn all() -> Vec<DcScenario> {
         vec![Self::dc1(), Self::dc2(), Self::dc3()]
     }
@@ -220,6 +248,23 @@ impl DcScenario {
 mod tests {
     use super::*;
     use crate::service::WorkKind;
+
+    #[test]
+    fn llm_preset_is_llm_dominant() {
+        let sc = DcScenario::llm();
+        let total: f64 = sc.mix.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9, "mix sums to {total}");
+        let llm_share: f64 = sc
+            .mix
+            .iter()
+            .filter(|(s, _)| s.shape() == crate::DiurnalShape::TokenBursty)
+            .map(|(_, f)| f)
+            .sum();
+        assert!(llm_share > 0.5, "LLM share {llm_share}");
+        let fleet = sc.generate_fleet(60).unwrap();
+        assert_eq!(fleet.len(), 60);
+        assert!(!fleet.instances_of(ServiceClass::LlmChat).is_empty());
+    }
 
     #[test]
     fn presets_have_normalizable_mixes() {

@@ -45,6 +45,28 @@ pub enum DiurnalShape {
     FlatLow,
     /// Weekday office-hours bump (development and lab machines).
     OfficeHours,
+    /// Token-level LLM inference: a diurnal demand envelope modulated by
+    /// correlated burst arrivals shared across a service's instances and a
+    /// per-instance prefill/decode duty cycle (see `llm.rs`). Far spikier
+    /// than the paper's web workloads: peak-to-mean ≥ 3×.
+    TokenBursty,
+}
+
+impl DiurnalShape {
+    /// Declared bounds `(min, max)` on the weekly peak-to-mean power ratio
+    /// of a nominal instance's trace. The workload-contract battery holds
+    /// every family to its declared band; the LLM family's lower bound of
+    /// 3× is the defining property of the token-bursty regime.
+    pub fn peak_to_mean_bounds(self) -> (f64, f64) {
+        match self {
+            DiurnalShape::UserFacing => (1.2, 2.8),
+            DiurnalShape::NightBackup => (1.4, 3.2),
+            DiurnalShape::FlatHigh => (1.0, 1.35),
+            DiurnalShape::FlatLow => (1.0, 1.4),
+            DiurnalShape::OfficeHours => (1.4, 3.4),
+            DiurnalShape::TokenBursty => (3.0, 6.5),
+        }
+    }
 }
 
 /// One of the named services hosted in the synthetic datacenters.
@@ -77,11 +99,15 @@ pub enum ServiceClass {
     Dev,
     /// Lab/test machines with flat utilization.
     LabServer,
+    /// Conversational LLM inference serving (chat assistants).
+    LlmChat,
+    /// Code-completion LLM inference serving (IDE integrations).
+    LlmCode,
 }
 
 impl ServiceClass {
     /// All service classes.
-    pub const ALL: [ServiceClass; 12] = [
+    pub const ALL: [ServiceClass; 14] = [
         ServiceClass::Frontend,
         ServiceClass::Cache,
         ServiceClass::Search,
@@ -94,6 +120,8 @@ impl ServiceClass {
         ServiceClass::MobileDev,
         ServiceClass::Dev,
         ServiceClass::LabServer,
+        ServiceClass::LlmChat,
+        ServiceClass::LlmCode,
     ];
 
     /// The service's scheduling category.
@@ -102,7 +130,9 @@ impl ServiceClass {
             ServiceClass::Frontend
             | ServiceClass::Cache
             | ServiceClass::Search
-            | ServiceClass::Instagram => WorkKind::LatencyCritical,
+            | ServiceClass::Instagram
+            | ServiceClass::LlmChat
+            | ServiceClass::LlmCode => WorkKind::LatencyCritical,
             ServiceClass::SearchIndex
             | ServiceClass::Hadoop
             | ServiceClass::BatchJob
@@ -128,6 +158,7 @@ impl ServiceClass {
             ServiceClass::MobileDev | ServiceClass::Dev | ServiceClass::LabServer => {
                 DiurnalShape::OfficeHours
             }
+            ServiceClass::LlmChat | ServiceClass::LlmCode => DiurnalShape::TokenBursty,
         }
     }
 
@@ -139,6 +170,9 @@ impl ServiceClass {
             DiurnalShape::FlatHigh => 150.0,
             DiurnalShape::FlatLow => 60.0,
             DiurnalShape::OfficeHours => 70.0,
+            // Accelerator hosts idle low relative to their huge dynamic
+            // range (prefill compute saturates the whole board).
+            DiurnalShape::TokenBursty => 80.0,
         }
     }
 
@@ -150,6 +184,7 @@ impl ServiceClass {
             DiurnalShape::FlatHigh => 280.0,
             DiurnalShape::FlatLow => 110.0,
             DiurnalShape::OfficeHours => 250.0,
+            DiurnalShape::TokenBursty => 750.0,
         }
     }
 
@@ -172,6 +207,8 @@ impl ServiceClass {
             ServiceClass::MobileDev => -90.0,
             ServiceClass::Dev => 0.0,
             ServiceClass::LabServer => 120.0,
+            ServiceClass::LlmChat => 30.0,
+            ServiceClass::LlmCode => -60.0,
         }
     }
 
@@ -190,6 +227,8 @@ impl ServiceClass {
             ServiceClass::MobileDev => "mobiledev",
             ServiceClass::Dev => "dev",
             ServiceClass::LabServer => "labserver",
+            ServiceClass::LlmChat => "llmchat",
+            ServiceClass::LlmCode => "llmcode",
         }
     }
 }
@@ -233,6 +272,25 @@ mod tests {
             if s.shape() == DiurnalShape::UserFacing {
                 assert_eq!(s.kind(), WorkKind::LatencyCritical);
             }
+        }
+    }
+
+    #[test]
+    fn declared_peak_to_mean_bands_are_well_formed() {
+        for s in ServiceClass::ALL {
+            let (lo, hi) = s.shape().peak_to_mean_bounds();
+            assert!(lo >= 1.0, "{s}: peak/mean cannot fall below 1");
+            assert!(lo < hi, "{s}: empty band");
+        }
+        let (llm_lo, _) = DiurnalShape::TokenBursty.peak_to_mean_bounds();
+        assert!(llm_lo >= 3.0, "the LLM family declares >= 3x peak-to-mean");
+    }
+
+    #[test]
+    fn llm_services_are_latency_critical_and_bursty() {
+        for s in [ServiceClass::LlmChat, ServiceClass::LlmCode] {
+            assert_eq!(s.kind(), WorkKind::LatencyCritical);
+            assert_eq!(s.shape(), DiurnalShape::TokenBursty);
         }
     }
 

@@ -1,0 +1,282 @@
+//! The workload-contract battery: every trace family — the paper's
+//! diurnal shapes and the new token-bursty LLM family alike — must hold
+//! four contracts, and the LLM family two more:
+//!
+//! 1. **Seeded determinism** — same `(spec, grid, week)` ⇒ bit-identical
+//!    traces; different seeds ⇒ different traces.
+//! 2. **Extension stability** — the first `k` samples of a longer week-0
+//!    trace bit-match the `k`-sample trace on the same step.
+//! 3. **Non-negativity** — power never goes below zero.
+//! 4. **Declared peak-to-mean bounds** — each shape's empirical weekly
+//!    peak/mean ratio stays inside `DiurnalShape::peak_to_mean_bounds()`;
+//!    for the LLM family the lower bound is the defining ≥ 3×.
+//! 5. **(LLM) within-service burst correlation** — instances of one LLM
+//!    service visibly co-burst even under phase jitter.
+//! 6. **(LLM) cross-service independence** — instances of different LLM
+//!    services show ~zero residual correlation.
+//!
+//! A mutation test plants the classic burst-correlation bug — deriving
+//! the "shared" burst clock from the per-instance stream, which silently
+//! decorrelates the fleet — and proves the battery catches it.
+
+use proptest::prelude::*;
+use so_powertrace::TimeGrid;
+use so_workloads::llm::{service_burst, service_salt, BURST_WINDOW_MINUTES};
+use so_workloads::rng::mix64;
+use so_workloads::{burst_correlation_report, InstanceSpec, ServiceClass};
+
+/// Moving-average half-width for residual correlation: 90 minutes at the
+/// 10-minute contract grid, wide enough to remove the diurnal component
+/// while keeping 30-minute bursts.
+const HALF_WIDTH: usize = 9;
+
+fn contract_grid() -> TimeGrid {
+    TimeGrid::one_week(10)
+}
+
+fn llm_group(service: ServiceClass, base_seed: u64) -> Vec<Vec<f64>> {
+    // Phase jitter comparable to the DC presets: the burst clock must
+    // survive it (it runs on raw time), the demand envelope shifts.
+    let phases = [-40.0, 0.0, 55.0, 20.0, -15.0];
+    phases
+        .iter()
+        .enumerate()
+        .map(|(i, &phase)| {
+            let spec = InstanceSpec {
+                service,
+                phase_shift_minutes: phase,
+                amplitude_scale: 1.0,
+                base_scale: 1.0,
+                seed: base_seed + i as u64,
+            };
+            spec.weekly_trace(contract_grid(), 0).samples().to_vec()
+        })
+        .collect()
+}
+
+#[test]
+fn every_family_is_seeded_deterministic() {
+    let grid = contract_grid();
+    for service in ServiceClass::ALL {
+        let spec = InstanceSpec::nominal(service, 42);
+        let a = spec.weekly_trace(grid, 1);
+        let b = spec.weekly_trace(grid, 1);
+        assert_eq!(a, b, "{service}: same seed must reproduce");
+        let other = InstanceSpec::nominal(service, 43).weekly_trace(grid, 1);
+        assert_ne!(a, other, "{service}: different seeds must differ");
+    }
+}
+
+#[test]
+fn every_family_is_extension_stable() {
+    // Week 0 starts at absolute minute 0 on every grid, so a shorter
+    // trace must be a bit-prefix of a longer one at the same step.
+    for step in [10u32, 30] {
+        let long_grid = TimeGrid::one_week(step);
+        let short_grid = TimeGrid::days(3, step);
+        for service in ServiceClass::ALL {
+            let spec = InstanceSpec::nominal(service, 7);
+            let long = spec.weekly_trace(long_grid, 0);
+            let short = spec.weekly_trace(short_grid, 0);
+            let k = short.len();
+            assert!(k < long.len());
+            for i in 0..k {
+                assert_eq!(
+                    long.samples()[i].to_bits(),
+                    short.samples()[i].to_bits(),
+                    "{service} step {step}: sample {i} diverges on extension"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_family_is_non_negative() {
+    let grid = contract_grid();
+    for service in ServiceClass::ALL {
+        for seed in [1u64, 99] {
+            let spec = InstanceSpec::nominal(service, seed);
+            for week in 0..3 {
+                let t = spec.weekly_trace(grid, week);
+                assert!(t.min() >= 0.0, "{service} week {week}: min {}", t.min());
+            }
+        }
+    }
+}
+
+#[test]
+fn every_family_respects_declared_peak_to_mean_bounds() {
+    let grid = contract_grid();
+    for service in ServiceClass::ALL {
+        let (lo, hi) = service.shape().peak_to_mean_bounds();
+        for seed in [1u64, 7, 42, 99] {
+            let spec = InstanceSpec::nominal(service, seed);
+            for week in 0..2 {
+                let t = spec.weekly_trace(grid, week);
+                let ratio = t.peak() / t.mean();
+                assert!(
+                    (lo..=hi).contains(&ratio),
+                    "{service} seed {seed} week {week}: peak/mean {ratio} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn llm_bursts_correlate_within_a_service_and_not_across() {
+    let chat = llm_group(ServiceClass::LlmChat, 1);
+    let code = llm_group(ServiceClass::LlmCode, 11);
+    let report = burst_correlation_report(&chat, &code, HALF_WIDTH);
+    assert!(
+        report.passes(),
+        "burst-correlation contract failed: {report:?}"
+    );
+    // The separation is structural, not marginal.
+    assert!(report.min_within > 0.1, "{report:?}");
+    assert!(
+        report.mean_within > 2.0 * report.mean_cross_abs + 0.1,
+        "{report:?}"
+    );
+}
+
+#[test]
+fn non_llm_families_do_not_fake_burst_correlation() {
+    // Frontends share a diurnal shape but no burst clock: after the
+    // moving average removes the envelope, whatever correlation remains
+    // must sit well below the LLM family's within-service level.
+    let frontends = llm_group(ServiceClass::Frontend, 21);
+    let chat = llm_group(ServiceClass::LlmChat, 1);
+    let frontend_report = burst_correlation_report(&frontends, &chat, HALF_WIDTH);
+    let chat_report = burst_correlation_report(&chat, &frontends, HALF_WIDTH);
+    assert!(
+        chat_report.mean_within > frontend_report.mean_within,
+        "chat {chat_report:?} vs frontend {frontend_report:?}"
+    );
+}
+
+/// The planted burst-correlation bug: deriving the "service" burst clock
+/// from the per-instance stream. Every instance then bursts on its own
+/// schedule — the fleet-level spikes the planner must survive disappear,
+/// while every single-trace contract (determinism, extension stability,
+/// non-negativity, even peak-to-mean) still passes. Only the correlation
+/// check catches it.
+#[test]
+fn battery_catches_planted_per_instance_burst_clock() {
+    let grid = contract_grid();
+    let buggy_group = |service: ServiceClass, base_seed: u64| -> Vec<Vec<f64>> {
+        (0..5u64)
+            .map(|i| {
+                let seed = base_seed + i;
+                // The bug: the burst salt absorbs the instance seed.
+                let salt = mix64(service_salt(service) ^ seed);
+                (0..grid.len())
+                    .map(|t| {
+                        let minute = grid.minute_of(t) as f64;
+                        let demand = so_workloads::llm::demand_envelope(minute);
+                        let burst = service_burst(salt, minute, demand);
+                        let gain = if burst.active { burst.gain } else { 1.0 };
+                        let util = ((0.03 + 0.09 * demand) * gain).clamp(0.0, 1.0);
+                        service.base_watts() + (service.peak_watts() - service.base_watts()) * util
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let chat = buggy_group(ServiceClass::LlmChat, 1);
+    let code = buggy_group(ServiceClass::LlmCode, 11);
+    let report = burst_correlation_report(&chat, &code, HALF_WIDTH);
+    assert!(
+        !report.passes(),
+        "battery must reject the per-instance burst clock: {report:?}"
+    );
+    assert!(
+        report.mean_within < so_workloads::llm::WITHIN_CORRELATION_MIN,
+        "planted bug decorrelates the fleet: {report:?}"
+    );
+
+    // Sanity: the production generator passes the very same check.
+    let good = burst_correlation_report(
+        &llm_group(ServiceClass::LlmChat, 1),
+        &llm_group(ServiceClass::LlmCode, 11),
+        HALF_WIDTH,
+    );
+    assert!(good.passes(), "production generator must pass: {good:?}");
+}
+
+#[test]
+fn bursts_survive_fleet_generation() {
+    // End to end: a scenario-generated LLM fleet (heterogeneous phases,
+    // amplitudes, random seeds) still shows the correlation contract.
+    let fleet = so_workloads::DcScenario::llm().generate_fleet(80).unwrap();
+    let take = |service| {
+        fleet
+            .instances_of(service)
+            .into_iter()
+            .take(5)
+            .map(|i| fleet.test_traces()[i].samples().to_vec())
+            .collect::<Vec<_>>()
+    };
+    let chat = take(ServiceClass::LlmChat);
+    let code = take(ServiceClass::LlmCode);
+    let report = burst_correlation_report(&chat, &code, HALF_WIDTH);
+    assert!(report.passes(), "fleet-level contract failed: {report:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Contracts 1–3 under random heterogeneity, all families.
+    #[test]
+    fn contracts_hold_under_heterogeneity(
+        service_idx in 0usize..ServiceClass::ALL.len(),
+        seed in 0u64..50_000,
+        phase in -180.0f64..180.0,
+        amplitude in 0.5f64..2.0,
+    ) {
+        let service = ServiceClass::ALL[service_idx];
+        let spec = InstanceSpec {
+            service,
+            phase_shift_minutes: phase,
+            amplitude_scale: amplitude,
+            base_scale: 1.0,
+            seed,
+        };
+        let long = spec.weekly_trace(TimeGrid::one_week(30), 0);
+        let short = spec.weekly_trace(TimeGrid::days(2, 30), 0);
+        prop_assert_eq!(&long, &spec.weekly_trace(TimeGrid::one_week(30), 0));
+        for i in 0..short.len() {
+            prop_assert_eq!(long.samples()[i].to_bits(), short.samples()[i].to_bits());
+        }
+        prop_assert!(long.min() >= 0.0);
+    }
+
+    /// The LLM utilization model is bounded and deterministic at any
+    /// minute, for any instance.
+    #[test]
+    fn llm_utilization_is_bounded(seed in 0u64..100_000, minute in 0.0f64..20_160.0) {
+        for service in [ServiceClass::LlmChat, ServiceClass::LlmCode] {
+            let u = so_workloads::llm::token_bursty_utilization(service, seed, minute, minute);
+            prop_assert!((0.0..=1.0).contains(&u));
+            let again = so_workloads::llm::token_bursty_utilization(service, seed, minute, minute);
+            prop_assert_eq!(u.to_bits(), again.to_bits());
+        }
+    }
+
+    /// Arena-path synthesis is deterministic and extension-stable per row.
+    #[test]
+    fn llm_basis_rows_are_stable(seed in 0u64..10_000, row in 0u64..64) {
+        let basis = so_workloads::LlmBasis::new(64, 30);
+        let mut full = vec![0.0; 64];
+        let mut prefix = vec![0.0; 24];
+        basis.fill_row(seed, row, &mut full);
+        basis.fill_row(seed, row, &mut prefix);
+        for i in 0..24 {
+            prop_assert_eq!(full[i].to_bits(), prefix[i].to_bits());
+        }
+        prop_assert!(full.iter().all(|&w| w >= 0.0));
+        let window = BURST_WINDOW_MINUTES; // referenced: contract constant stays public
+        prop_assert!(window > 0.0);
+    }
+}

@@ -64,6 +64,7 @@ fn main() -> ExitCode {
         Some("simulate") => with_scenario(&args, |scenario, n| simulate_cmd(scenario, n, faults)),
         Some("check") => check_cmd(&args, flags.seed),
         Some("scale") => scale_cmd(&flags),
+        Some("plan") => plan_cmd(&flags),
         Some("online") => online_cmd(&flags, sink.as_ref()),
         Some("watch") => watch_cmd(&flags, sink.as_ref()),
         Some("serve") => serve_cmd(&flags, sink.as_ref()),
@@ -128,8 +129,14 @@ fn print_usage() {
     println!("                                    printed as a telemetry summary");
     println!("  smoothop check     [n]            seeded correctness-oracle battery (invariant,");
     println!("                                    differential, metamorphic, arena, online,");
-    println!("                                    observability, daemon); n defaults to 1000");
+    println!("                                    observability, daemon, plan); n defaults");
+    println!("                                    to 1000");
     println!("  smoothop scale                    columnar scale ladder; writes BENCH_scale.json");
+    println!("  smoothop plan                     capacity-planning sweep: racks of extra");
+    println!("                                    workload that fit under one MSB budget at each");
+    println!("                                    overbooking allowance δ, StatProf vs");
+    println!("                                    SmoothOperator provisioning, web vs LLM mixes;");
+    println!("                                    writes BENCH_plan.json");
     println!("  smoothop online                   online arrival/departure rung: streams batches");
     println!("                                    through the resident engine and compares the");
     println!("                                    churned placement against a one-pass offline");
@@ -173,6 +180,18 @@ fn print_usage() {
     println!("  --chunk-rows <n>      rows per streaming chunk for `scale` (0 = default;");
     println!("                        rounded up to a multiple of the group size; never");
     println!("                        changes checksums)");
+    println!("  --workload <name>     waveform family for `scale`: `diurnal` (default) or");
+    println!("                        `llm` (token-bursty, correlated 30-min bursts)");
+    println!("  --base <n>            `plan` only: instances of the existing base fleet");
+    println!("                        (default 50000)");
+    println!("  --racks <n>           `plan` only: sweep depth in candidate racks of 12");
+    println!("                        slots each (default 2560)");
+    println!("  --deltas <list>       `plan` only: comma-separated overbooking allowances,");
+    println!("                        strictly ascending (default 0,0.05,0.10)");
+    println!("  --workloads <list>    `plan` only: comma-separated candidate mixes from");
+    println!("                        {{web-mix, llm-mix}} (default both)");
+    println!("  --budget <watts>      `plan` only: explicit MSB budget; by default the base");
+    println!("                        fleet's StatProf requirement plus 10% headroom");
     println!("  --batches <n>         event batches for `online` (default 8)");
     println!("  --probes <n>          candidate racks sampled per arrival for `online`");
     println!("                        (default 64)");
@@ -264,14 +283,16 @@ fn scale_cmd(flags: &CliFlags) -> CliResult {
             .collect::<Result<Vec<usize>, String>>()?;
     }
     config.quantile_mode = flags.quantile_mode;
+    config.workload = flags.scale_workload;
     if let Some(chunk_rows) = flags.chunk_rows {
         config.chunk_rows = chunk_rows;
     }
     let path = flags.out.as_deref().unwrap_or("BENCH_scale.json");
 
     println!(
-        "scale ladder — {} points, {} samples/trace, groups of {}, seed {}, {} quantiles, {} rows/chunk, {} thread lane(s)",
+        "scale ladder — {} points, {} {} samples/trace, groups of {}, seed {}, {} quantiles, {} rows/chunk, {} thread lane(s)",
         config.instances.len(),
+        config.workload.as_str(),
         config.samples_per_trace,
         config.group_size,
         config.seed,
@@ -300,6 +321,94 @@ fn scale_cmd(flags: &CliFlags) -> CliResult {
             p.rows_per_sec,
             rss,
         );
+    }
+    let json = report.to_json();
+    std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("wrote {path} ({} bytes)", json.len());
+    Ok(())
+}
+
+/// `smoothop plan [--base n] [--racks n] [--deltas d1,d2,...]
+/// [--workloads w1,w2] [--budget w] [--seed s] [--out path]`: run the
+/// capacity-planning sweep and write the `BENCH_plan.json` artifact.
+fn plan_cmd(flags: &CliFlags) -> CliResult {
+    use smoothoperator::plan::{run_plan, PlanConfig, PlanWorkload, PLAN_HEADROOM};
+
+    let mut config = PlanConfig::default();
+    if let Some(seed) = flags.seed {
+        config.seed = seed;
+    }
+    if let Some(base) = flags.base {
+        config.base_instances = base;
+    }
+    if let Some(racks) = flags.racks {
+        config.max_racks = racks;
+    }
+    if let Some(raw) = &flags.deltas {
+        config.deltas = raw
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("delta `{part}` is not a number"))
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+    }
+    if let Some(raw) = &flags.workloads {
+        config.workloads = raw
+            .split(',')
+            .map(|part| {
+                PlanWorkload::parse(part.trim())
+                    .ok_or_else(|| format!("workload `{part}` is not `web-mix` or `llm-mix`"))
+            })
+            .collect::<Result<Vec<PlanWorkload>, String>>()?;
+    }
+    if let Some(budget) = flags.budget {
+        config.budget_watts = budget;
+    }
+    let path = flags.out.as_deref().unwrap_or("BENCH_plan.json");
+
+    println!(
+        "capacity plan — base {} instances, up to {} racks × {} slots, seed {}, {} thread lane(s)",
+        config.base_instances,
+        config.max_racks,
+        config.rack_slots,
+        config.seed,
+        so_parallel::effective_lanes(),
+    );
+    let report = run_plan(&config)?;
+    for p in &report.points {
+        if config.budget_watts > 0.0 {
+            println!(
+                "{}: budget {:.0} W (explicit), base peak {:.0} W",
+                p.workload.as_str(),
+                p.budget_watts,
+                p.base_peak_watts,
+            );
+        } else {
+            println!(
+                "{}: budget {:.0} W (base StatProf requirement {:.0} W + {:.0}% headroom), base peak {:.0} W",
+                p.workload.as_str(),
+                p.budget_watts,
+                p.base_sum_of_peaks_watts,
+                100.0 * PLAN_HEADROOM,
+                p.base_peak_watts,
+            );
+        }
+        println!(
+            "  {:>6} {:>14} {:>14} {:>16} {:>16}",
+            "δ", "statprof-fit", "smoothop-fit", "statprof-strand", "smoothop-strand"
+        );
+        for f in &p.fits {
+            println!(
+                "  {:>6.2} {:>14} {:>14} {:>14.0} W {:>14.0} W",
+                f.delta,
+                f.statprof_racks_fit,
+                f.smoothoperator_racks_fit,
+                f.statprof_stranded_watts,
+                f.smoothoperator_stranded_watts,
+            );
+        }
     }
     let json = report.to_json();
     std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -697,7 +806,13 @@ struct CliFlags {
     instances: Option<String>,
     out: Option<String>,
     quantile_mode: smoothoperator::scale::QuantileMode,
+    scale_workload: smoothoperator::scale::ScaleWorkload,
     chunk_rows: Option<usize>,
+    base: Option<usize>,
+    racks: Option<usize>,
+    deltas: Option<String>,
+    workloads: Option<String>,
+    budget: Option<f64>,
     batches: Option<usize>,
     probes: Option<usize>,
     repair: Option<usize>,
@@ -724,7 +839,13 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
         instances: None,
         out: None,
         quantile_mode: smoothoperator::scale::QuantileMode::Exact,
+        scale_workload: smoothoperator::scale::ScaleWorkload::Diurnal,
         chunk_rows: None,
+        base: None,
+        racks: None,
+        deltas: None,
+        workloads: None,
+        budget: None,
         batches: None,
         probes: None,
         repair: None,
@@ -778,6 +899,28 @@ fn split_flags(args: Vec<String>) -> Result<(Vec<String>, CliFlags), String> {
             flags.chunk_rows = Some(
                 raw.parse()
                     .map_err(|_| format!("chunk rows `{raw}` is not a number"))?,
+            );
+        } else if let Some(raw) = value_of("--workload", &arg, &mut iter)? {
+            flags.scale_workload = smoothoperator::scale::ScaleWorkload::parse(&raw)
+                .ok_or_else(|| format!("--workload must be `diurnal` or `llm`, got `{raw}`"))?;
+        } else if let Some(raw) = value_of("--base", &arg, &mut iter)? {
+            flags.base = Some(
+                raw.parse()
+                    .map_err(|_| format!("base fleet size `{raw}` is not a number"))?,
+            );
+        } else if let Some(raw) = value_of("--racks", &arg, &mut iter)? {
+            flags.racks = Some(
+                raw.parse()
+                    .map_err(|_| format!("rack count `{raw}` is not a number"))?,
+            );
+        } else if let Some(raw) = value_of("--deltas", &arg, &mut iter)? {
+            flags.deltas = Some(raw);
+        } else if let Some(raw) = value_of("--workloads", &arg, &mut iter)? {
+            flags.workloads = Some(raw);
+        } else if let Some(raw) = value_of("--budget", &arg, &mut iter)? {
+            flags.budget = Some(
+                raw.parse()
+                    .map_err(|_| format!("budget `{raw}` is not a number"))?,
             );
         } else if let Some(raw) = value_of("--batches", &arg, &mut iter)? {
             let batches: usize = raw

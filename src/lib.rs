@@ -99,6 +99,11 @@ pub use so_oracles as oracles;
 /// `BENCH_scale.json` emitter.
 pub mod scale;
 
+/// Capacity-planning sweep behind `smoothop plan`: racks-fit under an
+/// MSB budget, StatProf vs SmoothOperator, and the `BENCH_plan.json`
+/// emitter.
+pub mod plan;
+
 /// Live observability sessions: the `smoothop watch` runner over the
 /// online engine's flight recorder, alert engine, and scrape surface.
 pub mod watch;
@@ -120,9 +125,12 @@ pub mod prelude {
     pub use so_oracles::{run_battery, BatteryConfig, OracleFamily, OracleReport};
     pub use so_powertrace::{TraceArena, TraceView};
 
+    pub use crate::plan::{
+        racks_fit_from_series, run_plan, PlanConfig, PlanFit, PlanPoint, PlanReport, PlanWorkload,
+    };
     pub use crate::scale::{
         run_online_scale, run_scale, OnlineScaleConfig, OnlineScalePoint, OnlineScaleReport,
-        QuantileMode, ScaleConfig, ScaleReport,
+        QuantileMode, ScaleConfig, ScaleReport, ScaleWorkload,
     };
     pub use crate::serve::{
         run_daemon_scale, run_serve, DaemonScaleConfig, DaemonScaleReport, ServeConfig,

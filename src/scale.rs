@@ -82,6 +82,39 @@ impl QuantileMode {
     }
 }
 
+/// Waveform family the ladder synthesizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleWorkload {
+    /// Diurnal basis-table waveforms ([`RowWave`]) — the v2 default; the
+    /// committed `BENCH_scale.json` digests are from this family.
+    #[default]
+    Diurnal,
+    /// Token-bursty LLM waveforms ([`so_workloads::LlmBasis`]): correlated
+    /// 30-minute bursts and prefill/decode alternation, peak-to-mean ≥ 3×.
+    /// Opt-in via `smoothop scale --workload llm`, so the scale rungs cover
+    /// the bursty family end to end.
+    Llm,
+}
+
+impl ScaleWorkload {
+    /// Stable lower-case name stamped into `BENCH_scale.json`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScaleWorkload::Diurnal => "diurnal",
+            ScaleWorkload::Llm => "llm",
+        }
+    }
+
+    /// Parses the CLI / JSON spelling (`"diurnal"` or `"llm"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "diurnal" => Some(ScaleWorkload::Diurnal),
+            "llm" => Some(ScaleWorkload::Llm),
+            _ => None,
+        }
+    }
+}
+
 /// Scale-tier parameters. The defaults match the committed
 /// `BENCH_scale.json` ladder: 10k → 100k → 1M instances of week-long
 /// hourly traces grouped into rack-sized sets of 12.
@@ -102,6 +135,8 @@ pub struct ScaleConfig {
     pub swap_probes: usize,
     /// Exact selection or streaming sketch for the quantile phase.
     pub quantile_mode: QuantileMode,
+    /// Waveform family synthesized on every rung (diurnal or LLM).
+    pub workload: ScaleWorkload,
     /// Rows synthesized and processed per streaming chunk; `0` selects
     /// the default. The effective value is always rounded up to a
     /// multiple of `group_size` (see [`ScaleConfig::effective_chunk_rows`])
@@ -119,6 +154,7 @@ impl Default for ScaleConfig {
             group_size: 12,
             swap_probes: 4096,
             quantile_mode: QuantileMode::Exact,
+            workload: ScaleWorkload::Diurnal,
             chunk_rows: 0,
         }
     }
@@ -196,7 +232,9 @@ pub struct ScaleReport {
 /// v2: added per-point `threads`, `quantile_mode`, `chunk_rows`; made
 /// `peak_rss_bytes` nullable; waveform synthesis moved to basis tables
 /// (deterministic digests differ from v1).
-pub const SCALE_SCHEMA_VERSION: u32 = 2;
+/// v3: added the top-level `workload` field (`"diurnal"` or `"llm"`);
+/// diurnal digests are unchanged from v2.
+pub const SCALE_SCHEMA_VERSION: u32 = 3;
 
 /// Runs the scale ladder described by `config`.
 ///
@@ -228,6 +266,7 @@ fn run_point(config: &ScaleConfig, n: usize) -> Result<ScalePoint, Box<dyn std::
     let grid = TimeGrid::new(config.step_minutes, config.samples_per_trace);
     let chunk_rows = config.effective_chunk_rows();
     let basis = SynthBasis::new(config.samples_per_trace);
+    let llm_basis = so_workloads::LlmBasis::new(config.samples_per_trace, config.step_minutes);
     let started = Instant::now();
 
     // One arena recycled across chunks: capacity is the chunk, not the
@@ -273,9 +312,17 @@ fn run_point(config: &ScaleConfig, n: usize) -> Result<ScalePoint, Box<dyn std::
         // buffer — basis-table waveforms, parallel over rows.
         let t0 = Instant::now();
         arena.clear();
-        arena.par_extend_rows(rows, |r, out| {
-            RowWave::new(config.seed, (start + r) as u64).fill(&basis, out)
-        });
+        match config.workload {
+            ScaleWorkload::Diurnal => arena.par_extend_rows(rows, |r, out| {
+                RowWave::new(config.seed, (start + r) as u64).fill(&basis, out)
+            }),
+            ScaleWorkload::Llm => {
+                let llm = &llm_basis;
+                arena.par_extend_rows(rows, |r, out| {
+                    llm.fill_row(config.seed, (start + r) as u64, out)
+                });
+            }
+        }
         synth_ms += ms_since(t0);
 
         // Phase 2: per-row peaks (the remap prologue), folded into the
@@ -382,6 +429,11 @@ impl ScaleReport {
             self.config.samples_per_trace
         );
         let _ = writeln!(out, "  \"step_minutes\": {},", self.config.step_minutes);
+        let _ = writeln!(
+            out,
+            "  \"workload\": \"{}\",",
+            self.config.workload.as_str()
+        );
         let _ = writeln!(out, "  \"group_size\": {},", self.config.group_size);
         let _ = writeln!(out, "  \"swap_probes\": {},", self.config.swap_probes);
         out.push_str("  \"points\": [\n");
@@ -1006,6 +1058,7 @@ mod tests {
             group_size: 12,
             swap_probes: 64,
             quantile_mode: QuantileMode::Exact,
+            workload: ScaleWorkload::Diurnal,
             chunk_rows: 0,
         }
     }
@@ -1134,10 +1187,54 @@ mod tests {
         assert!(json.contains("\"benchmark\": \"scale\""));
         assert!(json.contains("\"instances\": 48"));
         assert!(json.contains("\"instances\": 96"));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"workload\": \"diurnal\""));
         assert!(json.contains("\"quantile_mode\": \"exact\""));
         assert!(json.contains("\"threads\": "));
         assert!(json.contains("\"chunk_rows\": "));
+    }
+
+    #[test]
+    fn llm_workload_rung_is_deterministic_and_differs_from_diurnal() {
+        let mut config = tiny_config();
+        let diurnal = run_scale(&config).unwrap();
+        config.workload = ScaleWorkload::Llm;
+        let a = run_scale(&config).unwrap();
+        let b = run_scale(&config).unwrap();
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.checksum.to_bits(), y.checksum.to_bits());
+            assert_eq!(
+                x.sum_of_group_peaks.to_bits(),
+                y.sum_of_group_peaks.to_bits()
+            );
+        }
+        for (d, l) in diurnal.points.iter().zip(&a.points) {
+            assert_ne!(
+                d.checksum.to_bits(),
+                l.checksum.to_bits(),
+                "llm rung must exercise a different waveform family"
+            );
+        }
+        assert!(a.to_json().contains("\"workload\": \"llm\""));
+    }
+
+    #[test]
+    fn llm_workload_chunking_never_changes_numeric_outputs() {
+        let mut config = tiny_config();
+        config.instances = vec![600];
+        config.workload = ScaleWorkload::Llm;
+        let reference = run_scale(&config).unwrap();
+        for chunk_rows in [12, 96, 600] {
+            config.chunk_rows = chunk_rows;
+            let got = run_scale(&config).unwrap();
+            for (x, y) in reference.points.iter().zip(&got.points) {
+                assert_eq!(
+                    x.checksum.to_bits(),
+                    y.checksum.to_bits(),
+                    "chunk_rows={chunk_rows}"
+                );
+            }
+        }
     }
 
     #[test]

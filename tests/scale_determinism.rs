@@ -9,7 +9,7 @@
 //! the ladder serially under different limits without racing other
 //! tests' parallel kernels.
 
-use smoothoperator::scale::{run_scale, QuantileMode, ScaleConfig};
+use smoothoperator::scale::{run_scale, QuantileMode, ScaleConfig, ScaleWorkload};
 use std::sync::Mutex;
 
 /// Serializes the tests in this binary: `set_thread_limit` is
@@ -29,6 +29,7 @@ fn config() -> ScaleConfig {
         group_size: 12,
         swap_probes: 128,
         quantile_mode: QuantileMode::Exact,
+        workload: ScaleWorkload::Llm,
         chunk_rows: 96,
     }
 }

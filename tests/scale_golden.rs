@@ -4,7 +4,9 @@
 //! because CI tooling and the scale-smoke regression gate
 //! (`scripts/perf_gate.sh`) parse this file by name.
 
-use smoothoperator::scale::{run_scale, QuantileMode, ScaleConfig, SCALE_SCHEMA_VERSION};
+use smoothoperator::scale::{
+    run_scale, QuantileMode, ScaleConfig, ScaleWorkload, SCALE_SCHEMA_VERSION,
+};
 
 fn tiny_ladder() -> ScaleConfig {
     ScaleConfig {
@@ -15,18 +17,20 @@ fn tiny_ladder() -> ScaleConfig {
         group_size: 12,
         swap_probes: 32,
         quantile_mode: QuantileMode::Exact,
+        workload: ScaleWorkload::Diurnal,
         chunk_rows: 0,
     }
 }
 
 /// Every field the downstream tooling reads, exactly as spelled in the
 /// artifact. Renaming any of these is a schema break.
-const TOP_LEVEL_FIELDS: [&str; 8] = [
+const TOP_LEVEL_FIELDS: [&str; 9] = [
     "\"benchmark\": \"scale\"",
     "\"schema_version\"",
     "\"seed\"",
     "\"samples_per_trace\"",
     "\"step_minutes\"",
+    "\"workload\"",
     "\"group_size\"",
     "\"swap_probes\"",
     "\"points\"",
@@ -54,7 +58,7 @@ fn artifact_carries_the_pinned_schema() {
     let report = run_scale(&tiny_ladder()).unwrap();
     let json = report.to_json();
 
-    assert_eq!(SCALE_SCHEMA_VERSION, 2, "schema bumped: update this test");
+    assert_eq!(SCALE_SCHEMA_VERSION, 3, "schema bumped: update this test");
     for field in TOP_LEVEL_FIELDS {
         assert!(json.contains(field), "missing top-level field {field}");
     }
